@@ -1,0 +1,247 @@
+//! Criterion micro-benchmarks for the hot paths behind the figures:
+//! SHA-256 and Merkle hashing (block sealing), JSON parse/serialize
+//! (chaincode payloads), JSON-CRDT merging at several block sizes (the
+//! mechanism behind Figure 3's block-size penalty), MVCC validation, the
+//! FabricCRDT merge-validate path, and orderer block cutting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fabriccrdt::validator::CrdtValidator;
+use fabriccrdt_crypto::{sha256, Identity, MerkleTree};
+use fabriccrdt_fabric::config::BlockCutConfig;
+use fabriccrdt_fabric::orderer::Orderer;
+use fabriccrdt_fabric::validator::{BlockValidator, FabricValidator};
+use fabriccrdt_jsoncrdt::json::Value;
+use fabriccrdt_jsoncrdt::{JsonCrdt, ReplicaId};
+use fabriccrdt_ledger::block::Block;
+use fabriccrdt_ledger::rwset::ReadWriteSet;
+use fabriccrdt_ledger::transaction::{Transaction, TxId};
+use fabriccrdt_ledger::version::Height;
+use fabriccrdt_ledger::worldstate::WorldState;
+use fabriccrdt_sim::time::SimTime;
+
+fn payload(i: usize) -> String {
+    format!(r#"{{"deviceID":"Device1","readings":["{}.0"]}}"#, 40 + i % 30)
+}
+
+fn crdt_tx(n: u64, stale: bool) -> Transaction {
+    let client = Identity::new("client", "org1");
+    let mut rwset = ReadWriteSet::new();
+    let version = if stale {
+        Some(Height::new(0, 0))
+    } else {
+        Some(Height::new(1, 0))
+    };
+    rwset.reads.record("hot", version);
+    rwset.writes.put_crdt("hot", payload(n as usize).into_bytes());
+    Transaction {
+        id: TxId::derive(&client, n, "iot"),
+        client,
+        chaincode: "iot".into(),
+        rwset,
+        endorsements: Vec::new(),
+    }
+}
+
+fn plain_tx(n: u64) -> Transaction {
+    let client = Identity::new("client", "org1");
+    let mut rwset = ReadWriteSet::new();
+    rwset.reads.record("hot", Some(Height::new(1, 0)));
+    rwset.writes.put("hot", payload(n as usize).into_bytes());
+    Transaction {
+        id: TxId::derive(&client, n, "iot"),
+        client,
+        chaincode: "iot".into(),
+        rwset,
+        endorsements: Vec::new(),
+    }
+}
+
+fn seeded_state() -> WorldState {
+    let mut state = WorldState::new();
+    state.put("hot".into(), payload(0).into_bytes(), Height::new(1, 0));
+    state
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256::digest(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..256).map(|i| format!("tx-{i}").into_bytes()).collect();
+    c.bench_function("merkle/build-256-leaves", |b| {
+        b.iter(|| MerkleTree::from_leaves(&leaves).root());
+    });
+}
+
+fn bench_json(c: &mut Criterion) {
+    let text = payload(7);
+    c.bench_function("json/parse-iot-payload", |b| {
+        b.iter(|| Value::parse(&text).unwrap());
+    });
+    let value = Value::parse(&text).unwrap();
+    c.bench_function("json/serialize-iot-payload", |b| {
+        b.iter(|| value.to_compact_string());
+    });
+}
+
+fn bench_jsoncrdt_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jsoncrdt/merge-n-transactions");
+    for n in [10usize, 25, 100, 400] {
+        let values: Vec<Value> = (0..n).map(|i| Value::parse(&payload(i)).unwrap()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, values| {
+            b.iter(|| {
+                let mut doc = JsonCrdt::new(ReplicaId(1));
+                for v in values {
+                    doc.merge_value(v).unwrap();
+                }
+                doc.to_value()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mvcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validator/fabric-mvcc");
+    for n in [25usize, 400] {
+        let txs: Vec<Transaction> = (0..n as u64).map(plain_tx).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &txs, |b, txs| {
+            b.iter(|| {
+                let mut state = seeded_state();
+                let mut block = Block::assemble(2, [0; 32], txs.clone());
+                FabricValidator::new().validate_and_commit(&mut block, &mut state, &[])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_crdt_validator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validator/fabriccrdt-merge");
+    for n in [25usize, 100, 400] {
+        let txs: Vec<Transaction> = (0..n as u64).map(|i| crdt_tx(i, true)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &txs, |b, txs| {
+            b.iter(|| {
+                let mut state = seeded_state();
+                let mut block = Block::assemble(2, [0; 32], txs.clone());
+                CrdtValidator::new().validate_and_commit(&mut block, &mut state, &[])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rga_text(c: &mut Criterion) {
+    use fabriccrdt_jsoncrdt::text::TextDoc;
+    c.bench_function("rga/type-500-chars", |b| {
+        b.iter(|| {
+            let mut doc = TextDoc::new(ReplicaId(1));
+            for i in 0..500 {
+                doc.insert(i, "x");
+            }
+            doc.text()
+        });
+    });
+    c.bench_function("rga/replicate-500-ops", |b| {
+        let mut source = TextDoc::new(ReplicaId(1));
+        let mut ops = Vec::new();
+        for i in 0..500 {
+            ops.extend(source.insert(i, "x"));
+        }
+        b.iter(|| {
+            let mut replica = TextDoc::new(ReplicaId(2));
+            for op in &ops {
+                replica.apply(op.clone());
+            }
+            replica.len()
+        });
+    });
+}
+
+fn bench_editor(c: &mut Criterion) {
+    use fabriccrdt_jsoncrdt::Editor;
+    c.bench_function("editor/100-assigns", |b| {
+        b.iter(|| {
+            let mut ed = Editor::new(ReplicaId(1));
+            for i in 0..100 {
+                ed.assign(&["section", "field"], format!("v{i}")).unwrap();
+            }
+            ed.document().applied_len()
+        });
+    });
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    // A mixed batch: writers on a hot key plus readers of it — the
+    // workload the Fabric++ baseline reorders profitably.
+    let mut group = c.benchmark_group("reorder/batch");
+    for n in [25usize, 400] {
+        let client = Identity::new("client", "org1");
+        let batch: Vec<Transaction> = (0..n as u64)
+            .map(|i| {
+                let mut rwset = ReadWriteSet::new();
+                if i % 2 == 0 {
+                    rwset.writes.put("hot", vec![i as u8]);
+                } else {
+                    rwset.reads.record("hot", Some(Height::new(1, 0)));
+                    rwset.writes.put(format!("priv-{i}"), vec![i as u8]);
+                }
+                Transaction {
+                    id: TxId::derive(&client, i, "cc"),
+                    client: client.clone(),
+                    chaincode: "cc".into(),
+                    rwset,
+                    endorsements: Vec::new(),
+                }
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
+            b.iter(|| fabriccrdt_fabric::reorder::reorder_batch(batch.clone()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_orderer(c: &mut Criterion) {
+    c.bench_function("orderer/cut-400-tx-blocks", |b| {
+        let txs: Vec<Transaction> = (0..400).map(plain_tx).collect();
+        b.iter(|| {
+            let mut orderer = Orderer::new(BlockCutConfig::with_max_tx(400));
+            let mut cut = 0;
+            for tx in txs.clone() {
+                if orderer.receive(tx, SimTime::ZERO).0.is_some() {
+                    cut += 1;
+                }
+            }
+            cut
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_merkle,
+    bench_json,
+    bench_jsoncrdt_merge,
+    bench_mvcc,
+    bench_crdt_validator,
+    bench_rga_text,
+    bench_editor,
+    bench_reorder,
+    bench_orderer,
+);
+criterion_main!(benches);

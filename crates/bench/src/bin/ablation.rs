@@ -1,0 +1,274 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! **A. The reordering baseline (paper §8).** Sharma et al. reorder
+//! transactions at the orderer by their conflict dependency graph and
+//! early-abort unsalvageable cycles. Two workloads separate the
+//! approaches:
+//!
+//! - *reader/writer mix*: writers blindly update a hot key, readers
+//!   read it (and write private keys). Reordering rescues every reader
+//!   by scheduling it before the writers — a large win over vanilla
+//!   Fabric without any CRDTs.
+//! - *all-conflicting read-modify-write* (the paper's Table 1
+//!   workload): every transaction reads and writes the hot key, so the
+//!   dependency graph is one big cycle per block — reordering can only
+//!   early-abort, and only FabricCRDT eliminates failures.
+//!
+//! **B. The superlinear merge term.** FabricCRDT's Figure 3 result
+//! (small blocks win) is driven by the apply-cost growth of
+//! operation-log JSON-CRDT implementations, modelled by the
+//! `per_merge_quad_us` cost term. Setting it to zero flattens the
+//! block-size curve — showing the term, not the pipeline, produces the
+//! paper's shape.
+//!
+//! **C. StreamChain-style stream processing (paper §8, István et al.,
+//! "Do Blockchains Need Blocks?").** Replacing block batching with
+//! per-transaction streaming trades throughput overhead for end-to-end
+//! latency. Modelled as 1-tx blocks with the per-block fixed cost
+//! reduced to a per-transaction pipeline cost: commit latency collapses
+//! from block-fill-dominated seconds to milliseconds, at a throughput
+//! cost — the trade-off that paper reports.
+//!
+//! **D. The price of client-side resubmission (paper §1).** "Once a
+//! transaction fails, the only option for clients is to create a new
+//! transaction and resubmit." Giving Fabric's clients a retry budget
+//! eventually commits the all-conflicting workload — but every success
+//! costs many full execute/endorse/order round trips and orders of
+//! magnitude more latency than FabricCRDT's single-shot commits.
+
+use std::sync::Arc;
+
+use fabriccrdt::{fabric_reordering_simulation, fabric_simulation, fabriccrdt_simulation};
+use fabriccrdt_bench::HarnessOptions;
+use fabriccrdt_fabric::chaincode::{Chaincode, ChaincodeRegistry};
+use fabriccrdt_fabric::config::PipelineConfig;
+use fabriccrdt_fabric::metrics::RunMetrics;
+use fabriccrdt_fabric::simulation::TxRequest;
+use fabriccrdt_sim::time::SimTime;
+use fabriccrdt_workload::iot::IotChaincode;
+use fabriccrdt_workload::report::render_table;
+
+fn registry(crdt: bool) -> (ChaincodeRegistry, String) {
+    let mut registry = ChaincodeRegistry::new();
+    let chaincode: Arc<dyn Chaincode> = if crdt {
+        Arc::new(IotChaincode::crdt())
+    } else {
+        Arc::new(IotChaincode::plain())
+    };
+    let name = chaincode.name().to_owned();
+    registry.deploy(chaincode);
+    (registry, name)
+}
+
+/// Reader/writer mix: even transactions write the hot key blindly,
+/// odd transactions read it and write a private key.
+fn reader_writer_schedule(chaincode: &str, n: usize, rate: f64) -> Vec<(SimTime, TxRequest)> {
+    (0..n)
+        .map(|i| {
+            let json = format!(r#"{{"readings":["r{i}"]}}"#);
+            let args = if i % 2 == 0 {
+                IotChaincode::args(&[], &["hot".into()], &json) // writer
+            } else {
+                IotChaincode::args(&["hot".into()], &[format!("priv-{i}")], &json) // reader
+            };
+            (
+                SimTime::from_secs_f64(i as f64 / rate),
+                TxRequest::new(chaincode, args),
+            )
+        })
+        .collect()
+}
+
+/// The paper's all-conflicting read-modify-write workload.
+fn rmw_schedule(chaincode: &str, n: usize, rate: f64) -> Vec<(SimTime, TxRequest)> {
+    (0..n)
+        .map(|i| {
+            let json = format!(r#"{{"readings":["r{i}"]}}"#);
+            (
+                SimTime::from_secs_f64(i as f64 / rate),
+                TxRequest::new(
+                    chaincode,
+                    IotChaincode::args(&["hot".into()], &["hot".into()], &json),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn row(system: &str, workload: &str, metrics: &RunMetrics) -> Vec<String> {
+    vec![
+        system.to_owned(),
+        workload.to_owned(),
+        format!("{:.1}", metrics.successful_throughput_tps()),
+        format!("{:.3}", metrics.avg_latency_secs()),
+        metrics.successful().to_string(),
+        metrics.failed().to_string(),
+    ]
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let n = options.total_txs.min(4000); // ablations need no 10k cells
+    let seed = options.seed;
+
+    println!("=== Ablation A: reordering baseline (Fabric++) vs FabricCRDT ===\n");
+    let mut rows = Vec::new();
+    for workload in ["reader/writer", "all-rmw"] {
+        let schedule_for = |name: &str| {
+            if workload == "reader/writer" {
+                reader_writer_schedule(name, n, 300.0)
+            } else {
+                rmw_schedule(name, n, 300.0)
+            }
+        };
+        // Vanilla Fabric (block size 400).
+        let (reg, name) = registry(false);
+        let mut sim = fabric_simulation(PipelineConfig::paper(400, seed), reg);
+        sim.seed_state("hot", br#"{"readings":[]}"#.to_vec());
+        rows.push(row("Fabric", workload, &sim.run(schedule_for(&name))));
+        // Fabric++ reordering (block size 400).
+        let (reg, name) = registry(false);
+        let mut sim = fabric_reordering_simulation(PipelineConfig::paper(400, seed), reg);
+        sim.seed_state("hot", br#"{"readings":[]}"#.to_vec());
+        rows.push(row("Fabric++", workload, &sim.run(schedule_for(&name))));
+        // FabricCRDT (block size 25).
+        let (reg, name) = registry(true);
+        let mut sim = fabriccrdt_simulation(PipelineConfig::paper(25, seed), reg);
+        sim.seed_state("hot", br#"{"readings":[]}"#.to_vec());
+        rows.push(row("FabricCRDT", workload, &sim.run(schedule_for(&name))));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["system", "workload", "tput(tps)", "avg-lat(s)", "ok", "failed"],
+            &rows,
+        )
+    );
+
+    println!("=== Ablation B: superlinear merge term and the Figure 3 shape ===\n");
+    let mut rows = Vec::new();
+    for quad_enabled in [true, false] {
+        for block_size in [25usize, 200, 1000] {
+            let mut config = PipelineConfig::paper(block_size, seed);
+            if !quad_enabled {
+                config.latency.cost.per_merge_quad_us = 0.0;
+            }
+            let (reg, name) = registry(true);
+            let mut sim = fabriccrdt_simulation(config, reg);
+            sim.seed_state("hot", br#"{"readings":[]}"#.to_vec());
+            let metrics = sim.run(rmw_schedule(&name, n, 300.0));
+            rows.push(vec![
+                if quad_enabled { "with quad term" } else { "without quad term" }.to_owned(),
+                block_size.to_string(),
+                format!("{:.1}", metrics.successful_throughput_tps()),
+                format!("{:.3}", metrics.avg_latency_secs()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["cost model", "block size", "tput(tps)", "avg-lat(s)"], &rows)
+    );
+    println!(
+        "Without the operation-log apply-cost term the block-size penalty\n\
+         collapses — the term (not the pipeline) produces Figure 3's shape.\n"
+    );
+
+    println!("=== Ablation C: StreamChain-style stream processing (§8) ===\n");
+    // A conflict-free workload (per-transaction keys) at a modest rate so
+    // batching latency, not queueing, dominates.
+    let stream_n = n.min(2000);
+    let keyed = |name: &str| -> Vec<(SimTime, TxRequest)> {
+        (0..stream_n)
+            .map(|i| {
+                let json = format!(r#"{{"readings":["r{i}"]}}"#);
+                (
+                    SimTime::from_secs_f64(i as f64 / 150.0),
+                    TxRequest::new(
+                        name,
+                        IotChaincode::args(&[], &[format!("k{i}")], &json),
+                    ),
+                )
+            })
+            .collect()
+    };
+    let mut rows = Vec::new();
+    for (label, block_size, streaming) in [
+        ("Fabric, 400-tx blocks", 400usize, false),
+        ("Fabric, 1-tx blocks", 1, false),
+        ("StreamChain-style", 1, true),
+    ] {
+        let mut config = PipelineConfig::paper(block_size, seed);
+        if streaming {
+            // Stream processing removes the per-block batching overhead;
+            // a small per-"block" cost remains (hash chaining, I/O).
+            config.latency.cost.block_overhead_us = 500.0;
+        }
+        let (reg, name) = registry(false);
+        let mut sim = fabric_simulation(config, reg);
+        let metrics = sim.run(keyed(&name));
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.1}", metrics.successful_throughput_tps()),
+            format!("{:.1}", metrics.avg_latency_secs() * 1000.0),
+            metrics.successful().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["pipeline", "tput(tps)", "avg-lat(ms)", "ok"], &rows)
+    );
+    println!(
+        "Streaming removes block-fill latency (StreamChain's result); the\n\
+         per-block overhead it deletes is what batching amortizes.\n"
+    );
+
+    println!("=== Ablation D: client resubmission vs merging (§1) ===\n");
+    let retry_n = n.min(1500);
+    let rmw = |name: &str| rmw_schedule(name, retry_n, 300.0);
+    let mut rows = Vec::new();
+    for (label, retries) in [
+        ("Fabric, no retries", 0usize),
+        ("Fabric, retry x5", 5),
+        ("Fabric, retry x50", 50),
+    ] {
+        let (reg, name) = registry(false);
+        let mut sim = fabric_simulation(
+            PipelineConfig::paper(25, seed).with_client_retries(retries),
+            reg,
+        );
+        sim.seed_state("hot", br#"{"readings":[]}"#.to_vec());
+        let metrics = sim.run(rmw(&name));
+        rows.push(vec![
+            label.to_owned(),
+            metrics.successful().to_string(),
+            metrics.failed().to_string(),
+            metrics.resubmissions.to_string(),
+            format!("{:.2}", metrics.avg_latency_secs()),
+        ]);
+    }
+    {
+        let (reg, name) = registry(true);
+        let mut sim = fabriccrdt_simulation(PipelineConfig::paper(25, seed), reg);
+        sim.seed_state("hot", br#"{"readings":[]}"#.to_vec());
+        let metrics = sim.run(rmw(&name));
+        rows.push(vec![
+            "FabricCRDT, single shot".to_owned(),
+            metrics.successful().to_string(),
+            metrics.failed().to_string(),
+            metrics.resubmissions.to_string(),
+            format!("{:.2}", metrics.avg_latency_secs()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["client strategy", "ok", "failed", "resubmissions", "avg-lat(s)"],
+            &rows,
+        )
+    );
+    println!(
+        "Retries buy successes with extra round trips and latency;\n\
+         FabricCRDT commits everything in one submission (§1's argument)."
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 3 + Table 1: effect of block size.
+//!
+//! Sweep the maximum number of transactions per block over
+//! {25, 50, 100, 200, 400, 1000} for FabricCRDT and Fabric, with the
+//! Table 1 workload: 300 tx/s submission rate, 1 read key and 1 write
+//! key per transaction, 2-key JSON objects, all transactions
+//! conflicting.
+//!
+//! Paper shape: FabricCRDT peaks at the smallest block size (267 tx/s at
+//! 25 in the paper) and degrades with block size as per-block merge
+//! overhead grows; its latency rises with block size; it commits all
+//! 10 000 transactions at every size. Fabric commits only a handful of
+//! the all-conflicting transactions.
+
+use fabriccrdt_bench::{run_figure, HarnessOptions};
+use fabriccrdt_workload::experiment::{ExperimentConfig, SystemKind};
+
+const BLOCK_SIZES: [usize; 6] = [25, 50, 100, 200, 400, 1000];
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    run_figure(
+        "Figure 3 / Table 1: effect of block size (all transactions conflicting)",
+        &options,
+        &[SystemKind::FabricCrdt, SystemKind::Fabric],
+        |system| {
+            BLOCK_SIZES
+                .iter()
+                .map(|&block_size| {
+                    let config = ExperimentConfig {
+                        system,
+                        block_size,
+                        ..options.base_config()
+                    };
+                    (block_size.to_string(), config)
+                })
+                .collect()
+        },
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 4 + Table 2: effect of the number of read and write keys.
+//!
+//! Sweep (#read-keys, #write-keys) over {1, 3, 5}² with the Table 2
+//! workload: 300 tx/s, 2-key JSON objects, all transactions conflicting,
+//! each system at its best block size (25 for FabricCRDT, 400 for
+//! Fabric; §7.3). The read and write key sets are identical across all
+//! transactions, as in the paper.
+//!
+//! Paper shape: FabricCRDT throughput decreases (and latency increases)
+//! as the read-write set grows — it is affected by both reads and writes
+//! — while Fabric's successful throughput stays far lower; FabricCRDT
+//! commits every transaction.
+
+use fabriccrdt_bench::{run_figure, HarnessOptions};
+use fabriccrdt_workload::experiment::{ExperimentConfig, SystemKind};
+
+const KEY_COUNTS: [usize; 3] = [1, 3, 5];
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    run_figure(
+        "Figure 4 / Table 2: effect of read/write key counts",
+        &options,
+        &[SystemKind::FabricCrdt, SystemKind::Fabric],
+        |system| {
+            let mut cells = Vec::new();
+            for &reads in &KEY_COUNTS {
+                for &writes in &KEY_COUNTS {
+                    let config = ExperimentConfig {
+                        read_keys: reads,
+                        write_keys: writes,
+                        ..options.base_config().for_system(system)
+                    };
+                    cells.push((format!("{reads}r-{writes}w"), config));
+                }
+            }
+            cells
+        },
+    );
+}

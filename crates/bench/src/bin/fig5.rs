@@ -1,0 +1,38 @@
+//! Figure 5 + Table 3: impact of JSON object complexity.
+//!
+//! Sweep the "k-d complexity" of the written JSON object (k top-level
+//! keys, each value d levels deep — Listing 4 shows "3-3") over
+//! {1-1, 2-2, 3-3, 4-4, 5-5} with the Table 3 workload: 300 tx/s, one
+//! read and one write key, all transactions conflicting, each system at
+//! its best block size.
+//!
+//! Paper shape: FabricCRDT throughput decreases and latency increases
+//! with complexity (merging more complex JSON CRDTs costs more); Fabric
+//! never inspects the values, so its metrics are flat in complexity.
+
+use fabriccrdt_bench::{run_figure, HarnessOptions};
+use fabriccrdt_workload::experiment::{ExperimentConfig, SystemKind};
+use fabriccrdt_workload::generator::JsonShape;
+
+const COMPLEXITIES: [usize; 5] = [1, 2, 3, 4, 5];
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    run_figure(
+        "Figure 5 / Table 3: impact of JSON complexity (k-d objects)",
+        &options,
+        &[SystemKind::FabricCrdt, SystemKind::Fabric],
+        |system| {
+            COMPLEXITIES
+                .iter()
+                .map(|&k| {
+                    let config = ExperimentConfig {
+                        shape: JsonShape::complexity(k, k),
+                        ..options.base_config().for_system(system)
+                    };
+                    (format!("{k}-{k}"), config)
+                })
+                .collect()
+        },
+    );
+}

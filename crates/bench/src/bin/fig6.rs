@@ -1,0 +1,37 @@
+//! Figure 6 + Table 4: impact of the transaction arrival rate.
+//!
+//! Sweep the aggregate submission rate of the four clients over
+//! {100, 200, 300, 400, 500} tx/s with the Table 4 workload: one read
+//! and one write key, 2-key JSON objects, all transactions conflicting,
+//! each system at its best block size.
+//!
+//! Paper shape: FabricCRDT throughput rises with offered load until it
+//! saturates (~250 tx/s in the paper), after which latency explodes —
+//! the effect of queueing once arrivals outpace commit capacity. All
+//! transactions still commit.
+
+use fabriccrdt_bench::{run_figure, HarnessOptions};
+use fabriccrdt_workload::experiment::{ExperimentConfig, SystemKind};
+
+const RATES: [f64; 5] = [100.0, 200.0, 300.0, 400.0, 500.0];
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    run_figure(
+        "Figure 6 / Table 4: impact of transaction arrival rate",
+        &options,
+        &[SystemKind::FabricCrdt, SystemKind::Fabric],
+        |system| {
+            RATES
+                .iter()
+                .map(|&rate| {
+                    let config = ExperimentConfig {
+                        rate_tps: rate,
+                        ..options.base_config().for_system(system)
+                    };
+                    (format!("{rate:.0}"), config)
+                })
+                .collect()
+        },
+    );
+}

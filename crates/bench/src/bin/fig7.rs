@@ -1,0 +1,38 @@
+//! Figure 7 + Table 5: impact of the percentage of conflicting
+//! transactions.
+//!
+//! Sweep the conflicting share of the workload over
+//! {0, 25, 50, 75, 100} % with the Table 5 workload: 300 tx/s, one read
+//! and one write key, 2-key JSON objects, each system at its best block
+//! size. Conflicting transactions all touch one shared key; the rest
+//! use per-transaction private keys.
+//!
+//! Paper shape: at low conflict percentages the two systems have similar
+//! throughput and latency; as the share grows, Fabric's failures grow
+//! toward rejecting nearly everything while FabricCRDT never fails.
+
+use fabriccrdt_bench::{run_figure, HarnessOptions};
+use fabriccrdt_workload::experiment::{ExperimentConfig, SystemKind};
+
+const CONFLICT_PCTS: [u8; 5] = [0, 25, 50, 75, 100];
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    run_figure(
+        "Figure 7 / Table 5: impact of conflicting-transaction percentage",
+        &options,
+        &[SystemKind::FabricCrdt, SystemKind::Fabric],
+        |system| {
+            CONFLICT_PCTS
+                .iter()
+                .map(|&pct| {
+                    let config = ExperimentConfig {
+                        conflict_pct: pct,
+                        ..options.base_config().for_system(system)
+                    };
+                    (format!("{pct}%"), config)
+                })
+                .collect()
+        },
+    );
+}

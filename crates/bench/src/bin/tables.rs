@@ -1,0 +1,82 @@
+//! Tables 1–5: the per-experiment configurations of the paper's
+//! evaluation, each run once per system at the paper's base point.
+//!
+//! This binary documents the configuration tables verbatim and prints
+//! headline numbers for the base cell of each experiment (the full
+//! sweeps are the `fig3` … `fig7` binaries).
+
+use fabriccrdt_bench::HarnessOptions;
+use fabriccrdt_workload::experiment::{ExperimentConfig, SystemKind};
+use fabriccrdt_workload::generator::JsonShape;
+use fabriccrdt_workload::report::render_table;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+
+    println!("=== Configuration tables (paper §7) ===\n");
+    let config_rows = vec![
+        vec![
+            "Table 1 (block size, Fig 3)".to_owned(),
+            "rate=300/s, reads=1, writes=1, JSON keys=2, conflicts=100%".to_owned(),
+            "block size in {25..1000}".to_owned(),
+        ],
+        vec![
+            "Table 2 (read/write keys, Fig 4)".to_owned(),
+            "rate=300/s, JSON keys=2, conflicts=100%".to_owned(),
+            "reads, writes in {1,3,5}".to_owned(),
+        ],
+        vec![
+            "Table 3 (JSON complexity, Fig 5)".to_owned(),
+            "rate=300/s, reads=1, writes=1, conflicts=100%".to_owned(),
+            "k-d in {1-1..5-5}".to_owned(),
+        ],
+        vec![
+            "Table 4 (arrival rate, Fig 6)".to_owned(),
+            "reads=1, writes=1, JSON keys=2, conflicts=100%".to_owned(),
+            "rate in {100..500}/s".to_owned(),
+        ],
+        vec![
+            "Table 5 (conflict %, Fig 7)".to_owned(),
+            "rate=300/s, reads=1, writes=1, JSON keys=2".to_owned(),
+            "conflicts in {0..100}%".to_owned(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["experiment", "fixed parameters", "sweep"], &config_rows)
+    );
+
+    println!("=== Base-cell results (both systems at their best block size) ===\n");
+    let mut rows = Vec::new();
+    for system in [SystemKind::FabricCrdt, SystemKind::Fabric] {
+        let config = ExperimentConfig {
+            shape: JsonShape::paper_default(),
+            ..options.base_config().for_system(system)
+        };
+        let result = config.run();
+        rows.push(vec![
+            system.label().to_owned(),
+            config.block_size.to_string(),
+            format!("{:.1}", result.throughput_tps),
+            format!("{:.3}", result.avg_latency_secs),
+            result.successful.to_string(),
+            result.failed.to_string(),
+            result.blocks.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "system",
+                "block size",
+                "throughput(tps)",
+                "avg-latency(s)",
+                "successful",
+                "failed",
+                "blocks",
+            ],
+            &rows,
+        )
+    );
+}

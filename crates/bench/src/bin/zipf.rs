@@ -1,0 +1,104 @@
+//! Extension experiment: Zipf-distributed key popularity.
+//!
+//! The paper's Figure 7 controls contention with a fixed percentage of
+//! transactions on one shared key. Real workloads skew smoothly: key
+//! popularity follows a Zipf law. This extension sweeps the Zipf skew
+//! `s` over a 100-key space (s = 0 is uniform; s = 1.2 concentrates
+//! most traffic on a handful of keys) and shows the same qualitative
+//! picture as Figure 7 under a realistic contention model: Fabric's
+//! failures grow with skew while FabricCRDT commits everything.
+//!
+//! Not a paper figure — clearly an extension; reported separately in
+//! EXPERIMENTS.md.
+
+use std::sync::Arc;
+
+use fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
+use fabriccrdt_bench::HarnessOptions;
+use fabriccrdt_fabric::chaincode::{Chaincode, ChaincodeRegistry};
+use fabriccrdt_fabric::config::PipelineConfig;
+use fabriccrdt_fabric::simulation::TxRequest;
+use fabriccrdt_sim::rng::{SimRng, ZipfSampler};
+use fabriccrdt_sim::time::SimTime;
+use fabriccrdt_workload::iot::IotChaincode;
+use fabriccrdt_workload::report::render_table;
+
+const KEYS: usize = 100;
+const SKEWS: [f64; 4] = [0.0, 0.6, 0.9, 1.2];
+
+fn schedule(chaincode: &str, n: usize, skew: f64, seed: u64) -> Vec<(SimTime, TxRequest)> {
+    let zipf = ZipfSampler::new(KEYS, skew);
+    let mut rng = SimRng::seed_from(seed ^ 0xabcd);
+    (0..n)
+        .map(|i| {
+            let key = format!("device-{}", zipf.sample(&mut rng));
+            let json = format!(r#"{{"deviceID":"{key}","readings":["r{i}"]}}"#);
+            (
+                SimTime::from_secs_f64(i as f64 / 300.0),
+                TxRequest::new(
+                    chaincode,
+                    IotChaincode::args(
+                        std::slice::from_ref(&key),
+                        std::slice::from_ref(&key),
+                        &json,
+                    ),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let n = options.total_txs;
+    println!("=== Extension: Zipf key popularity over {KEYS} keys (not a paper figure) ===\n");
+
+    let mut rows = Vec::new();
+    for crdt in [false, true] {
+        for &skew in &SKEWS {
+            let mut registry = ChaincodeRegistry::new();
+            let chaincode: Arc<dyn Chaincode> = if crdt {
+                Arc::new(IotChaincode::crdt())
+            } else {
+                Arc::new(IotChaincode::plain())
+            };
+            let name = chaincode.name().to_owned();
+            registry.deploy(chaincode);
+            let seed_doc = br#"{"readings":[]}"#.to_vec();
+
+            let metrics = if crdt {
+                let mut sim = fabriccrdt_simulation(PipelineConfig::paper(25, options.seed), registry);
+                for k in 0..KEYS {
+                    sim.seed_state(format!("device-{k}"), seed_doc.clone());
+                }
+                sim.run(schedule(&name, n, skew, options.seed))
+            } else {
+                let mut sim = fabric_simulation(PipelineConfig::paper(400, options.seed), registry);
+                for k in 0..KEYS {
+                    sim.seed_state(format!("device-{k}"), seed_doc.clone());
+                }
+                sim.run(schedule(&name, n, skew, options.seed))
+            };
+            eprintln!(
+                "  done: {} s={skew} -> {} ok",
+                if crdt { "FabricCRDT" } else { "Fabric" },
+                metrics.successful()
+            );
+            rows.push(vec![
+                if crdt { "FabricCRDT" } else { "Fabric" }.to_owned(),
+                format!("{skew:.1}"),
+                format!("{:.1}", metrics.successful_throughput_tps()),
+                format!("{:.3}", metrics.avg_latency_secs()),
+                metrics.successful().to_string(),
+                metrics.failed().to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["system", "zipf-s", "tput(tps)", "avg-lat(s)", "ok", "failed"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,162 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! One binary per figure of the paper's evaluation (`fig3` … `fig7`,
+//! plus `tables`); each prints the same series the corresponding figure
+//! plots — throughput of successful transactions (panel a), average
+//! latency of successful transactions (panel b), and number of
+//! successful transactions (panel c) — for both FabricCRDT and Fabric.
+//!
+//! Every binary accepts:
+//!
+//! - `--txs N` — transactions per cell (default 10 000, the paper's
+//!   count; lower for a quick look),
+//! - `--seed S` — PRNG seed (default 42).
+
+use fabriccrdt_workload::experiment::{ExperimentConfig, ExperimentResult, SystemKind};
+use fabriccrdt_workload::report::{figure_headers, figure_row, render_table};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessOptions {
+    /// Transactions per experiment cell.
+    pub total_txs: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Optional CSV output path for plotting pipelines.
+    pub csv: Option<String>,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            total_txs: 10_000,
+            seed: 42,
+            csv: None,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--txs N` and `--seed S` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut options = HarnessOptions::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--txs" => {
+                    options.total_txs = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--txs requires a positive integer");
+                    i += 2;
+                }
+                "--seed" => {
+                    options.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed requires an integer");
+                    i += 2;
+                }
+                "--csv" => {
+                    options.csv = Some(
+                        args.get(i + 1)
+                            .expect("--csv requires a file path")
+                            .clone(),
+                    );
+                    i += 2;
+                }
+                other => {
+                    panic!("unknown argument {other:?}; supported: --txs N, --seed S, --csv PATH")
+                }
+            }
+        }
+        options
+    }
+
+    /// The base experiment configuration under these options.
+    pub fn base_config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            total_txs: self.total_txs,
+            seed: self.seed,
+            ..ExperimentConfig::paper_defaults()
+        }
+    }
+}
+
+/// Runs a sweep for both systems and prints the standard figure table.
+///
+/// `cells` yields `(x-label, config-for-that-x)` given a base config for
+/// the system; rows print incrementally so long sweeps show progress.
+pub fn run_figure<F>(title: &str, options: &HarnessOptions, systems: &[SystemKind], cells: F)
+where
+    F: Fn(SystemKind) -> Vec<(String, ExperimentConfig)>,
+{
+    println!("=== {title} ===");
+    println!(
+        "(10k-tx paper setup; running {} txs/cell, seed {})\n",
+        options.total_txs, options.seed
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &system in systems {
+        for (label, config) in cells(system) {
+            let result = config.run();
+            let row = figure_row(&label, &result);
+            eprintln!(
+                "  done: {} x={} -> {:.1} tps, {} ok",
+                system.label(),
+                label,
+                result.throughput_tps,
+                result.successful
+            );
+            rows.push(row);
+        }
+    }
+    println!("{}", render_table(&figure_headers(), &rows));
+
+    if let Some(path) = &options.csv {
+        let mut csv = figure_headers().join(",");
+        csv.push('\n');
+        for row in &rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        match std::fs::write(path, csv) {
+            Ok(()) => eprintln!("wrote CSV to {path}"),
+            Err(e) => eprintln!("could not write CSV to {path}: {e}"),
+        }
+    }
+}
+
+/// Convenience: run one cell.
+pub fn run_cell(config: ExperimentConfig) -> ExperimentResult {
+    config.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_match_paper() {
+        let o = HarnessOptions::default();
+        assert_eq!(o.total_txs, 10_000);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn base_config_threads_options() {
+        let o = HarnessOptions {
+            total_txs: 123,
+            seed: 9,
+            csv: None,
+        };
+        let cfg = o.base_config();
+        assert_eq!(cfg.total_txs, 123);
+        assert_eq!(cfg.seed, 9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Hexadecimal encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`decode`] for malformed hexadecimal input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// The input length is odd.
+    OddLength,
+    /// A character outside `[0-9a-fA-F]` was found at the given byte offset.
+    InvalidChar {
+        /// Byte offset of the offending character.
+        index: usize,
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength => write!(f, "hex string has odd length"),
+            DecodeHexError::InvalidChar { index, ch } => {
+                write!(f, "invalid hex character {ch:?} at index {index}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeHexError {}
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fabriccrdt_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string into bytes.
+///
+/// Accepts both upper- and lowercase digits.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the input has odd length or contains a
+/// non-hexadecimal character.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), fabriccrdt_crypto::hex::DecodeHexError> {
+/// assert_eq!(fabriccrdt_crypto::hex::decode("DEad")?, vec![0xde, 0xad]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength);
+    }
+    fn nibble(c: u8, index: usize) -> Result<u8, DecodeHexError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(DecodeHexError::InvalidChar {
+                index,
+                ch: c as char,
+            }),
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = nibble(bytes[i], i)?;
+        let lo = nibble(bytes[i + 1], i + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn decode_uppercase() {
+        assert_eq!(decode("FF00AB").unwrap(), vec![0xff, 0x00, 0xab]);
+    }
+
+    #[test]
+    fn decode_odd_length_fails() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength));
+    }
+
+    #[test]
+    fn decode_invalid_char_fails_with_position() {
+        assert_eq!(
+            decode("a_"),
+            Err(DecodeHexError::InvalidChar { index: 1, ch: '_' })
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeHexError::InvalidChar { index: 3, ch: 'z' };
+        assert!(e.to_string().contains("index 3"));
+    }
+}

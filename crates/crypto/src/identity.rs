@@ -1,0 +1,181 @@
+//! Simulated identities and signatures.
+//!
+//! Real Fabric uses X.509 certificates issued by per-organization membership
+//! service providers (MSPs) and ECDSA signatures. For the reproduction the
+//! only observable properties are: (1) each peer/client has a distinct
+//! identity bound to an organization, (2) endorsements carry verifiable
+//! signatures over the proposal response payload, (3) signing/verifying has
+//! a latency cost (modelled in the simulator, not here). We substitute a
+//! deterministic keyed-hash MAC: `sig = SHA-256(secret || msg)` with
+//! `verify` recomputing under the registered secret. This keeps endorsement
+//! validation real (bad signatures are rejected) without pulling in a
+//! full signature scheme; the substitution is recorded in `DESIGN.md`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::sha256::{self, Digest};
+
+/// An identity: a display name plus the organization (MSP) it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Identity {
+    /// Human-readable identity name, e.g. `"peer0.org1"`.
+    pub name: String,
+    /// Organization / MSP identifier, e.g. `"org1"`.
+    pub org: String,
+}
+
+impl Identity {
+    /// Creates an identity.
+    pub fn new(name: impl Into<String>, org: impl Into<String>) -> Self {
+        Identity {
+            name: name.into(),
+            org: org.into(),
+        }
+    }
+}
+
+impl fmt::Display for Identity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name, self.org)
+    }
+}
+
+/// A signature produced by [`KeyPair::sign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub Digest);
+
+/// Error returned when signature verification fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The identity whose signature failed to verify.
+    pub signer: Identity,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signature verification failed for {}", self.signer)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// A deterministic keyed-hash "key pair" bound to an identity.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_crypto::{Identity, KeyPair};
+///
+/// let kp = KeyPair::derive(Identity::new("peer0", "org1"));
+/// let sig = kp.sign(b"payload");
+/// assert!(kp.verify(b"payload", &sig).is_ok());
+/// assert!(kp.verify(b"tampered", &sig).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    identity: Identity,
+    secret: Digest,
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from the identity. Determinism
+    /// keeps whole-network simulations reproducible from a single seed.
+    pub fn derive(identity: Identity) -> Self {
+        let mut h = sha256::Sha256::new();
+        h.update(b"fabriccrdt-msp-v1:");
+        h.update(identity.org.as_bytes());
+        h.update(b"/");
+        h.update(identity.name.as_bytes());
+        let secret = h.finalize();
+        KeyPair { identity, secret }
+    }
+
+    /// The identity this key pair signs for.
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// Signs `msg`.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature(self.mac(msg))
+    }
+
+    /// Verifies `sig` over `msg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the signature does not match.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), VerifyError> {
+        if self.mac(msg) == sig.0 {
+            Ok(())
+        } else {
+            Err(VerifyError {
+                signer: self.identity.clone(),
+            })
+        }
+    }
+
+    fn mac(&self, msg: &[u8]) -> Digest {
+        let mut h = sha256::Sha256::new();
+        h.update(&self.secret);
+        h.update(msg);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic() {
+        let a = KeyPair::derive(Identity::new("peer0", "org1"));
+        let b = KeyPair::derive(Identity::new("peer0", "org1"));
+        assert_eq!(a, b);
+        assert_eq!(a.sign(b"m"), b.sign(b"m"));
+    }
+
+    #[test]
+    fn different_identities_have_different_keys() {
+        let a = KeyPair::derive(Identity::new("peer0", "org1"));
+        let b = KeyPair::derive(Identity::new("peer0", "org2"));
+        assert_ne!(a.sign(b"m"), b.sign(b"m"));
+    }
+
+    #[test]
+    fn name_org_confusion_resists() {
+        // ("ab", "c") must not collide with ("a", "bc").
+        let a = KeyPair::derive(Identity::new("ab", "c"));
+        let b = KeyPair::derive(Identity::new("a", "bc"));
+        assert_ne!(a.sign(b"m"), b.sign(b"m"));
+    }
+
+    #[test]
+    fn verify_accepts_valid_signature() {
+        let kp = KeyPair::derive(Identity::new("client1", "org3"));
+        let sig = kp.sign(b"proposal-response");
+        assert!(kp.verify(b"proposal-response", &sig).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_tampered_message() {
+        let kp = KeyPair::derive(Identity::new("client1", "org3"));
+        let sig = kp.sign(b"proposal-response");
+        let err = kp.verify(b"proposal-response!", &sig).unwrap_err();
+        assert_eq!(err.signer, Identity::new("client1", "org3"));
+    }
+
+    #[test]
+    fn verify_rejects_foreign_signature() {
+        let kp1 = KeyPair::derive(Identity::new("peer0", "org1"));
+        let kp2 = KeyPair::derive(Identity::new("peer1", "org1"));
+        let sig = kp1.sign(b"msg");
+        assert!(kp2.verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn identity_display() {
+        assert_eq!(Identity::new("peer0", "org1").to_string(), "peer0@org1");
+    }
+}

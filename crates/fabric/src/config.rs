@@ -1,0 +1,172 @@
+//! Network topology and pipeline configuration.
+
+use fabriccrdt_sim::time::SimTime;
+
+use crate::latency::LatencyConfig;
+use crate::policy::EndorsementPolicy;
+
+/// The logical network topology. The paper's evaluation (§7.2) uses
+/// three organizations with two peers each, one orderer, one channel and
+/// four Caliper clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of organizations.
+    pub orgs: usize,
+    /// Peers per organization.
+    pub peers_per_org: usize,
+    /// Number of submitting clients.
+    pub clients: usize,
+}
+
+impl Topology {
+    /// The paper's topology: 3 orgs × 2 peers, 4 clients.
+    pub fn paper() -> Self {
+        Topology {
+            orgs: 3,
+            peers_per_org: 2,
+            clients: 4,
+        }
+    }
+
+    /// Organization names: `org1`, `org2`, …
+    pub fn org_names(&self) -> Vec<String> {
+        (1..=self.orgs).map(|i| format!("org{i}")).collect()
+    }
+
+    /// The default endorsement policy: one endorsement from every
+    /// organization.
+    pub fn default_policy(&self) -> EndorsementPolicy {
+        EndorsementPolicy::all_of(self.org_names())
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::paper()
+    }
+}
+
+/// Block-cutting parameters of the ordering service (§3: "the maximum
+/// number of transactions, the maximum total size of transactions in a
+/// block and a timeout period").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCutConfig {
+    /// Maximum transactions per block (the x-axis of Figure 3).
+    pub max_tx_count: usize,
+    /// Maximum bytes per block (128 MB in all the paper's experiments —
+    /// effectively never binding).
+    pub max_bytes: usize,
+    /// Batch timeout (2 s in the paper's experiments).
+    pub timeout: SimTime,
+}
+
+impl BlockCutConfig {
+    /// The paper's configuration with the given block size.
+    pub fn with_max_tx(max_tx_count: usize) -> Self {
+        BlockCutConfig {
+            max_tx_count,
+            max_bytes: 128 * 1024 * 1024,
+            timeout: SimTime::from_secs(2),
+        }
+    }
+}
+
+impl Default for BlockCutConfig {
+    fn default() -> Self {
+        // 25 tx/block: FabricCRDT's best configuration (§7.3).
+        BlockCutConfig::with_max_tx(25)
+    }
+}
+
+/// Full pipeline configuration for one simulation run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Network topology.
+    pub topology: Topology,
+    /// Endorsement policy applied to every transaction.
+    pub policy: EndorsementPolicy,
+    /// Orderer block cutting.
+    pub block_cut: BlockCutConfig,
+    /// Latency and cost calibration.
+    pub latency: LatencyConfig,
+    /// Root PRNG seed; every run with the same seed and inputs is
+    /// bit-identical.
+    pub seed: u64,
+    /// Enable Fabric++-style dependency-graph reordering (and early
+    /// abort) at the orderer — the baseline of the paper's §8.
+    pub reorder: bool,
+    /// How many times clients resubmit a transaction that failed MVCC
+    /// validation (§1: "the only option for clients is to create a new
+    /// transaction and resubmit"). 0 = no retries (the paper's
+    /// experiments). Each retry re-executes, re-endorses and re-orders —
+    /// the development-complexity and load cost FabricCRDT eliminates.
+    pub client_retries: usize,
+}
+
+impl PipelineConfig {
+    /// The paper's fixed setup with a given block size and seed.
+    pub fn paper(max_tx_per_block: usize, seed: u64) -> Self {
+        let topology = Topology::paper();
+        let policy = topology.default_policy();
+        PipelineConfig {
+            topology,
+            policy,
+            block_cut: BlockCutConfig::with_max_tx(max_tx_per_block),
+            latency: LatencyConfig::calibrated(),
+            seed,
+            reorder: false,
+            client_retries: 0,
+        }
+    }
+
+    /// Enables orderer-side reordering (the Fabric++ baseline).
+    pub fn with_reordering(mut self) -> Self {
+        self.reorder = true;
+        self
+    }
+
+    /// Enables client-side resubmission of MVCC-failed transactions,
+    /// up to `retries` attempts per transaction.
+    pub fn with_client_retries(mut self, retries: usize) -> Self {
+        self.client_retries = retries;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology() {
+        let t = Topology::paper();
+        assert_eq!(t.orgs, 3);
+        assert_eq!(t.peers_per_org, 2);
+        assert_eq!(t.clients, 4);
+        assert_eq!(t.org_names(), ["org1", "org2", "org3"]);
+    }
+
+    #[test]
+    fn default_policy_requires_all_orgs() {
+        let t = Topology::paper();
+        let p = t.default_policy();
+        assert!(p.is_satisfied_by(["org1", "org2", "org3"]));
+        assert!(!p.is_satisfied_by(["org1", "org2"]));
+    }
+
+    #[test]
+    fn block_cut_paper_defaults() {
+        let b = BlockCutConfig::with_max_tx(400);
+        assert_eq!(b.max_tx_count, 400);
+        assert_eq!(b.max_bytes, 128 * 1024 * 1024);
+        assert_eq!(b.timeout, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn pipeline_config_paper() {
+        let cfg = PipelineConfig::paper(25, 42);
+        assert_eq!(cfg.block_cut.max_tx_count, 25);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.policy.required(), 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-transaction lifecycle records and run-level metrics.
+//!
+//! Mirrors the quantities Hyperledger Caliper reports and the paper
+//! plots: number of successful transactions (panel c of every figure),
+//! throughput of successful transactions (panel a), and average latency
+//! of successful transactions (panel b).
+
+use fabriccrdt_ledger::block::ValidationCode;
+use fabriccrdt_sim::stats::{Summary, TimeBuckets};
+use fabriccrdt_sim::time::SimTime;
+
+/// A chaincode event from a successfully committed transaction
+/// (Fabric's event service delivers events only on commit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedEvent {
+    /// Index of the originating request in the submission schedule.
+    pub request: usize,
+    /// Event name (chaincode's `set_event`).
+    pub name: String,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+    /// Commit time.
+    pub at: SimTime,
+}
+
+/// Lifecycle timestamps of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TxRecord {
+    /// Client submission time.
+    pub submitted_at: SimTime,
+    /// Time the transaction's block finished committing, if it got that
+    /// far (endorsement failures before ordering never do).
+    pub committed_at: Option<SimTime>,
+    /// Final validation code.
+    pub code: Option<ValidationCode>,
+}
+
+impl TxRecord {
+    /// Whether the transaction committed successfully.
+    pub fn is_success(&self) -> bool {
+        self.code.is_some_and(ValidationCode::is_success)
+    }
+
+    /// Submit-to-commit latency for successful transactions.
+    pub fn latency(&self) -> Option<SimTime> {
+        if !self.is_success() {
+            return None;
+        }
+        self.committed_at
+            .map(|c| c.saturating_sub(self.submitted_at))
+    }
+}
+
+/// Metrics for one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// One record per submitted transaction, in submission order.
+    pub records: Vec<TxRecord>,
+    /// Simulated time when the last block committed.
+    pub end_time: SimTime,
+    /// Total blocks committed.
+    pub blocks_committed: u64,
+    /// Client resubmissions performed (only non-zero when
+    /// `client_retries > 0` — each one is a full extra
+    /// execute/endorse/order round trip, the cost §1 attributes to
+    /// Fabric's failure model).
+    pub resubmissions: u64,
+    /// Chaincode events of successfully committed transactions, in
+    /// commit order.
+    pub events: Vec<CommittedEvent>,
+}
+
+impl RunMetrics {
+    /// Total submitted transactions.
+    pub fn submitted(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of successful transactions (figure panel c).
+    pub fn successful(&self) -> usize {
+        self.records.iter().filter(|r| r.is_success()).count()
+    }
+
+    /// Number of failed transactions (any non-success code, plus
+    /// transactions that never committed).
+    pub fn failed(&self) -> usize {
+        self.submitted() - self.successful()
+    }
+
+    /// Failures broken down by validation code.
+    pub fn failures_with(&self, code: ValidationCode) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.code == Some(code))
+            .count()
+    }
+
+    /// Throughput of successful transactions over the whole run
+    /// (figure panel a), in transactions per second.
+    pub fn successful_throughput_tps(&self) -> f64 {
+        let span = self.end_time.as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.successful() as f64 / span
+    }
+
+    /// Average submit-to-commit latency of successful transactions in
+    /// seconds (figure panel b).
+    pub fn avg_latency_secs(&self) -> f64 {
+        self.latency_summary().mean().unwrap_or(0.0)
+    }
+
+    /// Successful commits per time bucket — the throughput-over-time
+    /// series (e.g. one bucket per simulated second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn throughput_series(&self, bucket: SimTime) -> TimeBuckets {
+        let mut buckets = TimeBuckets::new(bucket);
+        for record in &self.records {
+            if record.is_success() {
+                if let Some(at) = record.committed_at {
+                    buckets.record(at);
+                }
+            }
+        }
+        buckets
+    }
+
+    /// Full latency distribution of successful transactions.
+    pub fn latency_summary(&self) -> Summary {
+        Summary::from_times(
+            &self
+                .records
+                .iter()
+                .filter_map(TxRecord::latency)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(submit_ms: u64, commit_ms: Option<u64>, code: Option<ValidationCode>) -> TxRecord {
+        TxRecord {
+            submitted_at: SimTime::from_millis(submit_ms),
+            committed_at: commit_ms.map(SimTime::from_millis),
+            code,
+        }
+    }
+
+    #[test]
+    fn latency_only_for_successes() {
+        let ok = record(100, Some(350), Some(ValidationCode::Valid));
+        assert_eq!(ok.latency(), Some(SimTime::from_millis(250)));
+        let failed = record(100, Some(350), Some(ValidationCode::MvccConflict));
+        assert_eq!(failed.latency(), None);
+        let pending = record(100, None, None);
+        assert_eq!(pending.latency(), None);
+    }
+
+    #[test]
+    fn run_metrics_aggregation() {
+        let metrics = RunMetrics {
+            records: vec![
+                record(0, Some(100), Some(ValidationCode::Valid)),
+                record(10, Some(100), Some(ValidationCode::MvccConflict)),
+                record(20, Some(200), Some(ValidationCode::ValidMerged)),
+                record(30, None, None),
+            ],
+            end_time: SimTime::from_secs(2),
+            blocks_committed: 2,
+            resubmissions: 0,
+            events: Vec::new(),
+        };
+        assert_eq!(metrics.submitted(), 4);
+        assert_eq!(metrics.successful(), 2);
+        assert_eq!(metrics.failed(), 2);
+        assert_eq!(metrics.failures_with(ValidationCode::MvccConflict), 1);
+        assert!((metrics.successful_throughput_tps() - 1.0).abs() < 1e-9);
+        // Latencies: 100ms and 180ms → mean 140ms.
+        assert!((metrics.avg_latency_secs() - 0.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_series_buckets_successes() {
+        let metrics = RunMetrics {
+            records: vec![
+                record(0, Some(500), Some(ValidationCode::Valid)),
+                record(0, Some(800), Some(ValidationCode::ValidMerged)),
+                record(0, Some(800), Some(ValidationCode::MvccConflict)), // not counted
+                record(0, Some(1500), Some(ValidationCode::Valid)),
+            ],
+            end_time: SimTime::from_secs(2),
+            blocks_committed: 2,
+            resubmissions: 0,
+            events: Vec::new(),
+        };
+        let series = metrics.throughput_series(SimTime::from_secs(1));
+        assert_eq!(series.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let metrics = RunMetrics::default();
+        assert_eq!(metrics.successful(), 0);
+        assert_eq!(metrics.successful_throughput_tps(), 0.0);
+        assert_eq!(metrics.avg_latency_secs(), 0.0);
+    }
+}

@@ -1,0 +1,537 @@
+//! The committing peer.
+//!
+//! Peers perform two validations on incoming blocks (§2.1, step 3):
+//! endorsement-policy validation (signatures verified, policy satisfied)
+//! and the validator-specific stage (MVCC for Fabric, merge for
+//! FabricCRDT), then append the block — valid and invalid transactions
+//! alike — and update the world state with the valid write sets.
+//!
+//! Processing is split into [`Peer::process_block`] (pure computation
+//! against the current state, producing a [`StagedBlock`]) and
+//! [`Peer::commit`] (atomically installing the staged state). The
+//! simulator computes at processing *start*, schedules the commit at
+//! `start + cost`, and endorsements arriving in between correctly observe
+//! the pre-block state.
+
+use std::collections::HashSet;
+
+use fabriccrdt_crypto::KeyPair;
+use fabriccrdt_ledger::block::{Block, ValidationCode};
+use fabriccrdt_ledger::chain::{Blockchain, ChainError};
+use fabriccrdt_ledger::codec;
+use fabriccrdt_ledger::history::HistoryDb;
+use fabriccrdt_ledger::transaction::TxId;
+use fabriccrdt_ledger::version::Height;
+use fabriccrdt_ledger::worldstate::WorldState;
+
+/// A serialized peer ledger: world-state snapshot plus the full block
+/// chain, as written by [`Peer::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerSnapshot {
+    /// Encoded world state (`fabriccrdt_ledger::codec::encode_state`).
+    pub state: Vec<u8>,
+    /// Encoded blockchain (`fabriccrdt_ledger::codec::encode_chain`).
+    pub chain: Vec<u8>,
+}
+
+use crate::cost::ValidationWork;
+use crate::policy::EndorsementPolicy;
+use crate::validator::BlockValidator;
+
+/// A fully validated block plus the world state it produces, awaiting
+/// [`Peer::commit`].
+#[derive(Debug)]
+pub struct StagedBlock {
+    /// The block with validation codes filled in.
+    pub block: Block,
+    /// World state after applying the valid write sets.
+    pub new_state: WorldState,
+    /// Work performed (drives the cost model).
+    pub work: ValidationWork,
+}
+
+/// A committing peer.
+///
+/// All peers of the simulated network execute identical deterministic
+/// logic over an identical block stream, so one `Peer` instance stands in
+/// for every replica; per-peer network latencies are modelled separately
+/// by the simulation (DESIGN.md §1).
+#[derive(Debug)]
+pub struct Peer<V> {
+    state: WorldState,
+    chain: Blockchain,
+    history: HistoryDb,
+    committed_ids: HashSet<TxId>,
+    validator: V,
+    policy: EndorsementPolicy,
+}
+
+impl<V: BlockValidator> Peer<V> {
+    /// Creates a peer with the given validation strategy and endorsement
+    /// policy.
+    pub fn new(validator: V, policy: EndorsementPolicy) -> Self {
+        // Every peer's chain starts with the genesis block (block 0);
+        // ordered transaction blocks arrive numbered from 1.
+        let mut chain = Blockchain::new();
+        chain
+            .append(Block::genesis())
+            .expect("genesis extends the empty chain");
+        Peer {
+            state: WorldState::new(),
+            chain,
+            history: HistoryDb::new(),
+            committed_ids: HashSet::new(),
+            validator,
+            policy,
+        }
+    }
+
+    /// The current world state (committed blocks only).
+    pub fn state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// The peer's copy of the blockchain.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// The key-history index (`GetHistoryForKey`), derived from
+    /// committed blocks.
+    pub fn history(&self) -> &HistoryDb {
+        &self.history
+    }
+
+    /// The validation strategy.
+    pub fn validator(&self) -> &V {
+        &self.validator
+    }
+
+    /// Seeds a key directly into the world state at genesis height —
+    /// §7.2: "we start with an empty ledger and populate the ledger with
+    /// keys that are read during the experiment".
+    pub fn seed_state(&mut self, key: impl Into<String>, value: Vec<u8>) {
+        self.state.put(key.into(), value, Height::genesis());
+    }
+
+    /// Serializes the peer's ledger (state + chain) for persistence or
+    /// bootstrapping another replica.
+    pub fn snapshot(&self) -> PeerSnapshot {
+        PeerSnapshot {
+            state: codec::encode_state(&self.state),
+            chain: codec::encode_chain(&self.chain),
+        }
+    }
+
+    /// Rebuilds a peer from a snapshot: the chain is decoded and
+    /// integrity-verified, the duplicate-id set and history index are
+    /// re-derived from it, and the world state is installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`codec::DecodeError`] for malformed snapshots or
+    /// broken hash chains.
+    pub fn restore(
+        validator: V,
+        policy: EndorsementPolicy,
+        snapshot: &PeerSnapshot,
+    ) -> Result<Self, codec::DecodeError> {
+        let chain = codec::decode_chain(&snapshot.chain)?;
+        let state = codec::decode_state(&snapshot.state)?;
+        let mut committed_ids = HashSet::new();
+        let mut history = HistoryDb::new();
+        for block in chain.iter() {
+            committed_ids.extend(block.transactions.iter().map(|t| t.id));
+            history.record_block(block);
+        }
+        Ok(Peer {
+            state,
+            chain,
+            history,
+            committed_ids,
+            validator,
+            policy,
+        })
+    }
+
+    /// Replays an already-validated block during catch-up: verifies the
+    /// hash chain and data hash, then applies the write sets of the
+    /// transactions whose *recorded* validation codes are successful —
+    /// exactly §2.1's "executing all valid transactions included in the
+    /// blockchain starting from the genesis block results in the current
+    /// state". Endorsements are not re-verified: FabricCRDT's Algorithm 1
+    /// rewrites CRDT write values after endorsement, so replayed payloads
+    /// no longer match the original signatures; the hash chain (re-sealed
+    /// deterministically by every committing peer) is the integrity
+    /// anchor instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] if the block does not extend this peer's
+    /// chain or its validation codes are missing.
+    pub fn replay_block(&mut self, block: Block) -> Result<(), ChainError> {
+        if block.validation_codes.len() != block.transactions.len() {
+            return Err(ChainError::MissingValidationCodes);
+        }
+        for (tx_num, (tx, code)) in block
+            .transactions
+            .iter()
+            .zip(&block.validation_codes)
+            .enumerate()
+        {
+            if !code.is_success() {
+                continue;
+            }
+            let height = Height::new(block.header.number, tx_num as u64);
+            for (key, entry) in tx.rwset.writes.iter() {
+                if entry.is_delete {
+                    self.state.delete(key);
+                } else {
+                    self.state.put(key.clone(), entry.value.clone(), height);
+                }
+            }
+        }
+        let ids: Vec<TxId> = block.transactions.iter().map(|t| t.id).collect();
+        self.chain.append(block)?;
+        self.history
+            .record_block(self.chain.tip().expect("chain nonempty"));
+        self.committed_ids.extend(ids);
+        Ok(())
+    }
+
+    /// Validates a block against the current state without committing.
+    ///
+    /// Performs duplicate-id detection, endorsement verification
+    /// (signatures really are checked) and the validator stage, all
+    /// against a copy of the state; the result is installed later by
+    /// [`Peer::commit`].
+    pub fn process_block(&self, mut block: Block) -> StagedBlock {
+        // Integrity pre-check: the data hash of a block fresh from the
+        // orderer must cover its transactions. A mismatch here — before
+        // any validator-driven rewrite — means tampering in transit;
+        // the whole block is rejected and nothing commits. (The later
+        // re-seal only legitimizes the peer's *own* deterministic
+        // merge rewrites.)
+        if !block.data_hash_is_valid() {
+            block.validation_codes =
+                vec![ValidationCode::TamperedBlock; block.transactions.len()];
+            block.header.previous_hash = self.chain.tip_hash();
+            block.header.data_hash = Block::compute_data_hash(&block.transactions);
+            return StagedBlock {
+                block,
+                new_state: self.state.clone(),
+                work: ValidationWork::default(),
+            };
+        }
+
+        let mut sigs_verified = 0u64;
+        let mut seen_in_block: HashSet<TxId> = HashSet::new();
+        let pre: Vec<Option<ValidationCode>> = block
+            .transactions
+            .iter()
+            .map(|tx| {
+                if self.committed_ids.contains(&tx.id) || !seen_in_block.insert(tx.id) {
+                    return Some(ValidationCode::DuplicateTxId);
+                }
+                // Endorsement validation: every signature must verify and
+                // the endorsing organizations must satisfy the policy.
+                let payload = tx.response_payload();
+                let mut valid_orgs = Vec::new();
+                for endorsement in &tx.endorsements {
+                    sigs_verified += 1;
+                    let keypair = KeyPair::derive(endorsement.endorser.clone());
+                    if keypair.verify(&payload, &endorsement.signature).is_ok() {
+                        valid_orgs.push(endorsement.endorser.org.clone());
+                    }
+                }
+                if !self.policy.is_satisfied_by(&valid_orgs) {
+                    return Some(ValidationCode::EndorsementPolicyFailure);
+                }
+                None
+            })
+            .collect();
+
+        let mut new_state = self.state.clone();
+        let mut work = self
+            .validator
+            .validate_and_commit(&mut block, &mut new_state, &pre);
+        work.sigs_verified = sigs_verified;
+
+        // Re-seal when needed. FabricCRDT's Algorithm 1 (line 22) rewrites
+        // CRDT write-set values with the merged result, which changes the
+        // block's data hash relative to what the orderer sealed; and once
+        // one block is re-sealed, every later block must re-link to the
+        // peer's tip. All peers merge deterministically in block order, so
+        // every replica re-seals identically and chains stay consistent.
+        if !block.data_hash_is_valid() || block.header.previous_hash != self.chain.tip_hash() {
+            block.header.previous_hash = self.chain.tip_hash();
+            block.header.data_hash = Block::compute_data_hash(&block.transactions);
+        }
+
+        StagedBlock {
+            block,
+            new_state,
+            work,
+        }
+    }
+
+    /// Installs a staged block: world state, blockchain, duplicate set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] if the block does not extend this peer's
+    /// chain (wrong number or broken hash chain); the peer is unchanged.
+    pub fn commit(&mut self, staged: StagedBlock) -> Result<&Block, ChainError> {
+        let StagedBlock {
+            block, new_state, ..
+        } = staged;
+        // Record ids before moving the block into the chain.
+        let ids: Vec<TxId> = block.transactions.iter().map(|t| t.id).collect();
+        self.chain.append(block)?;
+        let tip = self.chain.tip().expect("chain nonempty after append");
+        self.history.record_block(tip);
+        self.state = new_state;
+        self.committed_ids.extend(ids);
+        Ok(self.chain.tip().expect("chain nonempty after append"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::FabricValidator;
+    use fabriccrdt_crypto::Identity;
+    use fabriccrdt_ledger::rwset::ReadWriteSet;
+    use fabriccrdt_ledger::transaction::{Endorsement, Transaction};
+
+    fn endorse(tx: &mut Transaction, orgs: &[&str]) {
+        let payload = tx.response_payload();
+        for (i, org) in orgs.iter().enumerate() {
+            let kp = KeyPair::derive(Identity::new(format!("peer{i}"), *org));
+            tx.endorsements.push(Endorsement {
+                endorser: kp.identity().clone(),
+                signature: kp.sign(&payload),
+            });
+        }
+    }
+
+    fn tx(nonce: u64, key: &str, orgs: &[&str]) -> Transaction {
+        let client = Identity::new("client", "org1");
+        let mut rwset = ReadWriteSet::new();
+        rwset.writes.put(key, vec![nonce as u8]);
+        let mut tx = Transaction {
+            id: TxId::derive(&client, nonce, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        };
+        endorse(&mut tx, orgs);
+        tx
+    }
+
+    fn peer() -> Peer<FabricValidator> {
+        Peer::new(
+            FabricValidator::new(),
+            EndorsementPolicy::all_of(["org1", "org2"]),
+        )
+    }
+
+    fn next_block(peer: &Peer<FabricValidator>, txs: Vec<Transaction>) -> Block {
+        Block::assemble(peer.chain().height(), peer.chain().tip_hash(), txs)
+    }
+
+    #[test]
+    fn well_endorsed_transaction_commits() {
+        let mut p = peer();
+        let block = next_block(&p, vec![tx(1, "k", &["org1", "org2"])]);
+        let staged = p.process_block(block);
+        assert_eq!(staged.block.validation_codes, vec![ValidationCode::Valid]);
+        assert_eq!(staged.work.sigs_verified, 2);
+        p.commit(staged).unwrap();
+        assert_eq!(p.state().value("k"), Some(&[1u8][..]));
+        assert_eq!(p.chain().height(), 2); // genesis + this block
+    }
+
+    #[test]
+    fn missing_org_fails_endorsement_policy() {
+        let mut p = peer();
+        let block = next_block(&p, vec![tx(1, "k", &["org1"])]);
+        let staged = p.process_block(block);
+        assert_eq!(
+            staged.block.validation_codes,
+            vec![ValidationCode::EndorsementPolicyFailure]
+        );
+        p.commit(staged).unwrap();
+        assert!(p.state().value("k").is_none());
+    }
+
+    #[test]
+    fn forged_signature_fails_endorsement() {
+        let mut p = peer();
+        let mut t = tx(1, "k", &["org1", "org2"]);
+        // Corrupt the second endorsement's signature.
+        t.endorsements[1].signature.0[0] ^= 0xff;
+        let block = next_block(&p, vec![t]);
+        let staged = p.process_block(block);
+        assert_eq!(
+            staged.block.validation_codes,
+            vec![ValidationCode::EndorsementPolicyFailure]
+        );
+        p.commit(staged).unwrap();
+    }
+
+    #[test]
+    fn duplicate_within_block_rejected() {
+        let mut p = peer();
+        let t = tx(1, "k", &["org1", "org2"]);
+        let block = next_block(&p, vec![t.clone(), t]);
+        let staged = p.process_block(block);
+        assert_eq!(
+            staged.block.validation_codes,
+            vec![ValidationCode::Valid, ValidationCode::DuplicateTxId]
+        );
+        p.commit(staged).unwrap();
+    }
+
+    #[test]
+    fn duplicate_across_blocks_rejected() {
+        let mut p = peer();
+        let t = tx(1, "k", &["org1", "org2"]);
+        let b0 = next_block(&p, vec![t.clone()]);
+        let staged = p.process_block(b0);
+        p.commit(staged).unwrap();
+        let b1 = next_block(&p, vec![t]);
+        let staged = p.process_block(b1);
+        assert_eq!(
+            staged.block.validation_codes,
+            vec![ValidationCode::DuplicateTxId]
+        );
+    }
+
+    #[test]
+    fn state_unchanged_until_commit() {
+        let p = peer();
+        let block = next_block(&p, vec![tx(1, "k", &["org1", "org2"])]);
+        let staged = p.process_block(block);
+        assert!(p.state().value("k").is_none());
+        assert_eq!(staged.new_state.value("k"), Some(&[1u8][..]));
+    }
+
+    #[test]
+    fn seeded_state_is_at_genesis_height() {
+        let mut p = peer();
+        p.seed_state("device1", b"{}".to_vec());
+        assert_eq!(p.state().version("device1"), Some(Height::genesis()));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_and_continue() {
+        let mut original = peer();
+        original.seed_state("seeded", b"s".to_vec());
+        for n in 1..4 {
+            let block = next_block(&original, vec![tx(n, &format!("k{n}"), &["org1", "org2"])]);
+            let staged = original.process_block(block);
+            original.commit(staged).unwrap();
+        }
+
+        let snapshot = original.snapshot();
+        let mut restored =
+            Peer::restore(FabricValidator::new(), original.policy.clone(), &snapshot).unwrap();
+
+        assert_eq!(restored.state(), original.state());
+        assert_eq!(restored.chain().tip_hash(), original.chain().tip_hash());
+        assert_eq!(
+            restored.history().history("k1"),
+            original.history().history("k1")
+        );
+
+        // Both peers process the next block identically — including
+        // duplicate detection derived from the restored chain.
+        let dup = original.chain().block(1).unwrap().transactions[0].clone();
+        let next_txs = vec![tx(9, "k9", &["org1", "org2"]), dup];
+        let block_a = next_block(&original, next_txs.clone());
+        let staged_a = original.process_block(block_a.clone());
+        let staged_b = restored.process_block(block_a);
+        assert_eq!(
+            staged_a.block.validation_codes,
+            staged_b.block.validation_codes
+        );
+        assert_eq!(
+            staged_a.block.validation_codes,
+            vec![ValidationCode::Valid, ValidationCode::DuplicateTxId]
+        );
+        original.commit(staged_a).unwrap();
+        restored.commit(staged_b).unwrap();
+        assert_eq!(restored.state(), original.state());
+    }
+
+    #[test]
+    fn replay_applies_only_successful_writes() {
+        // Build a committed block on one peer, replay it on another.
+        let mut source = peer();
+        let good = tx(1, "good", &["org1", "org2"]);
+        let bad = tx(2, "bad", &["org1"]); // policy failure
+        let block = next_block(&source, vec![good, bad]);
+        let staged = source.process_block(block);
+        source.commit(staged).unwrap();
+
+        let mut replica = peer();
+        let committed = source.chain().block(1).unwrap().clone();
+        replica.replay_block(committed).unwrap();
+        assert_eq!(replica.state().value("good"), Some(&[1u8][..]));
+        assert!(replica.state().value("bad").is_none());
+        assert_eq!(replica.chain().tip_hash(), source.chain().tip_hash());
+        assert_eq!(replica.history().history("good").len(), 1);
+    }
+
+    #[test]
+    fn replay_rejects_unvalidated_blocks() {
+        let mut p = peer();
+        let block = next_block(&p, vec![tx(1, "k", &["org1", "org2"])]);
+        // No validation codes: this block never went through a commit.
+        assert_eq!(
+            p.replay_block(block).unwrap_err(),
+            fabriccrdt_ledger::chain::ChainError::MissingValidationCodes
+        );
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshot() {
+        let p = peer();
+        let mut snapshot = p.snapshot();
+        snapshot.chain[0] ^= 0xff;
+        assert!(Peer::restore(
+            FabricValidator::new(),
+            EndorsementPolicy::all_of(["org1", "org2"]),
+            &snapshot
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tampered_block_rejected_wholesale() {
+        let mut p = peer();
+        let mut block = next_block(&p, vec![tx(1, "k", &["org1", "org2"])]);
+        // Tamper with the transaction after the orderer sealed the block.
+        block.transactions[0].rwset.writes.put("k", b"evil".to_vec());
+        let staged = p.process_block(block);
+        assert_eq!(
+            staged.block.validation_codes,
+            vec![ValidationCode::TamperedBlock]
+        );
+        assert_eq!(staged.work.sigs_verified, 0, "no further validation runs");
+        p.commit(staged).unwrap();
+        // Nothing committed; the tampering is on the record.
+        assert!(p.state().value("k").is_none());
+    }
+
+    #[test]
+    fn commit_rejects_wrong_block_number() {
+        let mut p = peer();
+        let block = Block::assemble(7, p.chain().tip_hash(), vec![]);
+        let staged = p.process_block(block);
+        assert!(p.commit(staged).is_err());
+        assert_eq!(p.chain().height(), 1); // still only genesis
+    }
+}

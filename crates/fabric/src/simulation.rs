@@ -1,0 +1,413 @@
+//! The event-driven transaction pipeline.
+//!
+//! Ties the pieces together into the paper's Figure 1/2 flow:
+//!
+//! 1. **Execution & endorsement** — the client sends the proposal to one
+//!    peer per organization named in the policy; the chaincode executes
+//!    against the committed world state (isolated simulation), each
+//!    endorser signs the response payload.
+//! 2. **Ordering** — the client submits the endorsed transaction; the
+//!    orderer totally orders transactions and cuts blocks by
+//!    count/bytes/timeout.
+//! 3. **Validation & commit** — the committing peer verifies
+//!    endorsements, runs the pluggable validator (MVCC or CRDT merge) and
+//!    installs the result. Peers process blocks sequentially; commit
+//!    compute time is charged from the work actually performed.
+//!
+//! Modelling notes (see DESIGN.md §1): all endorsing peers hold identical
+//! replicas, so the chaincode executes once per transaction (each
+//! endorser is charged its latency, and all sign the same read-write
+//! set); block delivery is FIFO per channel, as in Fabric's delivery
+//! service; endorser CPU is assumed to scale out (the paper's bottleneck
+//! is the commit path).
+
+use std::collections::{HashMap, VecDeque};
+
+use fabriccrdt_crypto::{Identity, KeyPair};
+use fabriccrdt_ledger::block::Block;
+use fabriccrdt_ledger::transaction::{Endorsement, Transaction, TxId};
+use fabriccrdt_sim::queue::EventQueue;
+use fabriccrdt_sim::rng::SimRng;
+use fabriccrdt_sim::time::SimTime;
+
+use crate::chaincode::{ChaincodeEvent, ChaincodeRegistry, ChaincodeStub};
+use crate::metrics::CommittedEvent;
+use crate::config::PipelineConfig;
+use crate::metrics::{RunMetrics, TxRecord};
+use crate::orderer::{Orderer, TimeoutRequest};
+use crate::peer::{Peer, StagedBlock};
+use crate::validator::BlockValidator;
+
+/// One transaction to submit: which chaincode to invoke with which
+/// arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxRequest {
+    /// Target chaincode name.
+    pub chaincode: String,
+    /// Invocation arguments.
+    pub args: Vec<String>,
+    /// Failure injection: corrupt one endorsement signature so the
+    /// transaction fails endorsement-policy validation at commit time
+    /// (exercises the rejection path end to end).
+    pub corrupt_endorsement: bool,
+}
+
+impl TxRequest {
+    /// Creates a request.
+    pub fn new(chaincode: impl Into<String>, args: Vec<String>) -> Self {
+        TxRequest {
+            chaincode: chaincode.into(),
+            args,
+            corrupt_endorsement: false,
+        }
+    }
+
+    /// Marks the request for endorsement corruption (failure injection).
+    pub fn with_corrupt_endorsement(mut self) -> Self {
+        self.corrupt_endorsement = true;
+        self
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Client submits transaction `i` (records `submitted_at`).
+    Submit(usize),
+    /// Proposal arrived at the endorsers; execute and endorse.
+    Endorse(usize),
+    /// Endorsed transaction arrives at the orderer.
+    OrdererReceive(usize),
+    /// Batch timeout fired.
+    OrdererTimeout(TimeoutRequest),
+    /// A block arrives at the committing peer.
+    DeliverBlock(Block),
+    /// The peer finished processing the staged block.
+    CommitDone,
+}
+
+/// The simulated network: peers, orderer, clients, wiring.
+///
+/// Generic over the block-validation strategy `V` — plug in
+/// [`crate::validator::FabricValidator`] for vanilla Fabric or the
+/// `fabriccrdt` crate's merging validator for FabricCRDT.
+pub struct Simulation<V: BlockValidator> {
+    config: PipelineConfig,
+    registry: ChaincodeRegistry,
+    peer: Peer<V>,
+    orderer: Orderer,
+    rng: SimRng,
+    queue: EventQueue<Event>,
+    requests: Vec<TxRequest>,
+    records: Vec<TxRecord>,
+    endorsed: Vec<Option<Transaction>>,
+    index_by_id: HashMap<TxId, usize>,
+    /// Resubmissions performed per request (client retries).
+    attempts: Vec<usize>,
+    /// Chaincode event emitted at endorsement, pending commit.
+    pending_events: Vec<Option<ChaincodeEvent>>,
+    /// Events of successfully committed transactions.
+    committed_events: Vec<CommittedEvent>,
+    /// Total resubmissions this run (reported via
+    /// [`RunMetrics::resubmissions`]).
+    resubmissions: u64,
+    pending_blocks: VecDeque<Block>,
+    staged: Option<StagedBlock>,
+    last_delivery: SimTime,
+    blocks_committed: u64,
+    end_time: SimTime,
+    /// Monotone nonce so transaction ids stay unique across retries and
+    /// across multiple `run` calls on the same network.
+    next_nonce: u64,
+}
+
+impl<V: BlockValidator> Simulation<V> {
+    /// Builds a simulation from a configuration, a validator and the
+    /// deployed chaincodes.
+    pub fn new(config: PipelineConfig, validator: V, registry: ChaincodeRegistry) -> Self {
+        let rng = SimRng::seed_from(config.seed);
+        let peer = Peer::new(validator, config.policy.clone());
+        let orderer = if config.reorder {
+            Orderer::with_reordering(config.block_cut)
+        } else {
+            Orderer::new(config.block_cut)
+        };
+        Simulation {
+            config,
+            registry,
+            peer,
+            orderer,
+            rng,
+            queue: EventQueue::new(),
+            requests: Vec::new(),
+            records: Vec::new(),
+            endorsed: Vec::new(),
+            index_by_id: HashMap::new(),
+            attempts: Vec::new(),
+            pending_events: Vec::new(),
+            committed_events: Vec::new(),
+            resubmissions: 0,
+            pending_blocks: VecDeque::new(),
+            staged: None,
+            last_delivery: SimTime::ZERO,
+            blocks_committed: 0,
+            end_time: SimTime::ZERO,
+            next_nonce: 0,
+        }
+    }
+
+    /// Seeds a key into every peer's world state before the run (§7.2).
+    pub fn seed_state(&mut self, key: impl Into<String>, value: Vec<u8>) {
+        self.peer.seed_state(key, value);
+    }
+
+    /// Read access to the committing peer (state, chain) — useful after
+    /// the run and in examples.
+    pub fn peer(&self) -> &Peer<V> {
+        &self.peer
+    }
+
+    /// Runs the pipeline over the given `(submission time, request)`
+    /// schedule until every event drains, returning the run metrics.
+    ///
+    /// Takes `&mut self` so the peer (world state, blockchain) can be
+    /// inspected afterwards. Each call is an independent run: records
+    /// and counters reset, but committed ledger state persists, so a
+    /// second call models a later workload phase on the same network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names an unknown chaincode — deploy it first
+    /// via the registry.
+    pub fn run(&mut self, schedule: Vec<(SimTime, TxRequest)>) -> RunMetrics {
+        self.requests.clear();
+        self.records.clear();
+        self.endorsed.clear();
+        self.index_by_id.clear();
+        self.attempts.clear();
+        self.pending_events.clear();
+        self.committed_events.clear();
+        self.resubmissions = 0;
+        self.blocks_committed = 0;
+        self.end_time = SimTime::ZERO;
+        for (i, (at, request)) in schedule.into_iter().enumerate() {
+            self.requests.push(request);
+            self.records.push(TxRecord::default());
+            self.endorsed.push(None);
+            self.attempts.push(0);
+            self.pending_events.push(None);
+            self.queue.schedule(at, Event::Submit(i));
+        }
+
+        while let Some((now, event)) = self.queue.pop() {
+            self.handle(now, event);
+        }
+
+        RunMetrics {
+            records: std::mem::take(&mut self.records),
+            end_time: self.end_time,
+            blocks_committed: self.blocks_committed,
+            resubmissions: self.resubmissions,
+            events: std::mem::take(&mut self.committed_events),
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Submit(i) => {
+                self.records[i].submitted_at = now;
+                let hop = self.config.latency.client_to_peer.sample(&mut self.rng);
+                self.queue.schedule(now + hop, Event::Endorse(i));
+            }
+            Event::Endorse(i) => self.endorse(now, i),
+            Event::OrdererReceive(i) => {
+                let tx = self.endorsed[i]
+                    .take()
+                    .expect("transaction endorsed before ordering");
+                let (block, timeout) = self.orderer.receive(tx, now);
+                if let Some(timeout) = timeout {
+                    self.queue.schedule(timeout.at, Event::OrdererTimeout(timeout));
+                }
+                if let Some(block) = block {
+                    self.record_early_aborts(now);
+                    self.broadcast(now, block);
+                }
+            }
+            Event::OrdererTimeout(request) => {
+                if let Some(block) = self.orderer.timeout_fired(request) {
+                    self.record_early_aborts(now);
+                    self.broadcast(now, block);
+                }
+            }
+            Event::DeliverBlock(block) => {
+                self.pending_blocks.push_back(block);
+                self.maybe_start_processing(now);
+            }
+            Event::CommitDone => {
+                let staged = self.staged.take().expect("a block was being processed");
+                // Map validation codes back to request records.
+                let tip = self
+                    .peer
+                    .commit(staged)
+                    .expect("orderer blocks extend the chain in order");
+                let updates: Vec<(usize, _)> = tip
+                    .transactions
+                    .iter()
+                    .zip(&tip.validation_codes)
+                    .filter_map(|(tx, code)| {
+                        self.index_by_id.get(&tx.id).map(|&idx| (idx, *code))
+                    })
+                    .collect();
+                for (idx, code) in updates {
+                    self.records[idx].committed_at = Some(now);
+                    self.records[idx].code = Some(code);
+                    // Fabric's event service: chaincode events fire only
+                    // for successfully committed transactions.
+                    if code.is_success() {
+                        if let Some(event) = self.pending_events[idx].take() {
+                            self.committed_events.push(CommittedEvent {
+                                request: idx,
+                                name: event.name,
+                                payload: event.payload,
+                                at: now,
+                            });
+                        }
+                    }
+                    self.maybe_retry(now, idx, code);
+                }
+                self.blocks_committed += 1;
+                self.end_time = self.end_time.max(now);
+                self.maybe_start_processing(now);
+            }
+        }
+    }
+
+    /// Executes the chaincode once against the committed state, collects
+    /// one endorsement per organization, and forwards to the orderer.
+    fn endorse(&mut self, now: SimTime, i: usize) {
+        let request = &self.requests[i];
+        let chaincode = self
+            .registry
+            .get(&request.chaincode)
+            .unwrap_or_else(|| panic!("chaincode {:?} not deployed", request.chaincode))
+            .clone();
+
+        let mut stub = ChaincodeStub::with_history(self.peer.state(), self.peer.history());
+        if chaincode.invoke(&mut stub, &request.args).is_err() {
+            // Proposal failed at execution: the client never submits a
+            // transaction; the record keeps code = None (a failure).
+            return;
+        }
+        let (rwset, exec_work, event) = stub.into_parts();
+        self.pending_events[i] = event;
+        let exec_cost = self.config.latency.cost.exec_cost(&exec_work);
+
+        let client_id = i % self.config.topology.clients;
+        let client = Identity::new(format!("client{client_id}"), "org1");
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let id = TxId::derive(&client, nonce, &request.chaincode);
+        let mut tx = Transaction {
+            id,
+            client,
+            chaincode: request.chaincode.clone(),
+            rwset,
+            endorsements: Vec::new(),
+        };
+
+        // One endorsing peer per organization in the policy; the client
+        // waits for the slowest response.
+        let payload = tx.response_payload();
+        let mut slowest_return = SimTime::ZERO;
+        for org in self.config.policy.orgs() {
+            let peer_index = (i / self.config.topology.clients) % self.config.topology.peers_per_org;
+            let keypair = KeyPair::derive(Identity::new(format!("peer{peer_index}"), org.clone()));
+            tx.endorsements.push(Endorsement {
+                endorser: keypair.identity().clone(),
+                signature: keypair.sign(&payload),
+            });
+            let ret = self.config.latency.peer_to_client.sample(&mut self.rng);
+            slowest_return = slowest_return.max(ret);
+        }
+
+        if self.requests[i].corrupt_endorsement {
+            // Failure injection: a flipped signature bit fails
+            // verification on every peer.
+            if let Some(endorsement) = tx.endorsements.first_mut() {
+                endorsement.signature.0[0] ^= 0xff;
+            }
+        }
+
+        self.index_by_id.insert(tx.id, i);
+        self.endorsed[i] = Some(tx);
+        let to_orderer = self.config.latency.client_to_orderer.sample(&mut self.rng);
+        let arrival = now + exec_cost + slowest_return + to_orderer;
+        self.queue.schedule(arrival, Event::OrdererReceive(i));
+    }
+
+    /// Records transactions the reordering orderer dropped before block
+    /// formation (Fabric++ early abort).
+    fn record_early_aborts(&mut self, now: SimTime) {
+        let aborted = self.orderer.take_early_aborted();
+        for tx in aborted {
+            if let Some(&idx) = self.index_by_id.get(&tx.id) {
+                let code = fabriccrdt_ledger::block::ValidationCode::EarlyAborted;
+                self.records[idx].committed_at = Some(now);
+                self.records[idx].code = Some(code);
+                self.maybe_retry(now, idx, code);
+            }
+        }
+    }
+
+    /// Client-side resubmission (§1): a conflicted transaction is
+    /// re-executed, re-endorsed and re-ordered as a *new* transaction,
+    /// keeping the original submission time so the final latency
+    /// reflects the full retry cost. The retry fires after the client
+    /// learns of the failure (peer → client notification hop).
+    fn maybe_retry(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        code: fabriccrdt_ledger::block::ValidationCode,
+    ) {
+        use fabriccrdt_ledger::block::ValidationCode;
+        let retryable = matches!(
+            code,
+            ValidationCode::MvccConflict | ValidationCode::EarlyAborted
+        );
+        if !retryable || self.attempts[idx] >= self.config.client_retries {
+            return;
+        }
+        self.attempts[idx] += 1;
+        self.resubmissions += 1;
+        // Pending again until the retry resolves.
+        self.records[idx].committed_at = None;
+        self.records[idx].code = None;
+        let notify = self.config.latency.peer_to_client.sample(&mut self.rng);
+        let resubmit = self.config.latency.client_to_peer.sample(&mut self.rng);
+        self.queue
+            .schedule(now + notify + resubmit, Event::Endorse(idx));
+    }
+
+    /// Broadcasts a cut block to the committing peer with FIFO delivery.
+    fn broadcast(&mut self, now: SimTime, block: Block) {
+        let hop = self.config.latency.orderer_to_peer.sample(&mut self.rng);
+        let at = (now + hop).max(self.last_delivery);
+        self.last_delivery = at;
+        self.queue.schedule(at, Event::DeliverBlock(block));
+    }
+
+    /// Starts processing the next queued block if the peer is idle.
+    fn maybe_start_processing(&mut self, now: SimTime) {
+        if self.staged.is_some() {
+            return;
+        }
+        let Some(block) = self.pending_blocks.pop_front() else {
+            return;
+        };
+        let staged = self.peer.process_block(block);
+        let cost = self.config.latency.cost.block_cost(&staged.work);
+        self.staged = Some(staged);
+        self.queue.schedule(now + cost, Event::CommitDone);
+    }
+
+}

@@ -1,0 +1,165 @@
+//! Grow-only and increment/decrement counters.
+
+use std::collections::BTreeMap;
+
+use crate::clock::ReplicaId;
+
+/// A grow-only counter (G-Counter), the introductory example of the
+/// paper's §2.2: increments are commutative but not idempotent, so the
+/// state tracks one monotone counter per replica and merges by pointwise
+/// maximum.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_jsoncrdt::{GCounter, ReplicaId};
+///
+/// let mut a = GCounter::new();
+/// let mut b = GCounter::new();
+/// a.increment(ReplicaId(1), 3);
+/// b.increment(ReplicaId(2), 4);
+/// a.merge(&b);
+/// assert_eq!(a.value(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GCounter {
+    counts: BTreeMap<ReplicaId, u64>,
+}
+
+impl GCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to this replica's component.
+    pub fn increment(&mut self, replica: ReplicaId, amount: u64) {
+        *self.counts.entry(replica).or_insert(0) += amount;
+    }
+
+    /// The counter's value: the sum over replicas.
+    pub fn value(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Joins another counter's state (pointwise max).
+    pub fn merge(&mut self, other: &GCounter) {
+        for (replica, &count) in &other.counts {
+            let slot = self.counts.entry(*replica).or_insert(0);
+            *slot = (*slot).max(count);
+        }
+    }
+}
+
+/// A PN-Counter: supports increments and decrements as a pair of
+/// G-Counters.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_jsoncrdt::{PnCounter, ReplicaId};
+///
+/// let mut c = PnCounter::new();
+/// c.increment(ReplicaId(1), 10);
+/// c.decrement(ReplicaId(1), 3);
+/// assert_eq!(c.value(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PnCounter {
+    increments: GCounter,
+    decrements: GCounter,
+}
+
+impl PnCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount`.
+    pub fn increment(&mut self, replica: ReplicaId, amount: u64) {
+        self.increments.increment(replica, amount);
+    }
+
+    /// Subtracts `amount`.
+    pub fn decrement(&mut self, replica: ReplicaId, amount: u64) {
+        self.decrements.increment(replica, amount);
+    }
+
+    /// The counter's value; may be negative.
+    pub fn value(&self) -> i64 {
+        self.increments.value() as i64 - self.decrements.value() as i64
+    }
+
+    /// Joins another counter's state.
+    pub fn merge(&mut self, other: &PnCounter) {
+        self.increments.merge(&other.increments);
+        self.decrements.merge(&other.decrements);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcounter_sums_replicas() {
+        let mut c = GCounter::new();
+        c.increment(ReplicaId(1), 2);
+        c.increment(ReplicaId(2), 3);
+        c.increment(ReplicaId(1), 1);
+        assert_eq!(c.value(), 6);
+    }
+
+    #[test]
+    fn gcounter_merge_is_idempotent() {
+        let mut a = GCounter::new();
+        a.increment(ReplicaId(1), 5);
+        let snapshot = a.clone();
+        a.merge(&snapshot);
+        assert_eq!(a.value(), 5);
+    }
+
+    #[test]
+    fn gcounter_merge_is_commutative() {
+        let mut a = GCounter::new();
+        a.increment(ReplicaId(1), 5);
+        let mut b = GCounter::new();
+        b.increment(ReplicaId(2), 7);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn gcounter_merge_takes_max_per_replica() {
+        let mut a = GCounter::new();
+        a.increment(ReplicaId(1), 5);
+        let mut b = a.clone();
+        b.increment(ReplicaId(1), 2); // b is strictly ahead on replica 1
+        a.merge(&b);
+        assert_eq!(a.value(), 7); // not 12: merge is not addition
+    }
+
+    #[test]
+    fn pncounter_value_can_go_negative() {
+        let mut c = PnCounter::new();
+        c.decrement(ReplicaId(1), 4);
+        c.increment(ReplicaId(1), 1);
+        assert_eq!(c.value(), -3);
+    }
+
+    #[test]
+    fn pncounter_concurrent_updates_merge() {
+        let mut a = PnCounter::new();
+        let mut b = PnCounter::new();
+        a.increment(ReplicaId(1), 10);
+        b.decrement(ReplicaId(2), 4);
+        a.merge(&b);
+        b.merge(&a);
+        assert_eq!(a.value(), 6);
+        assert_eq!(a, b);
+    }
+}

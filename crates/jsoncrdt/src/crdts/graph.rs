@@ -1,0 +1,222 @@
+//! An add-wins graph CRDT.
+//!
+//! The paper's conclusion names graph CRDTs as future work. This is the
+//! classic two-OR-Set construction: vertices and edges are each
+//! observed-remove sets, with the invariant that an edge is only
+//! *visible* while both endpoints are visible (looking up edges filters
+//! by live vertices, so a concurrent vertex removal hides incident
+//! edges without losing them — re-adding the vertex restores them,
+//! add-wins all the way down).
+
+use std::collections::BTreeSet;
+
+use crate::clock::OpId;
+use crate::crdts::sets::OrSet;
+
+/// A directed edge between two named vertices.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source vertex.
+    pub from: String,
+    /// Target vertex.
+    pub to: String,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(from: impl Into<String>, to: impl Into<String>) -> Self {
+        Edge {
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+}
+
+/// An add-wins directed graph CRDT.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_jsoncrdt::crdts::{Edge, GraphCrdt};
+/// use fabriccrdt_jsoncrdt::{OpId, ReplicaId};
+///
+/// let mut g = GraphCrdt::new();
+/// let mut tag = (1..).map(|n| OpId::new(n, ReplicaId(1)));
+/// g.add_vertex("a", tag.next().unwrap());
+/// g.add_vertex("b", tag.next().unwrap());
+/// g.add_edge(Edge::new("a", "b"), tag.next().unwrap());
+/// assert!(g.has_edge(&Edge::new("a", "b")));
+/// g.remove_vertex(&"b".to_owned());
+/// assert!(!g.has_edge(&Edge::new("a", "b"))); // endpoint gone
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphCrdt {
+    vertices: OrSet<String>,
+    edges: OrSet<Edge>,
+}
+
+impl GraphCrdt {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex with a unique tag.
+    pub fn add_vertex(&mut self, name: impl Into<String>, tag: OpId) {
+        self.vertices.insert(name.into(), tag);
+    }
+
+    /// Removes a vertex (observed-remove). Incident edges stay in the
+    /// edge set but become invisible until the vertex is re-added.
+    /// Returns `true` if the vertex was visible.
+    pub fn remove_vertex(&mut self, name: &String) -> bool {
+        self.vertices.remove(name)
+    }
+
+    /// Adds an edge with a unique tag. The edge only becomes visible
+    /// once both endpoints are visible.
+    pub fn add_edge(&mut self, edge: Edge, tag: OpId) {
+        self.edges.insert(edge, tag);
+    }
+
+    /// Removes an edge (observed-remove). Returns `true` if present.
+    pub fn remove_edge(&mut self, edge: &Edge) -> bool {
+        self.edges.remove(edge)
+    }
+
+    /// Whether the vertex is visible.
+    pub fn has_vertex(&self, name: &String) -> bool {
+        self.vertices.contains(name)
+    }
+
+    /// Whether the edge is visible: present and both endpoints visible.
+    pub fn has_edge(&self, edge: &Edge) -> bool {
+        self.edges.contains(edge)
+            && self.vertices.contains(&edge.from)
+            && self.vertices.contains(&edge.to)
+    }
+
+    /// Visible vertices, in order.
+    pub fn vertices(&self) -> Vec<&String> {
+        self.vertices.iter().collect()
+    }
+
+    /// Visible edges, in order.
+    pub fn edges(&self) -> Vec<&Edge> {
+        self.edges
+            .iter()
+            .filter(|e| self.vertices.contains(&e.from) && self.vertices.contains(&e.to))
+            .collect()
+    }
+
+    /// Visible successors of a vertex.
+    pub fn successors(&self, from: &String) -> BTreeSet<&String> {
+        self.edges()
+            .into_iter()
+            .filter(|e| &e.from == from)
+            .map(|e| &e.to)
+            .collect()
+    }
+
+    /// Joins another graph's state (component-wise OR-Set merge).
+    pub fn merge(&mut self, other: &GraphCrdt) {
+        self.vertices.merge(&other.vertices);
+        self.edges.merge(&other.edges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ReplicaId;
+
+    fn tag(n: u64) -> OpId {
+        OpId::new(n, ReplicaId(1))
+    }
+
+    fn tag2(n: u64) -> OpId {
+        OpId::new(n, ReplicaId(2))
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut g = GraphCrdt::new();
+        g.add_vertex("a", tag(1));
+        g.add_vertex("b", tag(2));
+        g.add_edge(Edge::new("a", "b"), tag(3));
+        assert!(g.has_vertex(&"a".into()));
+        assert!(g.has_edge(&Edge::new("a", "b")));
+        assert_eq!(g.successors(&"a".into()).len(), 1);
+    }
+
+    #[test]
+    fn edge_without_endpoints_is_invisible() {
+        let mut g = GraphCrdt::new();
+        g.add_edge(Edge::new("x", "y"), tag(1));
+        assert!(!g.has_edge(&Edge::new("x", "y")));
+        assert!(g.edges().is_empty());
+        // Adding the endpoints reveals it.
+        g.add_vertex("x", tag(2));
+        g.add_vertex("y", tag(3));
+        assert!(g.has_edge(&Edge::new("x", "y")));
+    }
+
+    #[test]
+    fn vertex_removal_hides_incident_edges() {
+        let mut g = GraphCrdt::new();
+        g.add_vertex("a", tag(1));
+        g.add_vertex("b", tag(2));
+        g.add_edge(Edge::new("a", "b"), tag(3));
+        g.remove_vertex(&"b".into());
+        assert!(!g.has_edge(&Edge::new("a", "b")));
+        // Re-adding the vertex restores the edge (add-wins).
+        g.add_vertex("b", tag(4));
+        assert!(g.has_edge(&Edge::new("a", "b")));
+    }
+
+    #[test]
+    fn concurrent_add_wins_over_remove() {
+        let mut a = GraphCrdt::new();
+        a.add_vertex("v", tag(1));
+        let mut b = a.clone();
+        b.remove_vertex(&"v".into());
+        a.add_vertex("v", tag2(1)); // concurrent re-add, unobserved by b
+        a.merge(&b);
+        assert!(a.has_vertex(&"v".into()));
+    }
+
+    #[test]
+    fn merge_commutative_and_idempotent() {
+        let mut a = GraphCrdt::new();
+        a.add_vertex("x", tag(1));
+        a.add_edge(Edge::new("x", "y"), tag(2));
+        let mut b = GraphCrdt::new();
+        b.add_vertex("y", tag2(1));
+        b.add_vertex("x", tag2(2));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert!(ab.has_edge(&Edge::new("x", "y")));
+
+        let mut aa = a.clone();
+        aa.merge(&a);
+        assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn successors_only_visible_edges() {
+        let mut g = GraphCrdt::new();
+        g.add_vertex("a", tag(1));
+        g.add_vertex("b", tag(2));
+        g.add_vertex("c", tag(3));
+        g.add_edge(Edge::new("a", "b"), tag(4));
+        g.add_edge(Edge::new("a", "c"), tag(5));
+        g.remove_edge(&Edge::new("a", "b"));
+        let succ = g.successors(&"a".into());
+        assert_eq!(succ.len(), 1);
+        assert!(succ.contains(&"c".to_owned()));
+    }
+}

@@ -1,0 +1,110 @@
+//! Last-writer-wins register.
+
+use crate::clock::OpId;
+
+/// A last-writer-wins register: the assignment with the greatest
+/// [`OpId`] (Lamport counter, replica tie-break) wins the merge.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_jsoncrdt::{LwwRegister, OpId, ReplicaId};
+///
+/// let mut a = LwwRegister::new("old".to_owned(), OpId::new(1, ReplicaId(1)));
+/// let b = LwwRegister::new("new".to_owned(), OpId::new(2, ReplicaId(1)));
+/// a.merge(&b);
+/// assert_eq!(a.value(), "new");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LwwRegister<T> {
+    value: T,
+    stamp: OpId,
+}
+
+impl<T: Clone> LwwRegister<T> {
+    /// Creates a register holding `value` written at `stamp`.
+    pub fn new(value: T, stamp: OpId) -> Self {
+        LwwRegister { value, stamp }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// The stamp of the winning write.
+    pub fn stamp(&self) -> OpId {
+        self.stamp
+    }
+
+    /// Overwrites the value if `stamp` is newer than the current one.
+    /// Returns `true` if the write won.
+    pub fn assign(&mut self, value: T, stamp: OpId) -> bool {
+        if stamp > self.stamp {
+            self.value = value;
+            self.stamp = stamp;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Joins another register's state: greatest stamp wins.
+    pub fn merge(&mut self, other: &LwwRegister<T>) {
+        if other.stamp > self.stamp {
+            self.value = other.value.clone();
+            self.stamp = other.stamp;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ReplicaId;
+
+    fn stamp(counter: u64, replica: u64) -> OpId {
+        OpId::new(counter, ReplicaId(replica))
+    }
+
+    #[test]
+    fn newer_write_wins() {
+        let mut r = LwwRegister::new(1, stamp(1, 1));
+        assert!(r.assign(2, stamp(2, 1)));
+        assert_eq!(*r.value(), 2);
+    }
+
+    #[test]
+    fn older_write_loses() {
+        let mut r = LwwRegister::new(1, stamp(5, 1));
+        assert!(!r.assign(2, stamp(3, 1)));
+        assert_eq!(*r.value(), 1);
+    }
+
+    #[test]
+    fn equal_counter_resolved_by_replica() {
+        let mut a = LwwRegister::new("a", stamp(1, 1));
+        let b = LwwRegister::new("b", stamp(1, 2));
+        a.merge(&b);
+        assert_eq!(*a.value(), "b");
+    }
+
+    #[test]
+    fn merge_commutative() {
+        let a = LwwRegister::new("a", stamp(3, 1));
+        let b = LwwRegister::new("b", stamp(2, 9));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_idempotent() {
+        let mut a = LwwRegister::new("a", stamp(3, 1));
+        let snapshot = a.clone();
+        a.merge(&snapshot);
+        assert_eq!(a, snapshot);
+    }
+}

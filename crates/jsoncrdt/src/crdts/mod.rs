@@ -1,0 +1,21 @@
+//! Companion CRDTs.
+//!
+//! The FabricCRDT prototype supports JSON CRDTs; the paper's conclusion
+//! names counter, list, map and graph CRDTs as future work ("In future
+//! work, we plan to extend FabricCRDT with more CRDTs"). This module
+//! provides the classic state-based CRDTs — each a join-semilattice with a
+//! commutative, associative, idempotent [`merge`](GCounter::merge) — which
+//! the `fabriccrdt` core crate can register as additional mergeable value
+//! types.
+
+mod counters;
+mod graph;
+mod lww;
+mod rga;
+mod sets;
+
+pub use counters::{GCounter, PnCounter};
+pub use graph::{Edge, GraphCrdt};
+pub use lww::LwwRegister;
+pub use rga::Rga;
+pub use sets::{GSet, OrSet};

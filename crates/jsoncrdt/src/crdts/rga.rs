@@ -1,0 +1,331 @@
+//! A Replicated Growable Array (RGA) — the classic sequence CRDT.
+//!
+//! The paper's §6 points at JSON CRDTs representing text documents, and
+//! its conclusion lists list CRDTs as future work. RGA is the standard
+//! operation-based sequence CRDT behind collaborative text editing:
+//! every element is inserted *after* an existing element (or the head),
+//! carries a globally unique [`OpId`], and deletion tombstones rather
+//! than removes. Concurrent inserts after the same parent order by
+//! descending id, which gives every replica the same total order.
+//!
+//! Out-of-order delivery is handled by buffering inserts whose parent
+//! has not arrived yet (same discipline as the JSON CRDT's dependency
+//! queue, paper §5.2).
+
+use std::collections::BTreeMap;
+
+use crate::clock::OpId;
+
+/// The virtual head element everything is ultimately inserted after.
+fn head() -> OpId {
+    OpId::root()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node<T> {
+    value: T,
+    tombstone: bool,
+}
+
+/// An RGA sequence over values of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_jsoncrdt::crdts::Rga;
+/// use fabriccrdt_jsoncrdt::{OpId, ReplicaId};
+///
+/// let mut text = Rga::new();
+/// let a = OpId::new(1, ReplicaId(1));
+/// let b = OpId::new(2, ReplicaId(1));
+/// text.insert_after(Rga::<char>::HEAD, a, 'h');
+/// text.insert_after(a, b, 'i');
+/// assert_eq!(text.iter().collect::<String>(), "hi");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rga<T> {
+    nodes: BTreeMap<OpId, Node<T>>,
+    /// parent id → child ids (kept sorted descending at read time).
+    children: BTreeMap<OpId, Vec<OpId>>,
+    /// Inserts waiting for their parent: parent id → queued (id, value).
+    pending: BTreeMap<OpId, Vec<(OpId, T)>>,
+    /// Deletes waiting for their target.
+    pending_deletes: Vec<OpId>,
+}
+
+impl<T: Clone> Default for Rga<T> {
+    fn default() -> Self {
+        Rga::new()
+    }
+}
+
+impl<T: Clone> Rga<T> {
+    /// The id to pass as `parent` for inserting at the front.
+    pub const HEAD: OpId = OpId {
+        counter: 0,
+        replica: crate::clock::ReplicaId(0),
+    };
+
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Rga {
+            nodes: BTreeMap::new(),
+            children: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            pending_deletes: Vec::new(),
+        }
+    }
+
+    /// Inserts `value` with unique id `id` after `parent` (use
+    /// [`Rga::HEAD`] for the front). Returns `true` if applied, `false`
+    /// if buffered awaiting the parent or already present (idempotent).
+    pub fn insert_after(&mut self, parent: OpId, id: OpId, value: T) -> bool {
+        if self.nodes.contains_key(&id) {
+            return false; // duplicate delivery
+        }
+        if parent != head() && !self.nodes.contains_key(&parent) {
+            self.pending.entry(parent).or_default().push((id, value));
+            return false;
+        }
+        self.integrate(parent, id, value);
+        // Drain anything that waited on this id (transitively).
+        let mut ready = vec![id];
+        while let Some(current) = ready.pop() {
+            if let Some(queued) = self.pending.remove(&current) {
+                for (queued_id, queued_value) in queued {
+                    if !self.nodes.contains_key(&queued_id) {
+                        self.integrate(current, queued_id, queued_value);
+                        ready.push(queued_id);
+                    }
+                }
+            }
+        }
+        // Retry pending deletes whose target may have arrived.
+        let deletes = std::mem::take(&mut self.pending_deletes);
+        for target in deletes {
+            self.delete(target);
+        }
+        true
+    }
+
+    /// Tombstones the element `id`. Unknown targets buffer until the
+    /// insert arrives (causal delivery not required). Returns `true`
+    /// when the tombstone is applied now.
+    pub fn delete(&mut self, id: OpId) -> bool {
+        match self.nodes.get_mut(&id) {
+            Some(node) => {
+                node.tombstone = true;
+                true
+            }
+            None => {
+                self.pending_deletes.push(id);
+                false
+            }
+        }
+    }
+
+    /// Number of visible elements.
+    pub fn len(&self) -> usize {
+        self.nodes.values().filter(|n| !n.tombstone).count()
+    }
+
+    /// Whether no element is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of operations buffered for missing parents/targets.
+    pub fn pending_len(&self) -> usize {
+        self.pending.values().map(Vec::len).sum::<usize>() + self.pending_deletes.len()
+    }
+
+    /// Iterates visible values in document order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.collect_visible(head(), &mut out);
+        out.into_iter()
+    }
+
+    /// Renders to a `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().collect()
+    }
+
+    /// The ids of visible elements in document order — the
+    /// position-to-identity index editors need to translate indices
+    /// into insert/delete targets.
+    pub fn visible_ids(&self) -> Vec<OpId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.collect_visible_ids(head(), &mut out);
+        out
+    }
+
+    fn collect_visible_ids(&self, parent: OpId, out: &mut Vec<OpId>) {
+        let Some(kids) = self.children.get(&parent) else {
+            return;
+        };
+        let mut sorted = kids.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for child in sorted {
+            if !self.nodes[&child].tombstone {
+                out.push(child);
+            }
+            self.collect_visible_ids(child, out);
+        }
+    }
+
+    fn integrate(&mut self, parent: OpId, id: OpId, value: T) {
+        self.nodes.insert(
+            id,
+            Node {
+                value,
+                tombstone: false,
+            },
+        );
+        self.children.entry(parent).or_default().push(id);
+    }
+
+    fn collect_visible(&self, parent: OpId, out: &mut Vec<T>) {
+        let Some(kids) = self.children.get(&parent) else {
+            return;
+        };
+        // Concurrent siblings order by descending id: a later (higher
+        // id) insert-after lands closer to the parent, which is the RGA
+        // rule that keeps typed characters in intuitive order.
+        let mut sorted = kids.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for child in sorted {
+            let node = &self.nodes[&child];
+            if !node.tombstone {
+                out.push(node.value.clone());
+            }
+            self.collect_visible(child, out);
+        }
+    }
+}
+
+/// Convenience text façade over `Rga<char>`.
+impl Rga<char> {
+    /// Renders the visible characters as a `String`.
+    pub fn to_text(&self) -> String {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ReplicaId;
+
+    fn id(counter: u64, replica: u64) -> OpId {
+        OpId::new(counter, ReplicaId(replica))
+    }
+
+    #[test]
+    fn sequential_typing() {
+        let mut text = Rga::new();
+        let mut prev = Rga::<char>::HEAD;
+        for (i, ch) in "hello".chars().enumerate() {
+            let this = id(i as u64 + 1, 1);
+            assert!(text.insert_after(prev, this, ch));
+            prev = this;
+        }
+        assert_eq!(text.to_text(), "hello");
+        assert_eq!(text.len(), 5);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut text = Rga::new();
+        text.insert_after(Rga::<char>::HEAD, id(1, 1), 'a');
+        text.insert_after(id(1, 1), id(2, 1), 'b');
+        assert!(text.delete(id(1, 1)));
+        assert_eq!(text.to_text(), "b");
+        assert_eq!(text.len(), 1);
+        // Children of the tombstone keep their position.
+        text.insert_after(id(1, 1), id(3, 1), 'c');
+        assert_eq!(text.to_text(), "cb");
+    }
+
+    #[test]
+    fn concurrent_inserts_same_parent_deterministic() {
+        // Two replicas insert after HEAD concurrently; higher id first.
+        let build = |order: [(u64, u64, char); 2]| {
+            let mut t = Rga::new();
+            for (c, r, ch) in order {
+                t.insert_after(Rga::<char>::HEAD, id(c, r), ch);
+            }
+            t.to_text()
+        };
+        let ab = build([(1, 1, 'a'), (1, 2, 'b')]);
+        let ba = build([(1, 2, 'b'), (1, 1, 'a')]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, "ba"); // replica 2's id is greater → first
+    }
+
+    #[test]
+    fn out_of_order_delivery_buffers_until_parent() {
+        let mut t = Rga::new();
+        // Child arrives before parent.
+        assert!(!t.insert_after(id(1, 1), id(2, 1), 'b'));
+        assert_eq!(t.pending_len(), 1);
+        assert_eq!(t.to_text(), "");
+        assert!(t.insert_after(Rga::<char>::HEAD, id(1, 1), 'a'));
+        assert_eq!(t.pending_len(), 0);
+        assert_eq!(t.to_text(), "ab");
+    }
+
+    #[test]
+    fn transitive_pending_chain_drains() {
+        let mut t = Rga::new();
+        t.insert_after(id(2, 1), id(3, 1), 'c');
+        t.insert_after(id(1, 1), id(2, 1), 'b');
+        assert_eq!(t.pending_len(), 2);
+        t.insert_after(Rga::<char>::HEAD, id(1, 1), 'a');
+        assert_eq!(t.pending_len(), 0);
+        assert_eq!(t.to_text(), "abc");
+    }
+
+    #[test]
+    fn delete_before_insert_buffers() {
+        let mut t = Rga::new();
+        assert!(!t.delete(id(1, 1)));
+        t.insert_after(Rga::<char>::HEAD, id(1, 1), 'x');
+        assert_eq!(t.to_text(), "");
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let mut t = Rga::new();
+        assert!(t.insert_after(Rga::<char>::HEAD, id(1, 1), 'a'));
+        assert!(!t.insert_after(Rga::<char>::HEAD, id(1, 1), 'a'));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_edits_converge_across_replicas() {
+        // Replica 1 types "hi", replica 2 concurrently types "yo" at the
+        // front; deliver in different orders to two observers.
+        let ops: Vec<(OpId, OpId, char)> = vec![
+            (Rga::<char>::HEAD, id(1, 1), 'h'),
+            (id(1, 1), id(2, 1), 'i'),
+            (Rga::<char>::HEAD, id(1, 2), 'y'),
+            (id(1, 2), id(2, 2), 'o'),
+        ];
+        let render = |order: Vec<usize>| {
+            let mut t = Rga::new();
+            for i in order {
+                let (p, i_, ch) = ops[i];
+                t.insert_after(p, i_, ch);
+            }
+            t.to_text()
+        };
+        let a = render(vec![0, 1, 2, 3]);
+        let b = render(vec![2, 3, 0, 1]);
+        let c = render(vec![3, 1, 2, 0]); // fully out of order
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a, "yohi"); // replica 2's ids sort first at the head
+    }
+}

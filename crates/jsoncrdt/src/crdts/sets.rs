@@ -1,0 +1,267 @@
+//! Grow-only and observed-remove sets.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::clock::OpId;
+
+/// A grow-only set: elements can only be added; merge is set union.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_jsoncrdt::GSet;
+///
+/// let mut a = GSet::new();
+/// a.insert("x".to_owned());
+/// let mut b = GSet::new();
+/// b.insert("y".to_owned());
+/// a.merge(&b);
+/// assert!(a.contains(&"x".to_owned()) && a.contains(&"y".to_owned()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GSet<T: Ord> {
+    elements: BTreeSet<T>,
+}
+
+impl<T: Ord + Clone> Default for GSet<T> {
+    fn default() -> Self {
+        GSet::new()
+    }
+}
+
+impl<T: Ord + Clone> GSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        GSet {
+            elements: BTreeSet::new(),
+        }
+    }
+
+    /// Adds an element. Returns `true` if it was not present.
+    pub fn insert(&mut self, element: T) -> bool {
+        self.elements.insert(element)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, element: &T) -> bool {
+        self.elements.contains(element)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Iterates elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.elements.iter()
+    }
+
+    /// Joins another set's state (union).
+    pub fn merge(&mut self, other: &GSet<T>) {
+        self.elements
+            .extend(other.elements.iter().cloned());
+    }
+}
+
+/// An observed-remove set (OR-Set): removals only affect additions that
+/// were observed, so a concurrent add wins over a remove.
+///
+/// Each addition is tagged with a unique [`OpId`]; removing an element
+/// tombstones the tags observed at removal time.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_jsoncrdt::{OrSet, OpId, ReplicaId};
+///
+/// let mut a = OrSet::new();
+/// a.insert("x".to_owned(), OpId::new(1, ReplicaId(1)));
+/// let mut b = a.clone();
+/// b.remove(&"x".to_owned());          // b observed the add and removes it
+/// a.insert("x".to_owned(), OpId::new(2, ReplicaId(1))); // concurrent re-add
+/// a.merge(&b);
+/// assert!(a.contains(&"x".to_owned())); // add-wins
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrSet<T: Ord> {
+    /// Live tags per element.
+    adds: BTreeMap<T, BTreeSet<OpId>>,
+    /// Tombstoned tags per element.
+    removes: BTreeMap<T, BTreeSet<OpId>>,
+}
+
+impl<T: Ord + Clone> Default for OrSet<T> {
+    fn default() -> Self {
+        OrSet::new()
+    }
+}
+
+impl<T: Ord + Clone> OrSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        OrSet {
+            adds: BTreeMap::new(),
+            removes: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an element with a fresh unique tag.
+    pub fn insert(&mut self, element: T, tag: OpId) {
+        self.adds.entry(element).or_default().insert(tag);
+    }
+
+    /// Removes the element by tombstoning all currently observed tags.
+    /// Returns `true` if the element was present.
+    pub fn remove(&mut self, element: &T) -> bool {
+        let live: Vec<OpId> = self.live_tags(element).collect();
+        if live.is_empty() {
+            return false;
+        }
+        self.removes
+            .entry(element.clone())
+            .or_default()
+            .extend(live);
+        true
+    }
+
+    /// Membership: at least one non-tombstoned tag.
+    pub fn contains(&self, element: &T) -> bool {
+        self.live_tags(element).next().is_some()
+    }
+
+    /// Number of visible elements.
+    pub fn len(&self) -> usize {
+        self.adds
+            .keys()
+            .filter(|e| self.contains(e))
+            .count()
+    }
+
+    /// Whether no element is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates visible elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.adds.keys().filter(move |e| self.contains(e))
+    }
+
+    /// Joins another set's state: union of adds and of tombstones.
+    pub fn merge(&mut self, other: &OrSet<T>) {
+        for (element, tags) in &other.adds {
+            self.adds
+                .entry(element.clone())
+                .or_default()
+                .extend(tags.iter().copied());
+        }
+        for (element, tags) in &other.removes {
+            self.removes
+                .entry(element.clone())
+                .or_default()
+                .extend(tags.iter().copied());
+        }
+    }
+
+    fn live_tags<'a>(&'a self, element: &T) -> impl Iterator<Item = OpId> + 'a {
+        let removed = self.removes.get(element);
+        self.adds
+            .get(element)
+            .into_iter()
+            .flat_map(|tags| tags.iter())
+            .filter(move |tag| removed.is_none_or(|r| !r.contains(tag)))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ReplicaId;
+
+    fn tag(n: u64) -> OpId {
+        OpId::new(n, ReplicaId(1))
+    }
+
+    #[test]
+    fn gset_union() {
+        let mut a = GSet::new();
+        a.insert(1);
+        a.insert(2);
+        let mut b = GSet::new();
+        b.insert(2);
+        b.insert(3);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn gset_merge_idempotent_commutative() {
+        let mut a = GSet::new();
+        a.insert("x");
+        let mut b = GSet::new();
+        b.insert("y");
+        let mut ab = a.clone();
+        ab.merge(&b);
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn orset_insert_remove() {
+        let mut s = OrSet::new();
+        s.insert("x".to_owned(), tag(1));
+        assert!(s.contains(&"x".to_owned()));
+        assert!(s.remove(&"x".to_owned()));
+        assert!(!s.contains(&"x".to_owned()));
+        assert!(!s.remove(&"x".to_owned()));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn orset_add_wins_over_concurrent_remove() {
+        let mut a = OrSet::new();
+        a.insert("x".to_owned(), tag(1));
+        let mut b = a.clone();
+        b.remove(&"x".to_owned());
+        a.insert("x".to_owned(), tag(2)); // concurrent, unobserved by b
+        a.merge(&b);
+        assert!(a.contains(&"x".to_owned()));
+        // And symmetrically.
+        let mut b2 = b.clone();
+        let mut a2 = OrSet::new();
+        a2.insert("x".to_owned(), tag(1));
+        a2.insert("x".to_owned(), tag(2));
+        b2.merge(&a2);
+        assert!(b2.contains(&"x".to_owned()));
+    }
+
+    #[test]
+    fn orset_observed_remove_sticks_after_merge() {
+        let mut a = OrSet::new();
+        a.insert("x".to_owned(), tag(1));
+        let mut b = a.clone();
+        b.remove(&"x".to_owned());
+        a.merge(&b); // a had no concurrent re-add
+        assert!(!a.contains(&"x".to_owned()));
+    }
+
+    #[test]
+    fn orset_iter_only_visible() {
+        let mut s = OrSet::new();
+        s.insert("a".to_owned(), tag(1));
+        s.insert("b".to_owned(), tag(2));
+        s.remove(&"a".to_owned());
+        let visible: Vec<&String> = s.iter().collect();
+        assert_eq!(visible, vec![&"b".to_owned()]);
+        assert_eq!(s.len(), 1);
+    }
+}

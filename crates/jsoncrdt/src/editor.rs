@@ -1,0 +1,296 @@
+//! The operation-generating editing API.
+//!
+//! §5.2 of the FabricCRDT paper: *"the authors introduce the formal
+//! semantics and the algorithm for implementing an API for interacting
+//! with a JSON CRDT. The algorithm provides an API for modifying JSON
+//! objects, such as inserting, assigning, and deleting values, as well
+//! as reading from the JSON."* FabricCRDT hides this API from chaincode
+//! developers (peers merge via [`crate::JsonCrdt::merge_value`]);
+//! applications that replicate documents *between* processes — e.g. the
+//! collaborative editors of §6 — need it. [`Editor`] is that API: every
+//! call generates properly stamped, dependency-chained [`Operation`]s,
+//! applies them locally, and hands them back for delivery to other
+//! replicas, where out-of-order arrivals buffer until causally ready.
+//!
+//! # Examples
+//!
+//! ```
+//! use fabriccrdt_jsoncrdt::editor::Editor;
+//! use fabriccrdt_jsoncrdt::json::Value;
+//! use fabriccrdt_jsoncrdt::ReplicaId;
+//!
+//! let mut alice = Editor::new(ReplicaId(1));
+//! let mut bob = Editor::new(ReplicaId(2));
+//!
+//! let op_a = alice.assign(&["title"], "Design Doc")?;
+//! let op_b = bob.assign(&["status"], "draft")?;
+//!
+//! // Exchange operations in any order.
+//! bob.deliver(op_a)?;
+//! alice.deliver(op_b)?;
+//!
+//! assert_eq!(alice.document().to_value(), bob.document().to_value());
+//! # Ok::<(), fabriccrdt_jsoncrdt::doc::DocError>(())
+//! ```
+
+use crate::clock::{OpId, ReplicaId};
+use crate::doc::{ApplyOutcome, DocError, JsonCrdt};
+use crate::json::Value;
+use crate::op::{Cursor, ItemKey, Mutation, Operation};
+
+/// A replica-local editing handle over a [`JsonCrdt`].
+///
+/// Mutations return the generated [`Operation`]s; ship them to other
+/// replicas (in any order — causality is enforced by dependency
+/// buffering) and feed remote operations in via [`Editor::deliver`].
+#[derive(Debug, Clone)]
+pub struct Editor {
+    doc: JsonCrdt,
+    /// Dependency chain head: the last locally generated operation.
+    last_local: Option<OpId>,
+}
+
+impl Editor {
+    /// A fresh, empty document for this replica.
+    pub fn new(replica: ReplicaId) -> Self {
+        Editor {
+            doc: JsonCrdt::new(replica),
+            last_local: None,
+        }
+    }
+
+    /// Starts from an existing plain JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocError::RootNotMap`] if `base` is not a JSON map.
+    pub fn from_value(replica: ReplicaId, base: &Value) -> Result<Self, DocError> {
+        Ok(Editor {
+            doc: JsonCrdt::from_value(replica, base)?,
+            last_local: None,
+        })
+    }
+
+    /// The underlying document.
+    pub fn document(&self) -> &JsonCrdt {
+        &self.doc
+    }
+
+    /// Reads the value at a key path (`&["a", "b"]` → `doc.a.b`), if
+    /// present. List elements are not addressable by index through this
+    /// reading API (their identity is content-based); read the parent
+    /// list instead.
+    pub fn read(&self, path: &[&str]) -> Option<Value> {
+        let mut current = self.doc.to_value();
+        for key in path {
+            current = current.get(key)?.clone();
+        }
+        Some(current)
+    }
+
+    /// Assigns a string value at a key path, creating intermediate maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocError::MutationAtHead`] for an empty path.
+    pub fn assign(&mut self, path: &[&str], value: impl Into<String>) -> Result<Operation, DocError> {
+        if path.is_empty() {
+            return Err(DocError::MutationAtHead);
+        }
+        self.emit(Self::cursor_of(path), Mutation::Assign(value.into()))
+    }
+
+    /// Materializes an empty map at a key path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocError::MutationAtHead`] for an empty path.
+    pub fn make_map(&mut self, path: &[&str]) -> Result<Operation, DocError> {
+        if path.is_empty() {
+            return Err(DocError::MutationAtHead);
+        }
+        self.emit(Self::cursor_of(path), Mutation::MakeMap)
+    }
+
+    /// Materializes an empty list at a key path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocError::MutationAtHead`] for an empty path.
+    pub fn make_list(&mut self, path: &[&str]) -> Result<Operation, DocError> {
+        if path.is_empty() {
+            return Err(DocError::MutationAtHead);
+        }
+        self.emit(Self::cursor_of(path), Mutation::MakeList)
+    }
+
+    /// Appends a string element to the list at a key path (creating the
+    /// list if needed). Returns the two generated operations
+    /// (make-list, assign-element).
+    ///
+    /// The element is identified by its position hint and content, so
+    /// concurrent appends by different replicas are both preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocError::MutationAtHead`] for an empty path.
+    pub fn push_item(
+        &mut self,
+        path: &[&str],
+        index_hint: usize,
+        value: impl Into<String>,
+    ) -> Result<[Operation; 2], DocError> {
+        if path.is_empty() {
+            return Err(DocError::MutationAtHead);
+        }
+        let value = value.into();
+        let make = self.emit(Self::cursor_of(path), Mutation::MakeList)?;
+        let mut cursor = Self::cursor_of(path);
+        cursor.push_item(ItemKey::derive(index_hint, &Value::string(value.clone())));
+        let assign = self.emit(cursor, Mutation::Assign(value))?;
+        Ok([make, assign])
+    }
+
+    /// Deletes the subtree at a key path (tombstones; concurrent adds
+    /// survive — add-wins).
+    pub fn delete(&mut self, path: &[&str]) -> Result<Operation, DocError> {
+        self.emit(Self::cursor_of(path), Mutation::Delete)
+    }
+
+    /// Applies an operation received from another replica. Operations
+    /// whose dependencies have not arrived yet are buffered (outcome
+    /// [`ApplyOutcome::Buffered`]) and drain automatically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DocError`] for structurally invalid operations.
+    pub fn deliver(&mut self, op: Operation) -> Result<ApplyOutcome, DocError> {
+        self.doc.apply(op)
+    }
+
+    fn cursor_of(path: &[&str]) -> Cursor {
+        let mut cursor = Cursor::new();
+        for key in path {
+            cursor.push_key(*key);
+        }
+        cursor
+    }
+
+    fn emit(&mut self, cursor: Cursor, mutation: Mutation) -> Result<Operation, DocError> {
+        let id = self.doc.clock().clone().tick();
+        let deps: Vec<OpId> = self.last_local.iter().copied().collect();
+        let op = Operation::new(id, deps, cursor, mutation);
+        self.doc.apply(op.clone())?;
+        self.last_local = Some(id);
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_read() {
+        let mut ed = Editor::new(ReplicaId(1));
+        ed.assign(&["a", "b"], "deep").unwrap();
+        ed.assign(&["top"], "level").unwrap();
+        assert_eq!(ed.read(&["a", "b"]).unwrap().as_str(), Some("deep"));
+        assert_eq!(ed.read(&["top"]).unwrap().as_str(), Some("level"));
+        assert!(ed.read(&["missing"]).is_none());
+        assert!(ed.read(&["a", "b", "c"]).is_none());
+    }
+
+    #[test]
+    fn empty_path_rejected() {
+        let mut ed = Editor::new(ReplicaId(1));
+        assert_eq!(ed.assign(&[], "x").unwrap_err(), DocError::MutationAtHead);
+        assert_eq!(ed.make_map(&[]).unwrap_err(), DocError::MutationAtHead);
+        assert_eq!(ed.make_list(&[]).unwrap_err(), DocError::MutationAtHead);
+    }
+
+    #[test]
+    fn replicas_converge_via_op_exchange() {
+        let mut a = Editor::new(ReplicaId(1));
+        let mut b = Editor::new(ReplicaId(2));
+        let op1 = a.assign(&["x"], "from-a").unwrap();
+        let op2 = b.assign(&["y"], "from-b").unwrap();
+        let op3 = a.assign(&["shared"], "a-wins-or-not").unwrap();
+        let op4 = b.assign(&["shared"], "b-wins-or-not").unwrap();
+
+        // Cross-deliver in different orders.
+        for op in [op2.clone(), op4.clone()] {
+            a.deliver(op).unwrap();
+        }
+        for op in [op3, op1, op4, op2].into_iter().rev().skip(2) {
+            // deliver op1 then op3 (reversed tail)
+            b.deliver(op).unwrap();
+        }
+        assert_eq!(a.document().to_value(), b.document().to_value());
+    }
+
+    #[test]
+    fn out_of_order_delivery_buffers() {
+        let mut a = Editor::new(ReplicaId(1));
+        let op1 = a.assign(&["k"], "first").unwrap();
+        let op2 = a.assign(&["k"], "second").unwrap();
+
+        let mut b = Editor::new(ReplicaId(2));
+        // op2 depends on op1; delivering it first buffers.
+        assert_eq!(b.deliver(op2).unwrap(), ApplyOutcome::Buffered);
+        assert!(b.read(&["k"]).is_none());
+        assert_eq!(b.deliver(op1).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(b.read(&["k"]).unwrap().as_str(), Some("second"));
+    }
+
+    #[test]
+    fn concurrent_list_appends_both_survive() {
+        let mut a = Editor::new(ReplicaId(1));
+        let mut b = Editor::new(ReplicaId(2));
+        let ops_a = a.push_item(&["log"], 0, "from-a").unwrap();
+        let ops_b = b.push_item(&["log"], 0, "from-b").unwrap();
+        for op in ops_b {
+            a.deliver(op).unwrap();
+        }
+        for op in ops_a {
+            b.deliver(op).unwrap();
+        }
+        let list_a = a.read(&["log"]).unwrap();
+        assert_eq!(list_a.as_list().unwrap().len(), 2);
+        assert_eq!(list_a, b.read(&["log"]).unwrap());
+    }
+
+    #[test]
+    fn delete_replicates() {
+        let mut a = Editor::new(ReplicaId(1));
+        let mut b = Editor::new(ReplicaId(2));
+        let op1 = a.assign(&["gone"], "x").unwrap();
+        let op2 = a.assign(&["stays"], "y").unwrap();
+        let op3 = a.delete(&["gone"]).unwrap();
+        for op in [op1, op2, op3] {
+            b.deliver(op).unwrap();
+        }
+        assert!(b.read(&["gone"]).is_none());
+        assert_eq!(b.read(&["stays"]).unwrap().as_str(), Some("y"));
+        assert_eq!(a.document().to_value(), b.document().to_value());
+    }
+
+    #[test]
+    fn from_value_hydrates() {
+        let base: Value = r#"{"existing":"data"}"#.parse().unwrap();
+        let mut ed = Editor::from_value(ReplicaId(1), &base).unwrap();
+        assert_eq!(ed.read(&["existing"]).unwrap().as_str(), Some("data"));
+        ed.assign(&["more"], "stuff").unwrap();
+        assert_eq!(ed.document().to_value().as_map().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut a = Editor::new(ReplicaId(1));
+        let op = a.assign(&["k"], "v").unwrap();
+        let mut b = Editor::new(ReplicaId(2));
+        assert_eq!(b.deliver(op.clone()).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(b.deliver(op).unwrap(), ApplyOutcome::AlreadyApplied);
+        assert_eq!(b.document().applied_len(), 1);
+    }
+}

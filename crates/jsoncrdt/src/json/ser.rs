@@ -1,0 +1,148 @@
+//! JSON serializers: compact (canonical) and pretty-printed.
+
+use super::Value;
+
+/// Serializes to compact canonical JSON: no whitespace, sorted map keys
+/// (guaranteed by the `BTreeMap` backing).
+pub fn to_compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Serializes to pretty JSON with two-space indentation.
+pub fn to_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_string(out, s),
+        Value::List(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::Value;
+
+    fn roundtrip(text: &str) {
+        let v: Value = text.parse().unwrap();
+        let compact = v.to_compact_string();
+        assert_eq!(compact.parse::<Value>().unwrap(), v, "compact roundtrip");
+        let pretty = v.to_pretty_string();
+        assert_eq!(pretty.parse::<Value>().unwrap(), v, "pretty roundtrip");
+    }
+
+    #[test]
+    fn compact_form_is_canonical() {
+        let v: Value = r#"{"b":"2","a":"1"}"#.parse().unwrap();
+        assert_eq!(v.to_compact_string(), r#"{"a":"1","b":"2"}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Value::empty_map().to_compact_string(), "{}");
+        assert_eq!(Value::list([]).to_compact_string(), "[]");
+        assert_eq!(Value::empty_map().to_pretty_string(), "{}");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::string("a\"b\\c\nd\u{1}");
+        assert_eq!(v.to_compact_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+        roundtrip(&v.to_compact_string());
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v: Value = r#"{"a":["1"]}"#.parse().unwrap();
+        assert_eq!(v.to_pretty_string(), "{\n  \"a\": [\n    \"1\"\n  ]\n}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(r#"{"device":"d1","readings":["50.0","51.2"],"nested":{"a":{"b":["x"]}}}"#);
+        roundtrip(r#"[null,true,false,1,2.5,-3,"s"]"#);
+        roundtrip(r#""unicode: é😀""#);
+    }
+
+    #[test]
+    fn integer_numbers_render_without_fraction() {
+        let v: Value = "42".parse().unwrap();
+        assert_eq!(v.to_compact_string(), "42");
+        let v: Value = "42.5".parse().unwrap();
+        assert_eq!(v.to_compact_string(), "42.5");
+    }
+}

@@ -1,0 +1,60 @@
+//! JSON CRDTs and companion conflict-free replicated datatypes for the
+//! FabricCRDT reproduction.
+//!
+//! This crate implements the datatype layer of *FabricCRDT* (Middleware
+//! 2019):
+//!
+//! - [`json`]: a self-contained JSON value model with a recursive-descent
+//!   parser and compact/pretty serializers (the reproduction deliberately
+//!   avoids `serde_json`; JSON handling is a substrate the paper's system
+//!   depends on, so it is built from scratch).
+//! - [`clock`]: Lamport clocks and globally unique operation identifiers,
+//!   as required by Section 5.2 of the paper.
+//! - [`op`]: cursors, mutations and operations — the vocabulary of the
+//!   Kleppmann & Beresford JSON CRDT (IEEE TPDS 2017) that the paper builds
+//!   on.
+//! - [`doc`]: the JSON CRDT document itself, including dependency-buffered
+//!   operation application and **Algorithm 2** of the paper
+//!   ([`JsonCrdt::merge_value`]), which folds a plain JSON object into the
+//!   CRDT, plus the metadata-stripping conversion back to plain JSON.
+//! - [`crdts`]: the additional CRDTs the paper lists as future work —
+//!   G-Counter, PN-Counter, G-Set, OR-Set and LWW-Register — each with the
+//!   usual join-semilattice `merge`.
+//!
+//! # Quick example: merging two conflicting transactions (paper Listing 1/2)
+//!
+//! ```
+//! use fabriccrdt_jsoncrdt::{json::Value, JsonCrdt, ReplicaId};
+//!
+//! let tx1: Value = r#"{"deviceID": "Device1", "readings": ["51.0"]}"#.parse()?;
+//! let tx2: Value = r#"{"deviceID": "Device1", "readings": ["49.5"]}"#.parse()?;
+//!
+//! let mut doc = JsonCrdt::new(ReplicaId(1));
+//! doc.merge_value(&tx1);
+//! doc.merge_value(&tx2);
+//!
+//! let merged = doc.to_value();
+//! assert_eq!(merged.get("deviceID").unwrap().as_str(), Some("Device1"));
+//! assert_eq!(merged.get("readings").unwrap().as_list().unwrap().len(), 2);
+//! # Ok::<(), fabriccrdt_jsoncrdt::json::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod crdts;
+pub mod doc;
+pub mod editor;
+pub mod json;
+pub mod op;
+pub mod op_codec;
+pub mod text;
+pub mod work;
+
+pub use clock::{LamportClock, OpId, ReplicaId};
+pub use crdts::{GCounter, GSet, LwwRegister, OrSet, PnCounter};
+pub use doc::JsonCrdt;
+pub use editor::Editor;
+pub use op::{Cursor, Mutation, Operation};
+pub use work::WorkStats;

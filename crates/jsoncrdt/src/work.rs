@@ -1,0 +1,85 @@
+//! Work accounting for CRDT merges.
+//!
+//! The simulator charges validation/commit compute time from deterministic
+//! work counters rather than wall-clock measurements, keeping every
+//! experiment byte-for-byte reproducible across machines (see DESIGN.md
+//! §1, "Time model"). Every operation application reports how many
+//! operations were created and how many document nodes were visited; the
+//! cost model in the `fabric` crate converts these into simulated time.
+
+/// Counters describing the work performed by CRDT operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkStats {
+    /// Operations generated and applied.
+    pub ops_applied: u64,
+    /// Document tree nodes visited while descending cursors and converting
+    /// documents.
+    pub nodes_visited: u64,
+}
+
+impl WorkStats {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another counter into this one.
+    pub fn absorb(&mut self, other: WorkStats) {
+        self.ops_applied += other.ops_applied;
+        self.nodes_visited += other.nodes_visited;
+    }
+
+    /// Total abstract work units: the scalar the cost model consumes.
+    pub fn units(&self) -> u64 {
+        self.ops_applied + self.nodes_visited
+    }
+}
+
+impl std::ops::Add for WorkStats {
+    type Output = WorkStats;
+
+    fn add(self, rhs: WorkStats) -> WorkStats {
+        WorkStats {
+            ops_applied: self.ops_applied + rhs.ops_applied,
+            nodes_visited: self.nodes_visited + rhs.nodes_visited,
+        }
+    }
+}
+
+impl std::iter::Sum for WorkStats {
+    fn sum<I: Iterator<Item = WorkStats>>(iter: I) -> Self {
+        iter.fold(WorkStats::new(), |acc, w| acc + w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = WorkStats {
+            ops_applied: 1,
+            nodes_visited: 2,
+        };
+        a.absorb(WorkStats {
+            ops_applied: 10,
+            nodes_visited: 20,
+        });
+        assert_eq!(a.ops_applied, 11);
+        assert_eq!(a.nodes_visited, 22);
+        assert_eq!(a.units(), 33);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: WorkStats = (0..4)
+            .map(|i| WorkStats {
+                ops_applied: i,
+                nodes_visited: 1,
+            })
+            .sum();
+        assert_eq!(total.ops_applied, 6);
+        assert_eq!(total.nodes_visited, 4);
+    }
+}

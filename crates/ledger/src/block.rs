@@ -1,0 +1,229 @@
+//! Blocks: header with hash chaining, transactions, validation codes.
+//!
+//! Fabric appends *every* transaction of a block — valid or invalid — to
+//! the blockchain and records a per-transaction validation code; only
+//! valid transactions update the world state (§2.1, step 3).
+
+use std::fmt;
+
+use fabriccrdt_crypto::{sha256, Digest, MerkleTree};
+
+use crate::transaction::Transaction;
+
+/// Why a transaction was accepted or rejected at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationCode {
+    /// Passed endorsement-policy and MVCC validation.
+    Valid,
+    /// Read-set version mismatch (§3, "MVCC conflict").
+    MvccConflict,
+    /// Endorsement policy not satisfied or a signature failed to verify.
+    EndorsementPolicyFailure,
+    /// A transaction with the same id was already committed.
+    DuplicateTxId,
+    /// Merged by the FabricCRDT pathway (Algorithm 1) and committed; kept
+    /// distinct from [`ValidationCode::Valid`] so experiments can report
+    /// merges separately. Counts as successful.
+    ValidMerged,
+    /// Dropped by the reordering orderer before block formation
+    /// (Fabric++-style early abort of unsalvageable conflict cycles —
+    /// the baseline of Sharma et al., discussed in the paper's §8).
+    EarlyAborted,
+    /// The delivered block's data hash did not cover its transactions —
+    /// tampering between orderer and peer. The whole block is rejected;
+    /// nothing commits.
+    TamperedBlock,
+}
+
+impl ValidationCode {
+    /// Whether the transaction's writes were applied to the world state.
+    pub fn is_success(self) -> bool {
+        matches!(self, ValidationCode::Valid | ValidationCode::ValidMerged)
+    }
+}
+
+impl fmt::Display for ValidationCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValidationCode::Valid => "VALID",
+            ValidationCode::MvccConflict => "MVCC_READ_CONFLICT",
+            ValidationCode::EndorsementPolicyFailure => "ENDORSEMENT_POLICY_FAILURE",
+            ValidationCode::DuplicateTxId => "DUPLICATE_TXID",
+            ValidationCode::ValidMerged => "VALID_MERGED",
+            ValidationCode::EarlyAborted => "EARLY_ABORTED",
+            ValidationCode::TamperedBlock => "TAMPERED_BLOCK",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Block header: number, previous block hash, data hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Block number; the genesis block is 0.
+    pub number: u64,
+    /// Hash of the previous block's header (all zeroes for genesis).
+    pub previous_hash: Digest,
+    /// Merkle root over the serialized transactions.
+    pub data_hash: Digest,
+}
+
+impl BlockHeader {
+    /// The header's hash, chained into the next block.
+    pub fn hash(&self) -> Digest {
+        let mut h = sha256::Sha256::new();
+        h.update(&self.number.to_be_bytes());
+        h.update(&self.previous_hash);
+        h.update(&self.data_hash);
+        h.finalize()
+    }
+}
+
+/// A block: header, transactions and (after commit) validation codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Ordered transactions.
+    pub transactions: Vec<Transaction>,
+    /// One code per transaction, filled by the committing peer. Empty for
+    /// a block fresh from the orderer.
+    pub validation_codes: Vec<ValidationCode>,
+}
+
+impl Block {
+    /// The genesis block: block 0, no transactions. Every chain starts
+    /// with it; user transactions begin at block 1, so no committed value
+    /// can collide with the `Height::genesis()` version of seeded keys.
+    pub fn genesis() -> Self {
+        Block::assemble(0, [0; 32], Vec::new())
+    }
+
+    /// Assembles a block from ordered transactions, computing the data
+    /// hash (orderer step 4 in Figure 1).
+    pub fn assemble(number: u64, previous_hash: Digest, transactions: Vec<Transaction>) -> Self {
+        let data_hash = Self::compute_data_hash(&transactions);
+        Block {
+            header: BlockHeader {
+                number,
+                previous_hash,
+                data_hash,
+            },
+            transactions,
+            validation_codes: Vec::new(),
+        }
+    }
+
+    /// Merkle root over the transactions' canonical bytes.
+    pub fn compute_data_hash(transactions: &[Transaction]) -> Digest {
+        MerkleTree::from_leaves(transactions.iter().map(Transaction::to_bytes)).root()
+    }
+
+    /// The block hash (header hash).
+    pub fn hash(&self) -> Digest {
+        self.header.hash()
+    }
+
+    /// Whether the stored data hash matches the transactions.
+    pub fn data_hash_is_valid(&self) -> bool {
+        Self::compute_data_hash(&self.transactions) == self.header.data_hash
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the block carries no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Count of successfully committed transactions (requires validation
+    /// codes to be filled).
+    pub fn successful_count(&self) -> usize {
+        self.validation_codes
+            .iter()
+            .filter(|c| c.is_success())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rwset::ReadWriteSet;
+    use crate::transaction::TxId;
+    use fabriccrdt_crypto::Identity;
+
+    fn tx(n: u64) -> Transaction {
+        let client = Identity::new("client", "org1");
+        let mut rwset = ReadWriteSet::new();
+        rwset.writes.put(format!("k{n}"), vec![n as u8]);
+        Transaction {
+            id: TxId::derive(&client, n, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn data_hash_commits_to_transactions() {
+        let block = Block::assemble(1, [0; 32], vec![tx(1), tx(2)]);
+        assert!(block.data_hash_is_valid());
+        let mut tampered = block.clone();
+        tampered.transactions[0].rwset.writes.put("evil", b"x".to_vec());
+        assert!(!tampered.data_hash_is_valid());
+    }
+
+    #[test]
+    fn header_hash_changes_with_any_field() {
+        let a = Block::assemble(1, [0; 32], vec![tx(1)]);
+        let b = Block::assemble(2, [0; 32], vec![tx(1)]);
+        let c = Block::assemble(1, [1; 32], vec![tx(1)]);
+        let d = Block::assemble(1, [0; 32], vec![tx(2)]);
+        let hashes = [a.hash(), b.hash(), c.hash(), d.hash()];
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_block_is_well_formed() {
+        let block = Block::assemble(0, [0; 32], vec![]);
+        assert!(block.is_empty());
+        assert!(block.data_hash_is_valid());
+        assert_eq!(block.successful_count(), 0);
+    }
+
+    #[test]
+    fn successful_count_uses_codes() {
+        let mut block = Block::assemble(1, [0; 32], vec![tx(1), tx(2), tx(3)]);
+        block.validation_codes = vec![
+            ValidationCode::Valid,
+            ValidationCode::MvccConflict,
+            ValidationCode::ValidMerged,
+        ];
+        assert_eq!(block.successful_count(), 2);
+    }
+
+    #[test]
+    fn validation_code_success_semantics() {
+        assert!(ValidationCode::Valid.is_success());
+        assert!(ValidationCode::ValidMerged.is_success());
+        assert!(!ValidationCode::MvccConflict.is_success());
+        assert!(!ValidationCode::EndorsementPolicyFailure.is_success());
+        assert!(!ValidationCode::DuplicateTxId.is_success());
+        assert!(!ValidationCode::EarlyAborted.is_success());
+        assert!(!ValidationCode::TamperedBlock.is_success());
+    }
+
+    #[test]
+    fn validation_code_display() {
+        assert_eq!(ValidationCode::MvccConflict.to_string(), "MVCC_READ_CONFLICT");
+    }
+}

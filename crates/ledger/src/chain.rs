@@ -1,0 +1,240 @@
+//! The append-only blockchain.
+
+use std::error::Error;
+use std::fmt;
+
+use fabriccrdt_crypto::Digest;
+
+use crate::block::Block;
+
+/// Error returned when appending a block that does not extend the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The block number is not `last + 1`.
+    WrongNumber {
+        /// Expected block number.
+        expected: u64,
+        /// Number carried by the rejected block.
+        got: u64,
+    },
+    /// The previous-hash field does not match the tip.
+    BrokenHashChain,
+    /// The data hash does not cover the block's transactions.
+    BadDataHash,
+    /// A replayed block is missing per-transaction validation codes.
+    MissingValidationCodes,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::WrongNumber { expected, got } => {
+                write!(f, "expected block number {expected}, got {got}")
+            }
+            ChainError::BrokenHashChain => write!(f, "previous-hash does not match chain tip"),
+            ChainError::BadDataHash => write!(f, "data hash does not cover transactions"),
+            ChainError::MissingValidationCodes => {
+                write!(f, "replayed block carries no validation codes")
+            }
+        }
+    }
+}
+
+impl Error for ChainError {}
+
+/// An append-only chain of blocks with hash-chain integrity.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_ledger::{Block, Blockchain};
+///
+/// let mut chain = Blockchain::new();
+/// let block = Block::assemble(0, Blockchain::GENESIS_PREVIOUS_HASH, vec![]);
+/// chain.append(block)?;
+/// assert_eq!(chain.height(), 1);
+/// # Ok::<(), fabriccrdt_ledger::chain::ChainError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Blockchain {
+    blocks: Vec<Block>,
+}
+
+impl Blockchain {
+    /// The previous-hash value of the genesis block.
+    pub const GENESIS_PREVIOUS_HASH: Digest = [0; 32];
+
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blocks.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Whether the chain has no blocks yet.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The latest block.
+    pub fn tip(&self) -> Option<&Block> {
+        self.blocks.last()
+    }
+
+    /// Hash the next block must chain to.
+    pub fn tip_hash(&self) -> Digest {
+        self.tip()
+            .map(Block::hash)
+            .unwrap_or(Self::GENESIS_PREVIOUS_HASH)
+    }
+
+    /// The block at `number`.
+    pub fn block(&self, number: u64) -> Option<&Block> {
+        self.blocks.get(number as usize)
+    }
+
+    /// Iterates blocks from genesis.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Appends a block after verifying number, hash chain and data hash.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] when the block does not correctly extend
+    /// the chain; the chain is left unchanged.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        let expected = self.height();
+        if block.header.number != expected {
+            return Err(ChainError::WrongNumber {
+                expected,
+                got: block.header.number,
+            });
+        }
+        if block.header.previous_hash != self.tip_hash() {
+            return Err(ChainError::BrokenHashChain);
+        }
+        if !block.data_hash_is_valid() {
+            return Err(ChainError::BadDataHash);
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Verifies the whole chain's integrity from genesis.
+    pub fn verify_integrity(&self) -> Result<(), ChainError> {
+        let mut previous = Self::GENESIS_PREVIOUS_HASH;
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.header.number != i as u64 {
+                return Err(ChainError::WrongNumber {
+                    expected: i as u64,
+                    got: block.header.number,
+                });
+            }
+            if block.header.previous_hash != previous {
+                return Err(ChainError::BrokenHashChain);
+            }
+            if !block.data_hash_is_valid() {
+                return Err(ChainError::BadDataHash);
+            }
+            previous = block.hash();
+        }
+        Ok(())
+    }
+
+    /// Total transactions across all blocks.
+    pub fn total_transactions(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rwset::ReadWriteSet;
+    use crate::transaction::{Transaction, TxId};
+    use fabriccrdt_crypto::Identity;
+
+    fn tx(n: u64) -> Transaction {
+        let client = Identity::new("client", "org1");
+        let mut rwset = ReadWriteSet::new();
+        rwset.writes.put(format!("k{n}"), vec![n as u8]);
+        Transaction {
+            id: TxId::derive(&client, n, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        }
+    }
+
+    fn extend(chain: &mut Blockchain, txs: Vec<Transaction>) {
+        let block = Block::assemble(chain.height(), chain.tip_hash(), txs);
+        chain.append(block).unwrap();
+    }
+
+    #[test]
+    fn append_and_verify() {
+        let mut chain = Blockchain::new();
+        extend(&mut chain, vec![]);
+        extend(&mut chain, vec![tx(1), tx(2)]);
+        extend(&mut chain, vec![tx(3)]);
+        assert_eq!(chain.height(), 3);
+        assert_eq!(chain.total_transactions(), 3);
+        chain.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn wrong_number_rejected() {
+        let mut chain = Blockchain::new();
+        let block = Block::assemble(5, Blockchain::GENESIS_PREVIOUS_HASH, vec![]);
+        assert_eq!(
+            chain.append(block).unwrap_err(),
+            ChainError::WrongNumber { expected: 0, got: 5 }
+        );
+    }
+
+    #[test]
+    fn broken_hash_chain_rejected() {
+        let mut chain = Blockchain::new();
+        extend(&mut chain, vec![]);
+        let block = Block::assemble(1, [9; 32], vec![]);
+        assert_eq!(chain.append(block).unwrap_err(), ChainError::BrokenHashChain);
+        assert_eq!(chain.height(), 1);
+    }
+
+    #[test]
+    fn tampered_transactions_rejected() {
+        let mut chain = Blockchain::new();
+        extend(&mut chain, vec![]);
+        let mut block = Block::assemble(1, chain.tip_hash(), vec![tx(1)]);
+        block.transactions[0].rwset.writes.put("evil", b"x".to_vec());
+        assert_eq!(chain.append(block).unwrap_err(), ChainError::BadDataHash);
+    }
+
+    #[test]
+    fn verify_detects_mid_chain_tampering() {
+        let mut chain = Blockchain::new();
+        extend(&mut chain, vec![tx(1)]);
+        extend(&mut chain, vec![tx(2)]);
+        chain.verify_integrity().unwrap();
+        // Tamper with a committed transaction.
+        chain.blocks[0].transactions[0]
+            .rwset
+            .writes
+            .put("evil", b"x".to_vec());
+        assert_eq!(chain.verify_integrity().unwrap_err(), ChainError::BadDataHash);
+    }
+
+    #[test]
+    fn block_lookup() {
+        let mut chain = Blockchain::new();
+        extend(&mut chain, vec![tx(1)]);
+        assert_eq!(chain.block(0).unwrap().len(), 1);
+        assert!(chain.block(1).is_none());
+    }
+}

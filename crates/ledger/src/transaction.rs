@@ -1,0 +1,192 @@
+//! Endorsed transactions.
+//!
+//! After collecting endorsements, a Fabric client assembles a transaction
+//! from the proposal payload, the endorsing peers' signatures, and
+//! metadata, then submits it to the ordering service (§2.1, step 2).
+
+use std::fmt;
+
+use fabriccrdt_crypto::{sha256, Identity, Signature};
+
+use crate::rwset::ReadWriteSet;
+
+/// A transaction identifier: SHA-256 over the client identity, a client
+/// nonce and the chaincode name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub [u8; 32]);
+
+impl TxId {
+    /// Derives a transaction id.
+    pub fn derive(client: &Identity, nonce: u64, chaincode: &str) -> Self {
+        let mut h = sha256::Sha256::new();
+        h.update(client.to_string().as_bytes());
+        h.update(&nonce.to_be_bytes());
+        h.update(chaincode.as_bytes());
+        TxId(h.finalize())
+    }
+
+    /// Short hex prefix for logs.
+    pub fn short(&self) -> String {
+        fabriccrdt_crypto::hex::encode(&self.0[..4])
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&fabriccrdt_crypto::hex::encode(&self.0))
+    }
+}
+
+/// An endorsement: a peer's signature over the proposal response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endorsement {
+    /// The endorsing peer.
+    pub endorser: Identity,
+    /// Signature over the read-write set bytes.
+    pub signature: Signature,
+}
+
+/// An endorsed transaction ready for ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Content-derived identifier.
+    pub id: TxId,
+    /// Submitting client.
+    pub client: Identity,
+    /// Invoked chaincode name.
+    pub chaincode: String,
+    /// Simulation result all endorsers agreed on.
+    pub rwset: ReadWriteSet,
+    /// Collected endorsements.
+    pub endorsements: Vec<Endorsement>,
+}
+
+impl Transaction {
+    /// Canonical byte encoding of the parts covered by endorsement
+    /// signatures (the proposal response payload).
+    pub fn response_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.id.0);
+        out.extend_from_slice(self.chaincode.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&self.rwset.to_bytes());
+        out
+    }
+
+    /// Canonical bytes of the whole transaction, input to block data
+    /// hashes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.response_payload();
+        out.extend_from_slice(&(self.endorsements.len() as u64).to_be_bytes());
+        for e in &self.endorsements {
+            out.extend_from_slice(e.endorser.to_string().as_bytes());
+            out.push(0);
+            out.extend_from_slice(&e.signature.0);
+        }
+        out
+    }
+
+    /// Whether any write-set entry is CRDT-flagged — a "CRDT transaction"
+    /// in the paper's terms (§4.3).
+    pub fn is_crdt(&self) -> bool {
+        self.rwset.writes.has_crdt_writes()
+    }
+
+    /// Organizations that endorsed this transaction.
+    pub fn endorsing_orgs(&self) -> Vec<&str> {
+        let mut orgs: Vec<&str> = self
+            .endorsements
+            .iter()
+            .map(|e| e.endorser.org.as_str())
+            .collect();
+        orgs.sort_unstable();
+        orgs.dedup();
+        orgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabriccrdt_crypto::KeyPair;
+
+    fn sample_tx(crdt: bool) -> Transaction {
+        let client = Identity::new("client1", "org1");
+        let mut rwset = ReadWriteSet::new();
+        rwset.reads.record("k", None);
+        if crdt {
+            rwset.writes.put_crdt("k", b"v".to_vec());
+        } else {
+            rwset.writes.put("k", b"v".to_vec());
+        }
+        let id = TxId::derive(&client, 1, "iot");
+        Transaction {
+            id,
+            client,
+            chaincode: "iot".into(),
+            rwset,
+            endorsements: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tx_ids_are_unique_per_nonce_and_client() {
+        let c1 = Identity::new("client1", "org1");
+        let c2 = Identity::new("client2", "org1");
+        assert_ne!(TxId::derive(&c1, 1, "cc"), TxId::derive(&c1, 2, "cc"));
+        assert_ne!(TxId::derive(&c1, 1, "cc"), TxId::derive(&c2, 1, "cc"));
+        assert_eq!(TxId::derive(&c1, 1, "cc"), TxId::derive(&c1, 1, "cc"));
+    }
+
+    #[test]
+    fn is_crdt_reflects_write_flags() {
+        assert!(sample_tx(true).is_crdt());
+        assert!(!sample_tx(false).is_crdt());
+    }
+
+    #[test]
+    fn endorsement_signature_covers_payload() {
+        let mut tx = sample_tx(false);
+        let peer = KeyPair::derive(Identity::new("peer0", "org1"));
+        let sig = peer.sign(&tx.response_payload());
+        tx.endorsements.push(Endorsement {
+            endorser: peer.identity().clone(),
+            signature: sig,
+        });
+        assert!(peer.verify(&tx.response_payload(), &tx.endorsements[0].signature).is_ok());
+        // Tampering with the rwset invalidates the endorsement.
+        tx.rwset.writes.put("k", b"tampered".to_vec());
+        assert!(peer.verify(&tx.response_payload(), &tx.endorsements[0].signature).is_err());
+    }
+
+    #[test]
+    fn endorsing_orgs_deduplicates() {
+        let mut tx = sample_tx(false);
+        for (name, org) in [("p0", "org1"), ("p1", "org1"), ("p0", "org2")] {
+            let peer = KeyPair::derive(Identity::new(name, org));
+            let sig = peer.sign(&tx.response_payload());
+            tx.endorsements.push(Endorsement {
+                endorser: peer.identity().clone(),
+                signature: sig,
+            });
+        }
+        assert_eq!(tx.endorsing_orgs(), ["org1", "org2"]);
+    }
+
+    #[test]
+    fn to_bytes_includes_endorsements() {
+        let plain = sample_tx(false);
+        let mut endorsed = plain.clone();
+        let peer = KeyPair::derive(Identity::new("peer0", "org1"));
+        endorsed.endorsements.push(Endorsement {
+            endorser: peer.identity().clone(),
+            signature: peer.sign(&endorsed.response_payload()),
+        });
+        assert_ne!(plain.to_bytes(), endorsed.to_bytes());
+    }
+
+    #[test]
+    fn short_id_is_eight_hex_chars() {
+        assert_eq!(sample_tx(false).id.short().len(), 8);
+    }
+}

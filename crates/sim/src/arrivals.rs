@@ -1,0 +1,137 @@
+//! Open-loop arrival processes.
+//!
+//! Hyperledger Caliper's clients submit transactions at a configured rate
+//! regardless of how fast the system drains them (open loop). §7.2 of the
+//! paper: four clients together submit 10 000 transactions at the
+//! experiment's rate. [`ArrivalProcess`] produces those submission
+//! timestamps, deterministic or Poisson.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Evenly spaced arrivals (Caliper's fixed-rate controller).
+    Uniform,
+    /// Poisson process (exponential gaps) with the same mean rate.
+    Poisson,
+}
+
+/// An open-loop arrival process generating `count` arrivals at `rate_tps`.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_sim::arrivals::{ArrivalKind, ArrivalProcess};
+/// use fabriccrdt_sim::{SimRng, SimTime};
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let times = ArrivalProcess::new(100.0, 10, ArrivalKind::Uniform)
+///     .generate(&mut rng);
+/// assert_eq!(times.len(), 10);
+/// assert_eq!(times[1] - times[0], SimTime::from_millis(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalProcess {
+    rate_tps: f64,
+    count: usize,
+    kind: ArrivalKind,
+}
+
+impl ArrivalProcess {
+    /// Creates a process submitting `count` transactions at `rate_tps`
+    /// transactions per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_tps` is not strictly positive.
+    pub fn new(rate_tps: f64, count: usize, kind: ArrivalKind) -> Self {
+        assert!(rate_tps > 0.0, "arrival rate must be positive");
+        ArrivalProcess {
+            rate_tps,
+            count,
+            kind,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate_tps(&self) -> f64 {
+        self.rate_tps
+    }
+
+    /// Number of arrivals generated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Generates the arrival timestamps, starting at time zero.
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<SimTime> {
+        let gap_secs = 1.0 / self.rate_tps;
+        let mut times = Vec::with_capacity(self.count);
+        match self.kind {
+            ArrivalKind::Uniform => {
+                for i in 0..self.count {
+                    times.push(SimTime::from_secs_f64(i as f64 * gap_secs));
+                }
+            }
+            ArrivalKind::Poisson => {
+                let mut now = 0.0;
+                for _ in 0..self.count {
+                    times.push(SimTime::from_secs_f64(now));
+                    now += rng.exponential(gap_secs);
+                }
+            }
+        }
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spacing_matches_rate() {
+        let mut rng = SimRng::seed_from(1);
+        let times = ArrivalProcess::new(300.0, 900, ArrivalKind::Uniform).generate(&mut rng);
+        assert_eq!(times.len(), 900);
+        assert_eq!(times[0], SimTime::ZERO);
+        // 900 arrivals at 300 tps span just under 3 seconds.
+        let last = *times.last().unwrap();
+        assert!((last.as_secs_f64() - 899.0 / 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poisson_mean_rate_close() {
+        let mut rng = SimRng::seed_from(2);
+        let n = 30_000;
+        let times = ArrivalProcess::new(500.0, n, ArrivalKind::Poisson).generate(&mut rng);
+        let span = times.last().unwrap().as_secs_f64();
+        let rate = (n - 1) as f64 / span;
+        assert!((rate - 500.0).abs() < 20.0, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut rng = SimRng::seed_from(3);
+        let times = ArrivalProcess::new(50.0, 1000, ArrivalKind::Poisson).generate(&mut rng);
+        for pair in times.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        ArrivalProcess::new(0.0, 10, ArrivalKind::Uniform);
+    }
+
+    #[test]
+    fn empty_count_is_fine() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(ArrivalProcess::new(10.0, 0, ArrivalKind::Uniform)
+            .generate(&mut rng)
+            .is_empty());
+    }
+}

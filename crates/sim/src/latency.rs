@@ -1,0 +1,166 @@
+//! Latency distributions.
+//!
+//! Network and processing delays in the pipeline are sampled from these
+//! models. Calibration constants live in the `fabric` crate
+//! (`latency.rs` there documents the values and their paper-shaped
+//! rationale); this module only provides the distribution machinery.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// A latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Always the same delay.
+    Constant(SimTime),
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: SimTime,
+        /// Upper bound (exclusive).
+        hi: SimTime,
+    },
+    /// Normal with the given mean/σ (in seconds), clamped below at `min`.
+    Normal {
+        /// Mean in seconds.
+        mean_secs: f64,
+        /// Standard deviation in seconds.
+        std_secs: f64,
+        /// Hard lower clamp.
+        min: SimTime,
+    },
+    /// Exponential with the given mean (in seconds).
+    Exponential {
+        /// Mean in seconds.
+        mean_secs: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Zero latency.
+    pub fn zero() -> Self {
+        LatencyModel::Constant(SimTime::ZERO)
+    }
+
+    /// Draws a delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimTime {
+        match *self {
+            LatencyModel::Constant(t) => t,
+            LatencyModel::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    SimTime::from_micros(rng.gen_range(lo.as_micros(), hi.as_micros()))
+                }
+            }
+            LatencyModel::Normal {
+                mean_secs,
+                std_secs,
+                min,
+            } => {
+                let drawn = SimTime::from_secs_f64(rng.normal(mean_secs, std_secs));
+                drawn.max(min)
+            }
+            LatencyModel::Exponential { mean_secs } => {
+                SimTime::from_secs_f64(rng.exponential(mean_secs))
+            }
+        }
+    }
+
+    /// The distribution's mean, for documentation and sanity checks.
+    pub fn mean(&self) -> SimTime {
+        match *self {
+            LatencyModel::Constant(t) => t,
+            LatencyModel::Uniform { lo, hi } => {
+                SimTime::from_micros((lo.as_micros() + hi.as_micros()) / 2)
+            }
+            LatencyModel::Normal { mean_secs, .. } => SimTime::from_secs_f64(mean_secs),
+            LatencyModel::Exponential { mean_secs } => SimTime::from_secs_f64(mean_secs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(SimTime::from_millis(3));
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimTime::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = LatencyModel::Uniform {
+            lo: SimTime::from_millis(1),
+            hi: SimTime::from_millis(2),
+        };
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..1000 {
+            let t = m.sample(&mut rng);
+            assert!(t >= SimTime::from_millis(1) && t < SimTime::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_lo() {
+        let m = LatencyModel::Uniform {
+            lo: SimTime::from_millis(5),
+            hi: SimTime::from_millis(5),
+        };
+        assert_eq!(m.sample(&mut SimRng::seed_from(0)), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn normal_respects_min_clamp() {
+        let m = LatencyModel::Normal {
+            mean_secs: 0.001,
+            std_secs: 0.010, // huge σ forces negative draws
+            min: SimTime::from_micros(100),
+        };
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            assert!(m.sample(&mut rng) >= SimTime::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let m = LatencyModel::Exponential { mean_secs: 0.004 };
+        let mut rng = SimRng::seed_from(4);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.004).abs() < 0.0004, "mean {mean}");
+    }
+
+    #[test]
+    fn mean_accessor() {
+        assert_eq!(
+            LatencyModel::Uniform {
+                lo: SimTime::from_millis(2),
+                hi: SimTime::from_millis(4),
+            }
+            .mean(),
+            SimTime::from_millis(3)
+        );
+        assert_eq!(
+            LatencyModel::Constant(SimTime::from_millis(7)).mean(),
+            SimTime::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::Exponential { mean_secs: 0.01 };
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        for _ in 0..20 {
+            assert_eq!(m.sample(&mut a), m.sample(&mut b));
+        }
+    }
+}

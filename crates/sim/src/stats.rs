@@ -1,0 +1,229 @@
+//! Statistics for experiment metrics.
+
+use crate::time::SimTime;
+
+/// Online mean/min/max accumulator (no sample storage).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, or `None` before the first sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// A full-sample summary with percentiles, built from stored samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    sum: f64,
+}
+
+impl Summary {
+    /// Builds a summary from samples (any order).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let sum = samples.iter().sum();
+        Summary {
+            sorted: samples,
+            sum,
+        }
+    }
+
+    /// Builds a summary of latencies in seconds.
+    pub fn from_times(times: &[SimTime]) -> Self {
+        Self::from_samples(times.iter().map(|t| t.as_secs_f64()).collect())
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.sorted.is_empty()).then(|| self.sum / self.sorted.len() as f64)
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The `p`-th percentile (0–100), nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile in [0, 100]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        Some(self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+}
+
+/// Fixed-width time-bucketed counter, e.g. committed transactions per
+/// second over the run — the series behind throughput plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBuckets {
+    width: SimTime,
+    counts: Vec<u64>,
+}
+
+impl TimeBuckets {
+    /// Creates buckets of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: SimTime) -> Self {
+        assert!(width > SimTime::ZERO, "bucket width must be positive");
+        TimeBuckets {
+            width,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records one occurrence at time `at`.
+    pub fn record(&mut self, at: SimTime) {
+        let idx = (at.as_micros() / self.width.as_micros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// The per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Peak bucket count.
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), None);
+        for x in [2.0, 4.0, 6.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let s = Summary::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(s.percentile(50.0), Some(50.0));
+        assert_eq!(s.percentile(95.0), Some(95.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.median(), Some(50.0));
+        assert_eq!(s.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::from_samples(vec![]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(50.0), None);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(vec![7.5]);
+        assert_eq!(s.median(), Some(7.5));
+        assert_eq!(s.min(), s.max());
+    }
+
+    #[test]
+    fn summary_from_times() {
+        let s = Summary::from_times(&[SimTime::from_millis(100), SimTime::from_millis(300)]);
+        assert_eq!(s.mean(), Some(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        Summary::from_samples(vec![1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn time_buckets() {
+        let mut b = TimeBuckets::new(SimTime::from_secs(1));
+        b.record(SimTime::from_millis(100));
+        b.record(SimTime::from_millis(900));
+        b.record(SimTime::from_millis(1500));
+        assert_eq!(b.counts(), &[2, 1]);
+        assert_eq!(b.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_width_panics() {
+        TimeBuckets::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,330 @@
+//! The experiment runner — one call per (system, configuration) cell of
+//! the paper's evaluation.
+//!
+//! Fixed setup (§7.2): 3 organizations × 2 peers, 1 orderer, 1 channel,
+//! 4 clients submitting a total of 10 000 transactions, ledger
+//! pre-populated with every key read during the run. Per-experiment
+//! knobs: block size, submission rate, read/write key counts, JSON
+//! shape, and the percentage of conflicting transactions.
+
+use fabriccrdt::{fabric_reordering_simulation, fabric_simulation, fabriccrdt_simulation};
+use fabriccrdt_fabric::chaincode::{Chaincode, ChaincodeRegistry};
+use fabriccrdt_fabric::config::PipelineConfig;
+use fabriccrdt_fabric::metrics::RunMetrics;
+use fabriccrdt_fabric::simulation::TxRequest;
+use fabriccrdt_sim::arrivals::{ArrivalKind, ArrivalProcess};
+use fabriccrdt_sim::rng::SimRng;
+use fabriccrdt_sim::time::SimTime;
+use std::sync::Arc;
+
+use crate::generator::{shaped_payload, JsonShape};
+use crate::iot::IotChaincode;
+
+/// Which system a run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Vanilla Fabric: MVCC validation, conflicts fail.
+    Fabric,
+    /// FabricCRDT: Algorithm 1, conflicts merge.
+    FabricCrdt,
+    /// Fabric with Fabric++-style orderer reordering + early abort —
+    /// the transaction-reordering baseline of the paper's §8.
+    FabricReordering,
+}
+
+impl SystemKind {
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Fabric => "Fabric",
+            SystemKind::FabricCrdt => "FabricCRDT",
+            SystemKind::FabricReordering => "Fabric++",
+        }
+    }
+
+    /// The paper's best block size for this system (§7.3): 25 for
+    /// FabricCRDT, 400 for Fabric (reordering inherits Fabric's).
+    pub fn best_block_size(self) -> usize {
+        match self {
+            SystemKind::Fabric | SystemKind::FabricReordering => 400,
+            SystemKind::FabricCrdt => 25,
+        }
+    }
+}
+
+/// Full configuration of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// System under test.
+    pub system: SystemKind,
+    /// Maximum transactions per block.
+    pub block_size: usize,
+    /// Aggregate submission rate over all clients, tx/s.
+    pub rate_tps: f64,
+    /// Total transactions submitted (10 000 in the paper).
+    pub total_txs: usize,
+    /// Keys read per transaction.
+    pub read_keys: usize,
+    /// Keys written per transaction.
+    pub write_keys: usize,
+    /// Shape of the JSON object written.
+    pub shape: JsonShape,
+    /// Percentage (0–100) of transactions touching the shared (hot) key
+    /// set; the rest use per-transaction private keys.
+    pub conflict_pct: u8,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The base configuration shared by the paper's experiments
+    /// (Tables 1–5): rate 300 tx/s, 1 read and 1 write key, 2-key JSON,
+    /// 100 % conflicting, 10 000 transactions, FabricCRDT at its best
+    /// block size.
+    pub fn paper_defaults() -> Self {
+        ExperimentConfig {
+            system: SystemKind::FabricCrdt,
+            block_size: SystemKind::FabricCrdt.best_block_size(),
+            rate_tps: 300.0,
+            total_txs: 10_000,
+            read_keys: 1,
+            write_keys: 1,
+            shape: JsonShape::paper_default(),
+            conflict_pct: 100,
+            seed: 42,
+        }
+    }
+
+    /// Same configuration switched to the other system at its own best
+    /// block size — how the paper compares the two (§7.3).
+    pub fn for_system(mut self, system: SystemKind) -> Self {
+        self.system = system;
+        self.block_size = system.best_block_size();
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conflict_pct > 100` or a key count is zero.
+    pub fn run(self) -> ExperimentResult {
+        assert!(self.conflict_pct <= 100, "conflict_pct is a percentage");
+        assert!(self.write_keys >= 1, "at least one write key");
+        let shared_read_keys: Vec<String> = (0..self.read_keys.max(self.write_keys))
+            .map(|j| format!("shared-{j}"))
+            .collect();
+
+        let chaincode = match self.system {
+            SystemKind::Fabric | SystemKind::FabricReordering => IotChaincode::plain(),
+            SystemKind::FabricCrdt => IotChaincode::crdt(),
+        };
+        let chaincode_name = chaincode.name().to_owned();
+        let mut registry = ChaincodeRegistry::new();
+        registry.deploy(Arc::new(chaincode));
+
+        let pipeline = PipelineConfig::paper(self.block_size, self.seed);
+
+        // Arrival schedule: Caliper's fixed-rate open loop.
+        let mut rng = SimRng::seed_from(self.seed ^ 0x9e37_79b9);
+        let arrivals = ArrivalProcess::new(self.rate_tps, self.total_txs, ArrivalKind::Uniform)
+            .generate(&mut rng);
+
+        let mut schedule: Vec<(SimTime, TxRequest)> = Vec::with_capacity(self.total_txs);
+        let mut seed_keys: Vec<String> = shared_read_keys.clone();
+        for (i, at) in arrivals.into_iter().enumerate() {
+            // Deterministic, exactly-proportional conflict assignment.
+            let conflicting = (i % 100) < self.conflict_pct as usize;
+            let (reads, writes): (Vec<String>, Vec<String>) = if conflicting {
+                (
+                    shared_read_keys[..self.read_keys].to_vec(),
+                    shared_read_keys[..self.write_keys].to_vec(),
+                )
+            } else {
+                let private: Vec<String> = (0..self.read_keys.max(self.write_keys))
+                    .map(|j| format!("priv-{i}-{j}"))
+                    .collect();
+                seed_keys.extend(private[..self.read_keys].iter().cloned());
+                (
+                    private[..self.read_keys].to_vec(),
+                    private[..self.write_keys].to_vec(),
+                )
+            };
+            let device = writes.first().cloned().unwrap_or_default();
+            let payload = shaped_payload(self.shape, &device, i).to_compact_string();
+            schedule.push((
+                at,
+                TxRequest::new(chaincode_name.clone(), IotChaincode::args(&reads, &writes, &payload)),
+            ));
+        }
+
+        // §7.2: populate the ledger with the keys read during the run.
+        let seed_value = shaped_payload(self.shape, "seed", usize::MAX).to_compact_string();
+        let metrics = match self.system {
+            SystemKind::Fabric => {
+                let mut sim = fabric_simulation(pipeline, registry);
+                for key in &seed_keys {
+                    sim.seed_state(key.clone(), seed_value.clone().into_bytes());
+                }
+                sim.run(schedule)
+            }
+            SystemKind::FabricReordering => {
+                let mut sim = fabric_reordering_simulation(pipeline, registry);
+                for key in &seed_keys {
+                    sim.seed_state(key.clone(), seed_value.clone().into_bytes());
+                }
+                sim.run(schedule)
+            }
+            SystemKind::FabricCrdt => {
+                let mut sim = fabriccrdt_simulation(pipeline, registry);
+                for key in &seed_keys {
+                    sim.seed_state(key.clone(), seed_value.clone().into_bytes());
+                }
+                sim.run(schedule)
+            }
+        };
+
+        ExperimentResult::from_metrics(self, &metrics)
+    }
+}
+
+/// The three quantities every figure plots, plus context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// Successful transactions (panel c).
+    pub successful: usize,
+    /// Failed transactions.
+    pub failed: usize,
+    /// Successful-transaction throughput, tx/s (panel a).
+    pub throughput_tps: f64,
+    /// Average latency of successful transactions, seconds (panel b).
+    pub avg_latency_secs: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_latency_secs: f64,
+    /// Blocks committed.
+    pub blocks: u64,
+    /// Total simulated duration, seconds.
+    pub duration_secs: f64,
+}
+
+impl ExperimentResult {
+    fn from_metrics(config: ExperimentConfig, metrics: &RunMetrics) -> Self {
+        let latency = metrics.latency_summary();
+        ExperimentResult {
+            config,
+            successful: metrics.successful(),
+            failed: metrics.failed(),
+            throughput_tps: metrics.successful_throughput_tps(),
+            avg_latency_secs: metrics.avg_latency_secs(),
+            p95_latency_secs: latency.percentile(95.0).unwrap_or(0.0),
+            blocks: metrics.blocks_committed,
+            duration_secs: metrics.end_time.as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(system: SystemKind) -> ExperimentConfig {
+        ExperimentConfig {
+            total_txs: 300,
+            ..ExperimentConfig::paper_defaults().for_system(system)
+        }
+    }
+
+    #[test]
+    fn fabriccrdt_commits_everything_under_full_conflict() {
+        let result = small(SystemKind::FabricCrdt).run();
+        assert_eq!(result.successful, 300);
+        assert_eq!(result.failed, 0);
+        assert!(result.throughput_tps > 100.0);
+    }
+
+    #[test]
+    fn fabric_fails_most_under_full_conflict() {
+        let result = small(SystemKind::Fabric).run();
+        assert!(result.successful < 60, "successes {}", result.successful);
+        assert_eq!(result.successful + result.failed, 300);
+    }
+
+    #[test]
+    fn zero_conflict_both_commit_everything() {
+        for system in [SystemKind::Fabric, SystemKind::FabricCrdt] {
+            let result = ExperimentConfig {
+                conflict_pct: 0,
+                ..small(system)
+            }
+            .run();
+            assert_eq!(result.successful, 300, "{}", system.label());
+        }
+    }
+
+    #[test]
+    fn half_conflict_fabric_fails_only_conflicting_share() {
+        let result = ExperimentConfig {
+            conflict_pct: 50,
+            ..small(SystemKind::Fabric)
+        }
+        .run();
+        // Non-conflicting half always commits; some of the conflicting
+        // half commits too (first per epoch).
+        assert!(result.successful >= 150);
+        assert!(result.failed > 50);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = small(SystemKind::FabricCrdt).run();
+        let b = small(SystemKind::FabricCrdt).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_blocks_slow_fabriccrdt() {
+        let small_blocks = ExperimentConfig {
+            block_size: 25,
+            total_txs: 500,
+            ..ExperimentConfig::paper_defaults()
+        }
+        .run();
+        let large_blocks = ExperimentConfig {
+            block_size: 500,
+            total_txs: 500,
+            ..ExperimentConfig::paper_defaults()
+        }
+        .run();
+        assert!(
+            small_blocks.throughput_tps > large_blocks.throughput_tps,
+            "small {} vs large {}",
+            small_blocks.throughput_tps,
+            large_blocks.throughput_tps
+        );
+        assert_eq!(large_blocks.successful, 500); // still no failures
+    }
+
+    #[test]
+    fn fabric_reordering_runs_and_early_aborts() {
+        let result = small(SystemKind::FabricReordering).run();
+        // Under the all-conflicting RMW workload, reordering can only
+        // early-abort the conflict cliques; everything still resolves.
+        assert_eq!(result.successful + result.failed, 300);
+        assert!(result.failed > 0);
+    }
+
+    #[test]
+    fn best_block_sizes_match_paper() {
+        assert_eq!(SystemKind::FabricCrdt.best_block_size(), 25);
+        assert_eq!(SystemKind::Fabric.best_block_size(), 400);
+    }
+
+    #[test]
+    fn for_system_switches_block_size() {
+        let cfg = ExperimentConfig::paper_defaults().for_system(SystemKind::Fabric);
+        assert_eq!(cfg.system, SystemKind::Fabric);
+        assert_eq!(cfg.block_size, 400);
+    }
+}

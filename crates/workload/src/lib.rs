@@ -1,0 +1,43 @@
+//! Workload generation and the experiment runner — the reproduction's
+//! Hyperledger Caliper (§7.1–7.2 of the FabricCRDT paper).
+//!
+//! - [`iot`]: the paper's IoT temperature chaincode — reads the device
+//!   document, writes a JSON with the device id and new readings, either
+//!   CRDT-flagged (`putCRDT`) or plain.
+//! - [`generator`]: JSON payload shapes, including the "k-d complexity"
+//!   objects of §7.5.
+//! - [`experiment`]: one-call experiment execution — topology, block
+//!   size, rate, read/write key counts, JSON shape, conflict percentage —
+//!   against either system, returning the three metrics every figure
+//!   plots.
+//! - [`report`]: plain-text tables for the figure/bench binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use fabriccrdt_workload::experiment::{ExperimentConfig, SystemKind};
+//!
+//! let result = ExperimentConfig {
+//!     system: SystemKind::FabricCrdt,
+//!     total_txs: 200,
+//!     ..ExperimentConfig::paper_defaults()
+//! }
+//! .run();
+//! assert_eq!(result.successful, 200); // FabricCRDT commits everything
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod caliper;
+pub mod experiment;
+pub mod generator;
+pub mod iot;
+pub mod report;
+pub mod smallbank;
+
+pub use caliper::{Benchmark, BenchmarkReport};
+pub use experiment::{ExperimentConfig, ExperimentResult, SystemKind};
+pub use generator::JsonShape;
+pub use iot::IotChaincode;
+pub use smallbank::SmallBankChaincode;

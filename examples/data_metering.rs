@@ -1,0 +1,129 @@
+//! Data metering with counter CRDTs (paper §6 + future work §9).
+//!
+//! The paper names data metering among the use cases that benefit from
+//! CRDT-enabled databases and lists counter CRDTs as planned future
+//! work. This reproduction implements them: a CRDT-flagged write whose
+//! JSON carries a `"_crdt":"g-counter"` envelope merges with grow-only
+//! counter semantics at commit time.
+//!
+//! Four API gateways concurrently meter requests against one shared
+//! usage counter. Every increment commits (no failures), none is lost
+//! (per-actor counts join by max), and the committed value is exact.
+//!
+//! Run with: `cargo run --release --example data_metering`
+
+use std::sync::Arc;
+
+use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
+use fabriccrdt_repro::fabric::chaincode::{Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub};
+use fabriccrdt_repro::fabric::config::PipelineConfig;
+use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::jsoncrdt::json::Value;
+use fabriccrdt_repro::sim::time::SimTime;
+
+/// Metering chaincode. Args: [counter key, actor, cumulative count].
+///
+/// State-based G-counter discipline: each actor *owns* its component and
+/// tracks it monotonically on its side (a gateway always knows how many
+/// requests it has served), submitting the new cumulative value. The
+/// commit-time merge joins components by per-actor max, so concurrent
+/// submissions from *different* actors never interfere, and a lagging
+/// duplicate from the same actor is harmlessly idempotent. Reading the
+/// key through the shim still records the MVCC dependency, which
+/// FabricCRDT then merges over instead of failing.
+struct Meter;
+
+impl Chaincode for Meter {
+    fn name(&self) -> &str {
+        "meter"
+    }
+
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[String]) -> Result<(), ChaincodeError> {
+        let [key, actor, cumulative] = args else {
+            return Err(ChaincodeError::new("expected [key, actor, cumulative]"));
+        };
+        let cumulative: u64 = cumulative
+            .parse()
+            .map_err(|_| ChaincodeError::new("cumulative must be a non-negative integer"))?;
+
+        // Full-state gossip: carry the committed components of every
+        // actor forward (Algorithm 1 merges each block from empty, so a
+        // submission must include the state it has observed) and join
+        // our own component by max — stale copies of other actors are
+        // always ≤ their current value, so the per-actor max at commit
+        // time keeps every owner's latest count.
+        let committed = stub
+            .get_state(key)
+            .and_then(|bytes| Value::from_bytes(&bytes).ok());
+        let mut counts = committed
+            .as_ref()
+            .and_then(|v| v.get("counts"))
+            .cloned()
+            .unwrap_or_else(Value::empty_map);
+        let observed_own: u64 = counts
+            .get(actor)
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        counts.insert(
+            actor.clone(),
+            Value::string(observed_own.max(cumulative).to_string()),
+        );
+        let mut envelope = Value::empty_map();
+        envelope.insert("_crdt", Value::string("g-counter"));
+        envelope.insert("counts", counts);
+        stub.put_crdt(key, envelope.to_bytes());
+        Ok(())
+    }
+}
+
+fn main() {
+    let mut registry = ChaincodeRegistry::new();
+    registry.deploy(Arc::new(Meter));
+    let mut sim = fabriccrdt_simulation(PipelineConfig::paper(25, 21), registry);
+
+    // Four gateways, 50 metering events each, all hammering one counter.
+    let gateways = ["gw-eu", "gw-us", "gw-ap", "gw-sa"];
+    let mut schedule = Vec::new();
+    let mut i = 0u64;
+    for round in 1..=50u64 {
+        for gw in gateways {
+            schedule.push((
+                SimTime::from_millis(i * 4),
+                TxRequest::new(
+                    "meter",
+                    // Each gateway submits its own cumulative count.
+                    vec!["api-usage".into(), gw.into(), round.to_string()],
+                ),
+            ));
+            i += 1;
+        }
+    }
+    let total = schedule.len();
+
+    let metrics = sim.run(schedule);
+    println!(
+        "{} metering increments submitted, {} committed, {} failed",
+        total,
+        metrics.successful(),
+        metrics.failed()
+    );
+    assert_eq!(metrics.failed(), 0);
+
+    let committed = Value::from_bytes(sim.peer().state().value("api-usage").unwrap()).unwrap();
+    println!("\ncommitted counter state:\n{}", committed.to_pretty_string());
+
+    let value: u64 = committed
+        .get("value")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .parse()
+        .unwrap();
+    println!("\ntotal metered requests: {value} (expected {total})");
+    assert_eq!(value as usize, total, "every increment accounted for");
+
+    println!("\nOn Fabric this workload would lose most increments to MVCC");
+    println!("conflicts; with read-modify-write retries it would need many");
+    println!("round trips. The g-counter envelope commits all of them in one.");
+}

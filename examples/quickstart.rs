@@ -1,0 +1,86 @@
+//! Quickstart: the paper's Listing 1 → Listing 2 merge, end to end.
+//!
+//! Builds a simulated FabricCRDT network (3 orgs × 2 peers, 1 orderer),
+//! deploys the IoT chaincode, submits two transactions that concurrently
+//! update the same device document, and shows that — unlike Fabric —
+//! both commit and their readings merge.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
+use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
+use fabriccrdt_repro::fabric::config::PipelineConfig;
+use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::jsoncrdt::json::Value;
+use fabriccrdt_repro::sim::time::SimTime;
+use fabriccrdt_repro::workload::iot::IotChaincode;
+
+fn schedule(chaincode: &str) -> Vec<(SimTime, TxRequest)> {
+    // Two clients submit concurrent readings for the same device within
+    // one block window — guaranteed MVCC conflict on Fabric.
+    let payloads = [
+        r#"{"deviceID":"Device1","readings":["51.0","49.5"]}"#,
+        r#"{"deviceID":"Device1","readings":["50.0"]}"#,
+    ];
+    payloads
+        .iter()
+        .enumerate()
+        .map(|(i, json)| {
+            (
+                SimTime::from_millis(i as u64 * 3),
+                TxRequest::new(
+                    chaincode,
+                    IotChaincode::args(&["Device1".into()], &["Device1".into()], json),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let seed_doc = br#"{"deviceID":"Device1","readings":[]}"#.to_vec();
+
+    // --- FabricCRDT: conflicting updates merge.
+    let mut registry = ChaincodeRegistry::new();
+    registry.deploy(Arc::new(IotChaincode::crdt()));
+    let mut sim = fabriccrdt_simulation(PipelineConfig::paper(25, 7), registry);
+    sim.seed_state("Device1", seed_doc.clone());
+    let metrics = sim.run(schedule("iot-crdt"));
+
+    println!("== FabricCRDT ==");
+    println!(
+        "submitted: {}, successful: {}, failed: {}",
+        metrics.submitted(),
+        metrics.successful(),
+        metrics.failed()
+    );
+    assert_eq!(metrics.successful(), 2, "FabricCRDT commits both");
+
+    // --- Vanilla Fabric: the same workload loses a transaction.
+    let mut registry = ChaincodeRegistry::new();
+    registry.deploy(Arc::new(IotChaincode::plain()));
+    let mut fabric = fabric_simulation(PipelineConfig::paper(25, 7), registry);
+    fabric.seed_state("Device1", seed_doc);
+    let fabric_metrics = fabric.run(schedule("iot"));
+
+    println!("\n== Fabric ==");
+    println!(
+        "submitted: {}, successful: {}, failed: {} (MVCC conflict)",
+        fabric_metrics.submitted(),
+        fabric_metrics.successful(),
+        fabric_metrics.failed()
+    );
+    assert!(fabric_metrics.failed() >= 1, "Fabric rejects the conflict");
+
+    println!("\nPaper Listing 2 — the merged document on FabricCRDT preserves");
+    println!("every reading from both conflicting transactions (no update loss):");
+    // Demonstrate the merged value through the core validator directly.
+    let mut doc = fabriccrdt_repro::jsoncrdt::JsonCrdt::new(fabriccrdt_repro::jsoncrdt::ReplicaId(1));
+    doc.merge_value(&Value::parse(r#"{"deviceID":"Device1","readings":["51.0","49.5"]}"#).unwrap())
+        .unwrap();
+    doc.merge_value(&Value::parse(r#"{"deviceID":"Device1","readings":["50.0"]}"#).unwrap())
+        .unwrap();
+    println!("{}", doc.to_value().to_pretty_string());
+}

@@ -1,0 +1,136 @@
+//! SmallBank and the limits of CRDT blockchains (paper §6).
+//!
+//! "financial applications like SmallBank or FabCoin ... are bad
+//! choices to be adapted as a CRDT-based blockchain application."
+//!
+//! Runs the classic SmallBank payment mix against three deployments:
+//!
+//! 1. Fabric (correct): conflicting transfers fail MVCC validation, the
+//!    money supply is conserved.
+//! 2. A *naive CRDT port* of the same chaincode on FabricCRDT: every
+//!    transfer commits — and the money supply is silently violated,
+//!    because register-level last-writer-wins merges lose concurrent
+//!    balance updates. This is the anomaly §6 warns about.
+//! 3. The same bank with only *deposits* modelled as counter-CRDT
+//!    envelopes: commutative operations are safe to merge, so this
+//!    hybrid keeps both the no-failure property and correctness — the
+//!    "appropriate use cases" guidance of the paper, in code.
+//!
+//! Run with: `cargo run --release --example smallbank`
+
+use std::sync::Arc;
+
+use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
+use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
+use fabriccrdt_repro::fabric::config::PipelineConfig;
+use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::sim::rng::SimRng;
+use fabriccrdt_repro::sim::time::SimTime;
+use fabriccrdt_repro::workload::smallbank::{total_money, Balances, SmallBankChaincode};
+
+const ACCOUNTS: usize = 4;
+const PAYMENTS: usize = 300;
+const INITIAL: Balances = Balances {
+    checking: 1000,
+    savings: 1000,
+};
+
+fn accounts() -> Vec<String> {
+    (0..ACCOUNTS).map(|i| format!("acct-{i}")).collect()
+}
+
+fn payment_schedule(chaincode: &str) -> Vec<(SimTime, TxRequest)> {
+    let mut rng = SimRng::seed_from(23);
+    (0..PAYMENTS)
+        .map(|i| {
+            let from = rng.gen_range(0, ACCOUNTS as u64);
+            let to = (from + 1 + rng.gen_range(0, ACCOUNTS as u64 - 1)) % ACCOUNTS as u64;
+            (
+                SimTime::from_secs_f64(i as f64 / 300.0),
+                TxRequest::new(
+                    chaincode,
+                    vec![
+                        "send_payment".into(),
+                        format!("acct-{from}"),
+                        format!("acct-{to}"),
+                        "10".into(),
+                    ],
+                ),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let expected_total = (ACCOUNTS as i64) * (INITIAL.checking + INITIAL.savings);
+    println!(
+        "{PAYMENTS} concurrent $10 payments between {ACCOUNTS} hot accounts; \
+         money supply must stay at ${expected_total}\n"
+    );
+
+    // 1. Fabric: correct, at the cost of failures.
+    let mut registry = ChaincodeRegistry::new();
+    registry.deploy(Arc::new(SmallBankChaincode::classic()));
+    let mut fabric = fabric_simulation(PipelineConfig::paper(25, 23), registry);
+    for account in accounts() {
+        fabric.seed_state(account, INITIAL.to_value().to_bytes());
+    }
+    let metrics = fabric.run(payment_schedule("smallbank"));
+    let total = total_money(fabric.peer().state(), &accounts());
+    println!(
+        "Fabric          : {:3} committed, {:3} failed, total money ${total} {}",
+        metrics.successful(),
+        metrics.failed(),
+        if total == expected_total { "(conserved ✓)" } else { "(VIOLATED!)" }
+    );
+    assert_eq!(total, expected_total);
+
+    // 2. Naive CRDT port: no failures — and broken bookkeeping.
+    let mut registry = ChaincodeRegistry::new();
+    registry.deploy(Arc::new(SmallBankChaincode::naive_crdt_port()));
+    let mut naive = fabriccrdt_simulation(PipelineConfig::paper(25, 23), registry);
+    for account in accounts() {
+        naive.seed_state(account, INITIAL.to_value().to_bytes());
+    }
+    let schedule = payment_schedule("smallbank-crdt");
+    // Every payment will commit, so the correct outcome is simply the
+    // initial balances plus each account's net transfer delta (addition
+    // commutes, so ordering cannot matter).
+    let mut expected_checking: Vec<i64> = vec![INITIAL.checking; ACCOUNTS];
+    for (_, request) in &schedule {
+        let from: usize = request.args[1][5..].parse().unwrap();
+        let to: usize = request.args[2][5..].parse().unwrap();
+        let amount: i64 = request.args[3].parse().unwrap();
+        expected_checking[from] -= amount;
+        expected_checking[to] += amount;
+    }
+    let metrics = naive.run(schedule);
+    let total = total_money(naive.peer().state(), &accounts());
+    let mut lost_updates = 0i64;
+    for (i, account) in accounts().iter().enumerate() {
+        let stored = fabriccrdt_repro::jsoncrdt::json::Value::from_bytes(
+            naive.peer().state().value(account).unwrap(),
+        )
+        .unwrap();
+        let actual = Balances::parse(&stored).unwrap().checking;
+        lost_updates += (actual - expected_checking[i]).abs();
+    }
+    println!(
+        "naive CRDT port : {:3} committed, {:3} failed, total money ${total}, \
+         ${lost_updates} of balance updates lost (§6 anomaly ✗)",
+        metrics.successful(),
+        metrics.failed(),
+    );
+    assert_eq!(metrics.failed(), 0, "CRDT transactions never fail");
+    assert!(
+        lost_updates > 0,
+        "LWW merges of absolute balances must lose concurrent transfers"
+    );
+
+    println!();
+    println!("Transfers need repeatable-read isolation (§6): FabricCRDT skips");
+    println!("MVCC for CRDT transactions, so last-writer-wins merges of");
+    println!("absolute balances lose concurrent updates. Merge-friendly");
+    println!("operations (sensor logs, counters of deposits — see the");
+    println!("data_metering example) are the appropriate CRDT use cases.");
+}

@@ -1,0 +1,232 @@
+//! `fabriccrdt-repro` — command-line front end for the reproduction.
+//!
+//! ```text
+//! fabriccrdt-repro experiment [--system fabric|fabriccrdt|fabric++]
+//!                             [--block-size N] [--rate TPS] [--txs N]
+//!                             [--reads N] [--writes N]
+//!                             [--json-keys K --json-depth D]
+//!                             [--conflicts PCT] [--seed S]
+//!     Run one experiment cell and print its metrics.
+//!
+//! fabriccrdt-repro compare [--txs N] [--seed S]
+//!     Run the paper's base workload on all three systems and print a
+//!     Caliper-style report.
+//!
+//! fabriccrdt-repro export-chain <path> [--txs N] [--seed S]
+//!     Run a small FabricCRDT workload and write the resulting
+//!     blockchain to <path> in the binary block format.
+//!
+//! fabriccrdt-repro verify-chain <path>
+//!     Decode a chain file, verify hash-chain integrity and print a
+//!     summary.
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
+use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
+use fabriccrdt_repro::fabric::config::PipelineConfig;
+use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::ledger::codec;
+use fabriccrdt_repro::sim::time::SimTime;
+use fabriccrdt_repro::workload::caliper::Benchmark;
+use fabriccrdt_repro::workload::experiment::{ExperimentConfig, SystemKind};
+use fabriccrdt_repro::workload::generator::JsonShape;
+use fabriccrdt_repro::workload::iot::IotChaincode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("export-chain") => cmd_export_chain(&args[1..]),
+        Some("verify-chain") => cmd_verify_chain(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; see --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+fabriccrdt-repro — FabricCRDT (Middleware 2019) reproduction CLI
+
+commands:
+  experiment    run one experiment cell (see --help text in source)
+  compare       run the base workload on Fabric, Fabric++ and FabricCRDT
+  export-chain  run a workload and write the blockchain to a file
+  verify-chain  decode a chain file and verify its integrity
+";
+
+/// Tiny flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                pairs.push((key.to_owned(), value.clone()));
+                i += 2;
+            } else {
+                positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+        Ok(Flags { positional, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+}
+
+fn parse_system(name: &str) -> Result<SystemKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "fabric" => Ok(SystemKind::Fabric),
+        "fabriccrdt" | "crdt" => Ok(SystemKind::FabricCrdt),
+        "fabric++" | "reordering" => Ok(SystemKind::FabricReordering),
+        other => Err(format!(
+            "unknown system {other:?}; expected fabric, fabriccrdt or fabric++"
+        )),
+    }
+}
+
+fn cmd_experiment(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let system = parse_system(flags.get("system").unwrap_or("fabriccrdt"))?;
+    let config = ExperimentConfig {
+        system,
+        block_size: flags.num("block-size", system.best_block_size())?,
+        rate_tps: flags.num("rate", 300.0)?,
+        total_txs: flags.num("txs", 10_000)?,
+        read_keys: flags.num("reads", 1)?,
+        write_keys: flags.num("writes", 1)?,
+        shape: JsonShape::complexity(
+            flags.num("json-keys", 2)?,
+            flags.num("json-depth", 1)?,
+        ),
+        conflict_pct: flags.num("conflicts", 100)?,
+        seed: flags.num("seed", 42)?,
+    };
+    let result = config.run();
+    println!("system      : {}", config.system.label());
+    println!("block size  : {}", config.block_size);
+    println!("rate        : {} tx/s over {} txs", config.rate_tps, config.total_txs);
+    println!("successful  : {}", result.successful);
+    println!("failed      : {}", result.failed);
+    println!("throughput  : {:.1} tx/s", result.throughput_tps);
+    println!("avg latency : {:.3} s", result.avg_latency_secs);
+    println!("p95 latency : {:.3} s", result.p95_latency_secs);
+    println!("blocks      : {}", result.blocks);
+    println!("duration    : {:.1} s (simulated)", result.duration_secs);
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let base = ExperimentConfig {
+        total_txs: flags.num("txs", 2_000)?,
+        seed: flags.num("seed", 42)?,
+        ..ExperimentConfig::paper_defaults()
+    };
+    let report = Benchmark::new("paper base workload (all transactions conflicting)")
+        .round("fabric", base.for_system(SystemKind::Fabric))
+        .round("fabric++", base.for_system(SystemKind::FabricReordering))
+        .round("fabriccrdt", base.for_system(SystemKind::FabricCrdt))
+        .run();
+    println!("{}", report.render());
+    Ok(())
+}
+
+fn run_small_crdt_workload(txs: usize, seed: u64) -> fabriccrdt_repro::ledger::Blockchain {
+    let mut registry = ChaincodeRegistry::new();
+    registry.deploy(Arc::new(IotChaincode::crdt()));
+    let mut sim = fabriccrdt_simulation(PipelineConfig::paper(25, seed), registry);
+    sim.seed_state("device1", br#"{"readings":[]}"#.to_vec());
+    let schedule: Vec<(SimTime, TxRequest)> = (0..txs)
+        .map(|i| {
+            let json = format!(r#"{{"deviceID":"device1","readings":["r{i}"]}}"#);
+            (
+                SimTime::from_secs_f64(i as f64 / 300.0),
+                TxRequest::new(
+                    "iot-crdt",
+                    IotChaincode::args(&["device1".into()], &["device1".into()], &json),
+                ),
+            )
+        })
+        .collect();
+    sim.run(schedule);
+    sim.peer().chain().clone()
+}
+
+fn cmd_export_chain(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("export-chain requires a file path")?;
+    let txs = flags.num("txs", 500)?;
+    let seed = flags.num("seed", 42)?;
+    let chain = run_small_crdt_workload(txs, seed);
+    let bytes = codec::encode_chain(&chain);
+    std::fs::write(path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "wrote {} blocks ({} transactions, {} bytes) to {path}",
+        chain.height(),
+        chain.total_transactions(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_verify_chain(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("verify-chain requires a file path")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let chain = codec::decode_chain(&bytes).map_err(|e| format!("decoding: {e}"))?;
+    chain
+        .verify_integrity()
+        .map_err(|e| format!("integrity: {e}"))?;
+    let successful: usize = chain.iter().map(|b| b.successful_count()).sum();
+    println!("chain OK: {} blocks, {} transactions ({} successful), tip hash {}",
+        chain.height(),
+        chain.total_transactions(),
+        successful,
+        fabriccrdt_repro::crypto::hex::encode(&chain.tip_hash())[..16].to_owned() + "…",
+    );
+    Ok(())
+}

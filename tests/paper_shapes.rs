@@ -1,0 +1,171 @@
+//! Regression guards for the paper-shape properties the reproduction is
+//! calibrated to (EXPERIMENTS.md). If a code or calibration change
+//! breaks the *shape* of any figure — who wins, which direction a curve
+//! bends — these tests fail long before anyone re-reads the plots.
+//!
+//! Scaled-down cells (hundreds of transactions) keep the suite fast; the
+//! shapes under test are scale-invariant.
+
+use fabriccrdt_repro::workload::experiment::{ExperimentConfig, SystemKind};
+use fabriccrdt_repro::workload::generator::JsonShape;
+
+fn base(txs: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        total_txs: txs,
+        ..ExperimentConfig::paper_defaults()
+    }
+}
+
+/// Figure 3 shape: FabricCRDT throughput declines with block size and
+/// never fails; Fabric commits only a handful under full conflict.
+#[test]
+fn fig3_shape_block_size_penalty() {
+    let mut previous = f64::INFINITY;
+    for block_size in [25, 100, 400] {
+        let result = ExperimentConfig {
+            block_size,
+            ..base(800)
+        }
+        .run();
+        assert_eq!(result.failed, 0, "FabricCRDT never fails (block {block_size})");
+        assert!(
+            result.throughput_tps < previous + 5.0,
+            "throughput must not rise with block size: {} at {block_size} after {previous}",
+            result.throughput_tps
+        );
+        previous = result.throughput_tps;
+    }
+
+    let fabric = base(800).for_system(SystemKind::Fabric).run();
+    assert!(
+        fabric.successful < 80,
+        "Fabric commits only a few under full conflict: {}",
+        fabric.successful
+    );
+}
+
+/// Figure 4 shape: more write keys cost FabricCRDT throughput; more
+/// read keys cost some too; never any failures.
+#[test]
+fn fig4_shape_rw_key_costs() {
+    let one = base(600).run();
+    let more_writes = ExperimentConfig {
+        write_keys: 3,
+        ..base(600)
+    }
+    .run();
+    let more_reads = ExperimentConfig {
+        read_keys: 5,
+        ..base(600)
+    }
+    .run();
+    assert!(more_writes.throughput_tps < one.throughput_tps * 0.8);
+    assert!(more_reads.throughput_tps < one.throughput_tps);
+    assert_eq!(more_writes.failed + more_reads.failed, 0);
+}
+
+/// Figure 5 shape: JSON complexity costs FabricCRDT throughput
+/// monotonically; Fabric is flat in complexity.
+#[test]
+fn fig5_shape_complexity_penalty() {
+    let flat = ExperimentConfig {
+        shape: JsonShape::complexity(1, 1),
+        ..base(600)
+    }
+    .run();
+    let deep = ExperimentConfig {
+        shape: JsonShape::complexity(4, 4),
+        ..base(600)
+    }
+    .run();
+    assert!(deep.throughput_tps < flat.throughput_tps * 0.5);
+    assert_eq!(deep.failed, 0);
+
+    let fabric_flat = ExperimentConfig {
+        shape: JsonShape::complexity(1, 1),
+        ..base(600).for_system(SystemKind::Fabric)
+    }
+    .run();
+    let fabric_deep = ExperimentConfig {
+        shape: JsonShape::complexity(4, 4),
+        ..base(600).for_system(SystemKind::Fabric)
+    }
+    .run();
+    assert_eq!(
+        fabric_flat.successful, fabric_deep.successful,
+        "Fabric never inspects values"
+    );
+}
+
+/// Figure 6 shape: throughput tracks offered load until saturation,
+/// then latency blows up.
+#[test]
+fn fig6_shape_saturation() {
+    let low = ExperimentConfig {
+        rate_tps: 100.0,
+        ..base(600)
+    }
+    .run();
+    let high = ExperimentConfig {
+        rate_tps: 500.0,
+        ..base(600)
+    }
+    .run();
+    assert!((low.throughput_tps - 100.0).abs() < 10.0, "{}", low.throughput_tps);
+    assert!(high.throughput_tps < 320.0, "saturation cap");
+    assert!(high.avg_latency_secs > low.avg_latency_secs * 2.0, "queueing latency");
+    assert_eq!(high.failed, 0);
+}
+
+/// Figure 7 shape: comparable systems at zero conflicts; Fabric's
+/// failures grow roughly linearly with the conflicting share;
+/// FabricCRDT never fails.
+#[test]
+fn fig7_shape_conflict_gradient() {
+    let crdt_zero = ExperimentConfig {
+        conflict_pct: 0,
+        ..base(600)
+    }
+    .run();
+    let fabric_zero = ExperimentConfig {
+        conflict_pct: 0,
+        ..base(600).for_system(SystemKind::Fabric)
+    }
+    .run();
+    assert_eq!(crdt_zero.failed, 0);
+    assert_eq!(fabric_zero.failed, 0, "no conflicts, no failures");
+
+    let mut last_failed = 0;
+    for pct in [25u8, 50, 75] {
+        let fabric = ExperimentConfig {
+            conflict_pct: pct,
+            ..base(600).for_system(SystemKind::Fabric)
+        }
+        .run();
+        assert!(
+            fabric.failed > last_failed,
+            "failures grow with conflict share"
+        );
+        last_failed = fabric.failed;
+
+        let crdt = ExperimentConfig {
+            conflict_pct: pct,
+            ..base(600)
+        }
+        .run();
+        assert_eq!(crdt.failed, 0, "FabricCRDT never fails at {pct}%");
+    }
+}
+
+/// Headline calibration: FabricCRDT saturates in the paper's operating
+/// band (paper: 267 tx/s; accept 230–320 to allow recalibration slack).
+#[test]
+fn headline_saturation_band() {
+    let result = base(2000).run();
+    assert!(
+        (230.0..320.0).contains(&result.throughput_tps),
+        "saturated throughput {} outside the paper band",
+        result.throughput_tps
+    );
+    assert_eq!(result.successful, 2000);
+}
