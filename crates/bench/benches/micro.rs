@@ -1,10 +1,19 @@
-//! Criterion micro-benchmarks for the hot paths behind the figures:
-//! SHA-256 and Merkle hashing (block sealing), JSON parse/serialize
-//! (chaincode payloads), JSON-CRDT merging at several block sizes (the
-//! mechanism behind Figure 3's block-size penalty), MVCC validation, the
+//! Micro-benchmarks for the hot paths behind the figures: SHA-256 and
+//! Merkle hashing (block sealing), JSON parse/serialize (chaincode
+//! payloads), JSON-CRDT merging at several block sizes (the mechanism
+//! behind Figure 3's block-size penalty), MVCC validation, the
 //! FabricCRDT merge-validate path, and orderer block cutting.
+//!
+//! The harness is self-contained (no criterion) so the workspace builds
+//! offline: each benchmark is warmed up, then timed over enough
+//! iterations to fill a fixed measurement window, reporting ns/iter and
+//! derived throughput.
+//!
+//! Run with: `cargo bench` (or `cargo bench -- <filter>`), and
+//! `BENCH_QUICK=1 cargo bench` for a fast smoke pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use fabriccrdt::validator::CrdtValidator;
 use fabriccrdt_crypto::{sha256, Identity, MerkleTree};
@@ -20,8 +29,84 @@ use fabriccrdt_ledger::version::Height;
 use fabriccrdt_ledger::worldstate::WorldState;
 use fabriccrdt_sim::time::SimTime;
 
+/// Times `f` and prints one report line. `elements`/`bytes` drive the
+/// optional throughput columns.
+struct Bench {
+    filter: Option<String>,
+    warmup: Duration,
+    window: Duration,
+}
+
+impl Bench {
+    fn from_env() -> Self {
+        let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0");
+        // `cargo bench -- <filter>` passes the filter as an argument;
+        // ignore harness flags like `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Bench {
+            filter,
+            warmup: if quick {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(150)
+            },
+            window: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(500)
+            },
+        }
+    }
+
+    fn run<T>(
+        &self,
+        name: &str,
+        elements: Option<u64>,
+        bytes: Option<u64>,
+        mut f: impl FnMut() -> T,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let iters =
+            (self.window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 5_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        let ns = elapsed.as_nanos() as f64 / iters as f64;
+        let mut line = format!("{name:<40} {ns:>14.1} ns/iter  ({iters} iters)");
+        let secs = ns / 1e9;
+        if let Some(n) = elements {
+            line.push_str(&format!("  {:>10.0} elem/s", n as f64 / secs));
+        }
+        if let Some(b) = bytes {
+            line.push_str(&format!(
+                "  {:>8.1} MiB/s",
+                b as f64 / secs / (1024.0 * 1024.0)
+            ));
+        }
+        println!("{line}");
+    }
+}
+
 fn payload(i: usize) -> String {
-    format!(r#"{{"deviceID":"Device1","readings":["{}.0"]}}"#, 40 + i % 30)
+    format!(
+        r#"{{"deviceID":"Device1","readings":["{}.0"]}}"#,
+        40 + i % 30
+    )
 }
 
 fn crdt_tx(n: u64, stale: bool) -> Transaction {
@@ -33,7 +118,9 @@ fn crdt_tx(n: u64, stale: bool) -> Transaction {
         Some(Height::new(1, 0))
     };
     rwset.reads.record("hot", version);
-    rwset.writes.put_crdt("hot", payload(n as usize).into_bytes());
+    rwset
+        .writes
+        .put_crdt("hot", payload(n as usize).into_bytes());
     Transaction {
         id: TxId::derive(&client, n, "iot"),
         client,
@@ -63,131 +150,114 @@ fn seeded_state() -> WorldState {
     state
 }
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn main() {
+    let bench = Bench::from_env();
+
     for size in [64usize, 1024, 16 * 1024] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| sha256::digest(data));
+        bench.run(&format!("sha256/{size}"), None, Some(size as u64), || {
+            sha256::digest(&data)
         });
     }
-    group.finish();
-}
 
-fn bench_merkle(c: &mut Criterion) {
     let leaves: Vec<Vec<u8>> = (0..256).map(|i| format!("tx-{i}").into_bytes()).collect();
-    c.bench_function("merkle/build-256-leaves", |b| {
-        b.iter(|| MerkleTree::from_leaves(&leaves).root());
+    bench.run("merkle/build-256-leaves", Some(256), None, || {
+        MerkleTree::from_leaves(&leaves).root()
     });
-}
 
-fn bench_json(c: &mut Criterion) {
     let text = payload(7);
-    c.bench_function("json/parse-iot-payload", |b| {
-        b.iter(|| Value::parse(&text).unwrap());
-    });
+    bench.run(
+        "json/parse-iot-payload",
+        None,
+        Some(text.len() as u64),
+        || Value::parse(&text).unwrap(),
+    );
     let value = Value::parse(&text).unwrap();
-    c.bench_function("json/serialize-iot-payload", |b| {
-        b.iter(|| value.to_compact_string());
+    bench.run("json/serialize-iot-payload", None, None, || {
+        value.to_compact_string()
     });
-}
 
-fn bench_jsoncrdt_merge(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jsoncrdt/merge-n-transactions");
     for n in [10usize, 25, 100, 400] {
         let values: Vec<Value> = (0..n).map(|i| Value::parse(&payload(i)).unwrap()).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, values| {
-            b.iter(|| {
+        bench.run(
+            &format!("jsoncrdt/merge-n-transactions/{n}"),
+            Some(n as u64),
+            None,
+            || {
                 let mut doc = JsonCrdt::new(ReplicaId(1));
-                for v in values {
+                for v in &values {
                     doc.merge_value(v).unwrap();
                 }
                 doc.to_value()
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_mvcc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("validator/fabric-mvcc");
     for n in [25usize, 400] {
         let txs: Vec<Transaction> = (0..n as u64).map(plain_tx).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &txs, |b, txs| {
-            b.iter(|| {
+        bench.run(
+            &format!("validator/fabric-mvcc/{n}"),
+            Some(n as u64),
+            None,
+            || {
                 let mut state = seeded_state();
                 let mut block = Block::assemble(2, [0; 32], txs.clone());
                 FabricValidator::new().validate_and_commit(&mut block, &mut state, &[])
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_crdt_validator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("validator/fabriccrdt-merge");
     for n in [25usize, 100, 400] {
         let txs: Vec<Transaction> = (0..n as u64).map(|i| crdt_tx(i, true)).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &txs, |b, txs| {
-            b.iter(|| {
+        bench.run(
+            &format!("validator/fabriccrdt-merge/{n}"),
+            Some(n as u64),
+            None,
+            || {
                 let mut state = seeded_state();
                 let mut block = Block::assemble(2, [0; 32], txs.clone());
                 CrdtValidator::new().validate_and_commit(&mut block, &mut state, &[])
-            });
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_rga_text(c: &mut Criterion) {
-    use fabriccrdt_jsoncrdt::text::TextDoc;
-    c.bench_function("rga/type-500-chars", |b| {
-        b.iter(|| {
+    {
+        use fabriccrdt_jsoncrdt::text::TextDoc;
+        bench.run("rga/type-500-chars", Some(500), None, || {
             let mut doc = TextDoc::new(ReplicaId(1));
             for i in 0..500 {
                 doc.insert(i, "x");
             }
             doc.text()
         });
-    });
-    c.bench_function("rga/replicate-500-ops", |b| {
         let mut source = TextDoc::new(ReplicaId(1));
         let mut ops = Vec::new();
         for i in 0..500 {
             ops.extend(source.insert(i, "x"));
         }
-        b.iter(|| {
+        bench.run("rga/replicate-500-ops", Some(500), None, || {
             let mut replica = TextDoc::new(ReplicaId(2));
             for op in &ops {
                 replica.apply(op.clone());
             }
             replica.len()
         });
-    });
-}
+    }
 
-fn bench_editor(c: &mut Criterion) {
-    use fabriccrdt_jsoncrdt::Editor;
-    c.bench_function("editor/100-assigns", |b| {
-        b.iter(|| {
+    {
+        use fabriccrdt_jsoncrdt::Editor;
+        bench.run("editor/100-assigns", Some(100), None, || {
             let mut ed = Editor::new(ReplicaId(1));
             for i in 0..100 {
                 ed.assign(&["section", "field"], format!("v{i}")).unwrap();
             }
             ed.document().applied_len()
         });
-    });
-}
+    }
 
-fn bench_reorder(c: &mut Criterion) {
-    // A mixed batch: writers on a hot key plus readers of it — the
-    // workload the Fabric++ baseline reorders profitably.
-    let mut group = c.benchmark_group("reorder/batch");
     for n in [25usize, 400] {
+        // A mixed batch: writers on a hot key plus readers of it — the
+        // workload the Fabric++ baseline reorders profitably.
         let client = Identity::new("client", "org1");
         let batch: Vec<Transaction> = (0..n as u64)
             .map(|i| {
@@ -207,18 +277,14 @@ fn bench_reorder(c: &mut Criterion) {
                 }
             })
             .collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
-            b.iter(|| fabriccrdt_fabric::reorder::reorder_batch(batch.clone()));
+        bench.run(&format!("reorder/batch/{n}"), Some(n as u64), None, || {
+            fabriccrdt_fabric::reorder::reorder_batch(batch.clone())
         });
     }
-    group.finish();
-}
 
-fn bench_orderer(c: &mut Criterion) {
-    c.bench_function("orderer/cut-400-tx-blocks", |b| {
+    {
         let txs: Vec<Transaction> = (0..400).map(plain_tx).collect();
-        b.iter(|| {
+        bench.run("orderer/cut-400-tx-blocks", Some(400), None, || {
             let mut orderer = Orderer::new(BlockCutConfig::with_max_tx(400));
             let mut cut = 0;
             for tx in txs.clone() {
@@ -228,20 +294,5 @@ fn bench_orderer(c: &mut Criterion) {
             }
             cut
         });
-    });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_merkle,
-    bench_json,
-    bench_jsoncrdt_merge,
-    bench_mvcc,
-    bench_crdt_validator,
-    bench_rga_text,
-    bench_editor,
-    bench_reorder,
-    bench_orderer,
-);
-criterion_main!(benches);

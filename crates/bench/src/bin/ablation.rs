@@ -69,7 +69,8 @@ fn reader_writer_schedule(chaincode: &str, n: usize, rate: f64) -> Vec<(SimTime,
             let args = if i % 2 == 0 {
                 IotChaincode::args(&[], &["hot".into()], &json) // writer
             } else {
-                IotChaincode::args(&["hot".into()], &[format!("priv-{i}")], &json) // reader
+                IotChaincode::args(&["hot".into()], &[format!("priv-{i}")], &json)
+                // reader
             };
             (
                 SimTime::from_secs_f64(i as f64 / rate),
@@ -140,7 +141,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["system", "workload", "tput(tps)", "avg-lat(s)", "ok", "failed"],
+            &[
+                "system",
+                "workload",
+                "tput(tps)",
+                "avg-lat(s)",
+                "ok",
+                "failed"
+            ],
             &rows,
         )
     );
@@ -158,7 +166,12 @@ fn main() {
             sim.seed_state("hot", br#"{"readings":[]}"#.to_vec());
             let metrics = sim.run(rmw_schedule(&name, n, 300.0));
             rows.push(vec![
-                if quad_enabled { "with quad term" } else { "without quad term" }.to_owned(),
+                if quad_enabled {
+                    "with quad term"
+                } else {
+                    "without quad term"
+                }
+                .to_owned(),
                 block_size.to_string(),
                 format!("{:.1}", metrics.successful_throughput_tps()),
                 format!("{:.3}", metrics.avg_latency_secs()),
@@ -167,7 +180,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["cost model", "block size", "tput(tps)", "avg-lat(s)"], &rows)
+        render_table(
+            &["cost model", "block size", "tput(tps)", "avg-lat(s)"],
+            &rows
+        )
     );
     println!(
         "Without the operation-log apply-cost term the block-size penalty\n\
@@ -184,10 +200,7 @@ fn main() {
                 let json = format!(r#"{{"readings":["r{i}"]}}"#);
                 (
                     SimTime::from_secs_f64(i as f64 / 150.0),
-                    TxRequest::new(
-                        name,
-                        IotChaincode::args(&[], &[format!("k{i}")], &json),
-                    ),
+                    TxRequest::new(name, IotChaincode::args(&[], &[format!("k{i}")], &json)),
                 )
             })
             .collect()
@@ -263,7 +276,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["client strategy", "ok", "failed", "resubmissions", "avg-lat(s)"],
+            &[
+                "client strategy",
+                "ok",
+                "failed",
+                "resubmissions",
+                "avg-lat(s)"
+            ],
             &rows,
         )
     );

@@ -67,7 +67,8 @@ fn main() {
             let seed_doc = br#"{"readings":[]}"#.to_vec();
 
             let metrics = if crdt {
-                let mut sim = fabriccrdt_simulation(PipelineConfig::paper(25, options.seed), registry);
+                let mut sim =
+                    fabriccrdt_simulation(PipelineConfig::paper(25, options.seed), registry);
                 for k in 0..KEYS {
                     sim.seed_state(format!("device-{k}"), seed_doc.clone());
                 }
@@ -97,7 +98,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["system", "zipf-s", "tput(tps)", "avg-lat(s)", "ok", "failed"],
+            &[
+                "system",
+                "zipf-s",
+                "tput(tps)",
+                "avg-lat(s)",
+                "ok",
+                "failed"
+            ],
             &rows,
         )
     );

@@ -63,11 +63,8 @@ impl HarnessOptions {
                     i += 2;
                 }
                 "--csv" => {
-                    options.csv = Some(
-                        args.get(i + 1)
-                            .expect("--csv requires a file path")
-                            .clone(),
-                    );
+                    options.csv =
+                        Some(args.get(i + 1).expect("--csv requires a file path").clone());
                     i += 2;
                 }
                 other => {

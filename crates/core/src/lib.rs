@@ -65,6 +65,9 @@ pub mod network;
 pub mod types;
 pub mod validator;
 
-pub use network::{fabric_reordering_simulation, fabric_simulation, fabriccrdt_simulation};
+pub use network::{
+    fabric_reordering_simulation, fabric_simulation, fabric_simulation_with_delivery,
+    fabriccrdt_simulation, fabriccrdt_simulation_with_delivery,
+};
 pub use types::{TypedCrdt, TypedCrdtError};
 pub use validator::CrdtValidator;

@@ -7,7 +7,7 @@
 
 use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_fabric::config::PipelineConfig;
-use fabriccrdt_fabric::simulation::Simulation;
+use fabriccrdt_fabric::simulation::{DeliveryLayer, Simulation};
 use fabriccrdt_fabric::validator::FabricValidator;
 
 use crate::validator::CrdtValidator;
@@ -45,6 +45,29 @@ pub fn fabric_simulation(
     Simulation::new(config, FabricValidator::new(), registry)
 }
 
+/// Builds a FabricCRDT network with an explicit block-dissemination
+/// layer — e.g. the `fabriccrdt-gossip` crate's `GossipDelivery`, which
+/// models Fabric's leader-pull/push-gossip/anti-entropy dissemination
+/// (§4.4) with fault injection. [`fabriccrdt_simulation`] uses the
+/// ideal FIFO layer.
+pub fn fabriccrdt_simulation_with_delivery(
+    config: PipelineConfig,
+    registry: ChaincodeRegistry,
+    delivery: Box<dyn DeliveryLayer>,
+) -> Simulation<CrdtValidator> {
+    Simulation::with_delivery(config, CrdtValidator::new(), registry, delivery)
+}
+
+/// Builds a vanilla Fabric network with an explicit block-dissemination
+/// layer (see [`fabriccrdt_simulation_with_delivery`]).
+pub fn fabric_simulation_with_delivery(
+    config: PipelineConfig,
+    registry: ChaincodeRegistry,
+    delivery: Box<dyn DeliveryLayer>,
+) -> Simulation<FabricValidator> {
+    Simulation::with_delivery(config, FabricValidator::new(), registry, delivery)
+}
+
 /// Builds a Fabric network with Fabric++-style orderer reordering and
 /// early abort — the transaction-reordering baseline the paper's
 /// related work (§8) compares against: it *decreases* conflict failures
@@ -59,8 +82,8 @@ pub fn fabric_reordering_simulation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabriccrdt_fabric::simulation::TxRequest;
     use fabriccrdt_fabric::chaincode::{Chaincode, ChaincodeError, ChaincodeStub};
+    use fabriccrdt_fabric::simulation::TxRequest;
     use fabriccrdt_sim::time::SimTime;
     use std::sync::Arc;
 

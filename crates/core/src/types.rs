@@ -83,7 +83,10 @@ pub enum TypedCrdt {
     },
 }
 
-fn parse_counts(value: Option<&Value>, field: &'static str) -> Result<BTreeMap<String, u64>, TypedCrdtError> {
+fn parse_counts(
+    value: Option<&Value>,
+    field: &'static str,
+) -> Result<BTreeMap<String, u64>, TypedCrdtError> {
     let Some(map) = value.and_then(Value::as_map) else {
         return Err(TypedCrdtError::MalformedEnvelope(field));
     };
@@ -337,13 +340,15 @@ mod tests {
         let a = TypedCrdt::parse(&v(r#"{"_crdt":"g-counter","counts":{"alice":"3"}}"#))
             .unwrap()
             .unwrap();
-        let b = TypedCrdt::parse(&v(r#"{"_crdt":"g-counter","counts":{"bob":"4","alice":"1"}}"#))
-            .unwrap()
-            .unwrap();
+        let b = TypedCrdt::parse(&v(
+            r#"{"_crdt":"g-counter","counts":{"bob":"4","alice":"1"}}"#,
+        ))
+        .unwrap()
+        .unwrap();
         let mut merged = a.clone();
         merged.merge(&b).unwrap();
         assert_eq!(merged.counter_value(), Some(7)); // max(3,1) + 4
-        // Roundtrip through the envelope.
+                                                     // Roundtrip through the envelope.
         let reparsed = TypedCrdt::parse(&merged.to_value()).unwrap().unwrap();
         assert_eq!(reparsed, merged);
     }
@@ -355,11 +360,9 @@ mod tests {
         ))
         .unwrap()
         .unwrap();
-        let b = TypedCrdt::parse(&v(
-            r#"{"_crdt":"pn-counter","inc":{"b":"1"},"dec":{}}"#,
-        ))
-        .unwrap()
-        .unwrap();
+        let b = TypedCrdt::parse(&v(r#"{"_crdt":"pn-counter","inc":{"b":"1"},"dec":{}}"#))
+            .unwrap()
+            .unwrap();
         let mut merged = a;
         merged.merge(&b).unwrap();
         assert_eq!(merged.counter_value(), Some(9));

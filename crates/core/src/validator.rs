@@ -149,9 +149,9 @@ impl BlockValidator for CrdtValidator {
                         // Tagged but malformed: opaque commit.
                     }
                     None => {
-                        let (merger, members) = crdts
-                            .entry(key.clone())
-                            .or_insert_with(|| (KeyMerger::Json(JsonCrdt::new(self.replica)), Vec::new()));
+                        let (merger, members) = crdts.entry(key.clone()).or_insert_with(|| {
+                            (KeyMerger::Json(JsonCrdt::new(self.replica)), Vec::new())
+                        });
                         if let KeyMerger::Json(doc) = merger {
                             let ops_before = doc.applied_len() as u64;
                             if let Ok(work) = doc.merge_value(&value) {
@@ -265,16 +265,18 @@ mod tests {
     #[test]
     fn all_conflicting_crdt_transactions_commit() {
         let mut state = WorldState::new();
-        state.put("doc".into(), br#"{"readings":[]}"#.to_vec(), Height::new(1, 0));
+        state.put(
+            "doc".into(),
+            br#"{"readings":[]}"#.to_vec(),
+            Height::new(1, 0),
+        );
         let stale = Height::new(0, 0); // everyone read a stale version
         let txs: Vec<Transaction> = (0..20)
             .map(|n| {
                 tx(n, |rw| {
                     rw.reads.record("doc", Some(stale));
-                    rw.writes.put_crdt(
-                        "doc",
-                        format!(r#"{{"readings":["r{n}"]}}"#).into_bytes(),
-                    );
+                    rw.writes
+                        .put_crdt("doc", format!(r#"{{"readings":["r{n}"]}}"#).into_bytes());
                 })
             })
             .collect();
@@ -353,10 +355,12 @@ mod tests {
     #[test]
     fn endorsement_failed_transactions_do_not_merge() {
         let tx_bad = tx(1, |rw| {
-            rw.writes.put_crdt("doc", br#"{"readings":["evil"]}"#.to_vec());
+            rw.writes
+                .put_crdt("doc", br#"{"readings":["evil"]}"#.to_vec());
         });
         let tx_good = tx(2, |rw| {
-            rw.writes.put_crdt("doc", br#"{"readings":["good"]}"#.to_vec());
+            rw.writes
+                .put_crdt("doc", br#"{"readings":["good"]}"#.to_vec());
         });
         let mut block = Block::assemble(0, [0; 32], vec![tx_bad, tx_good]);
         let mut state = WorldState::new();
@@ -390,10 +394,8 @@ mod tests {
             let txs: Vec<Transaction> = (0..n)
                 .map(|i| {
                     tx(i, |rw| {
-                        rw.writes.put_crdt(
-                            "doc",
-                            format!(r#"{{"readings":["r{i}"]}}"#).into_bytes(),
-                        );
+                        rw.writes
+                            .put_crdt("doc", format!(r#"{{"readings":["r{i}"]}}"#).into_bytes());
                     })
                 })
                 .collect();
@@ -570,10 +572,8 @@ mod tests {
     #[test]
     fn type_mismatch_within_block_keeps_first_type() {
         let t_counter = tx(1, |rw| {
-            rw.writes.put_crdt(
-                "k",
-                br#"{"_crdt":"g-counter","counts":{"a":"1"}}"#.to_vec(),
-            );
+            rw.writes
+                .put_crdt("k", br#"{"_crdt":"g-counter","counts":{"a":"1"}}"#.to_vec());
         });
         let t_set = tx(2, |rw| {
             rw.writes

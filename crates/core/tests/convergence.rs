@@ -108,10 +108,9 @@ fn crdt_replicas_converge_bytewise() {
     }
 
     // And all 100 updates survived the merges.
-    let stored = fabriccrdt_jsoncrdt::json::Value::from_bytes(
-        peers[0].state().value("hot").unwrap(),
-    )
-    .unwrap();
+    let stored =
+        fabriccrdt_jsoncrdt::json::Value::from_bytes(peers[0].state().value("hot").unwrap())
+            .unwrap();
     // The final committed value is the last block's merge: it contains
     // that block's readings; every reading is in *some* block's commit.
     assert!(stored.get("readings").is_some());
@@ -150,10 +149,7 @@ fn fabric_replicas_also_converge() {
         }
     }
     for peer in &peers[1..] {
-        assert_eq!(
-            peer.state().value("hot"),
-            peers[0].state().value("hot")
-        );
+        assert_eq!(peer.state().value("hot"), peers[0].state().value("hot"));
         assert_eq!(peer.chain().tip_hash(), peers[0].chain().tip_hash());
     }
 }
@@ -176,9 +172,6 @@ fn late_joining_replica_catches_up() {
         let staged = late.process_block(block.clone());
         late.commit(staged).unwrap();
     }
-    assert_eq!(
-        late.state().value("hot"),
-        veteran.state().value("hot")
-    );
+    assert_eq!(late.state().value("hot"), veteran.state().value("hot"));
     assert_eq!(late.chain().tip_hash(), veteran.chain().tip_hash());
 }

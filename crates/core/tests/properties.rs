@@ -1,8 +1,9 @@
-//! Property-based tests of the FabricCRDT requirements (§4.2): *no
+//! Randomized property tests of the FabricCRDT requirements (§4.2): *no
 //! failure* and *no update loss* over arbitrary CRDT workloads, plus
-//! determinism of the merge-validate path.
+//! determinism of the merge-validate path. Driven by the deterministic
+//! in-repo generator (`fabriccrdt_sim::gen`).
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 use fabriccrdt::validator::CrdtValidator;
 use fabriccrdt_crypto::Identity;
@@ -13,28 +14,39 @@ use fabriccrdt_ledger::rwset::ReadWriteSet;
 use fabriccrdt_ledger::transaction::{Transaction, TxId};
 use fabriccrdt_ledger::version::Height;
 use fabriccrdt_ledger::worldstate::WorldState;
+use fabriccrdt_sim::gen::{self, Gen};
 
 /// Arbitrary string-leaf JSON documents (the chaincode payload shape).
-fn arb_doc() -> impl Strategy<Value = Value> {
-    let leaf = "[a-z0-9.]{1,8}".prop_map(Value::string);
-    let node = leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::list),
-            prop::collection::btree_map("[a-z]{1,4}", inner, 0..3).prop_map(Value::Map),
-        ]
-    });
-    prop::collection::btree_map("[a-z]{1,4}", node, 1..4).prop_map(Value::Map)
+fn arb_doc(g: &mut Gen) -> Value {
+    fn node(g: &mut Gen, depth: usize) -> Value {
+        if depth == 0 || g.prob(0.5) {
+            return Value::string(g.string_of("abcdefghij0123456789.", 1, 8));
+        }
+        if g.flip() {
+            Value::list(g.vec(0, 3, |g| node(g, depth - 1)))
+        } else {
+            let entries: BTreeMap<String, Value> = g
+                .vec(0, 3, |g| (g.ident(1, 4), node(g, depth - 1)))
+                .into_iter()
+                .collect();
+            Value::Map(entries)
+        }
+    }
+    let entries: BTreeMap<String, Value> = g
+        .vec(1, 3, |g| (g.ident(1, 4), node(g, 3)))
+        .into_iter()
+        .collect();
+    Value::Map(entries)
 }
 
 /// A block of CRDT transactions over a small hot-key space, every read
 /// intentionally stale.
-fn arb_crdt_block() -> impl Strategy<Value = Vec<(u64, String, Value)>> {
-    prop::collection::vec((0u64..4, arb_doc()), 1..8).prop_map(|txs| {
-        txs.into_iter()
-            .enumerate()
-            .map(|(i, (key, doc))| (i as u64, format!("hot-{key}"), doc))
-            .collect()
-    })
+fn arb_crdt_block(g: &mut Gen) -> Vec<(u64, String, Value)> {
+    g.vec(1, 7, |g| (g.range(0, 4), arb_doc(g)))
+        .into_iter()
+        .enumerate()
+        .map(|(i, (key, doc))| (i as u64, format!("hot-{key}"), doc))
+        .collect()
 }
 
 fn build_block(specs: &[(u64, String, Value)]) -> Block {
@@ -69,32 +81,36 @@ fn seeded_state() -> WorldState {
     state
 }
 
-proptest! {
-    /// No failure: every CRDT transaction commits, whatever it writes
-    /// and however stale its reads are.
-    #[test]
-    fn crdt_transactions_never_fail(specs in arb_crdt_block()) {
+/// No failure: every CRDT transaction commits, whatever it writes and
+/// however stale its reads are.
+#[test]
+fn crdt_transactions_never_fail() {
+    gen::cases(96, |g| {
+        let specs = arb_crdt_block(g);
         let mut block = build_block(&specs);
         let mut state = seeded_state();
         let work = CrdtValidator::new().validate_and_commit(&mut block, &mut state, &[]);
-        prop_assert_eq!(work.successes as usize, specs.len());
-        prop_assert!(block
+        assert_eq!(work.successes as usize, specs.len());
+        assert!(block
             .validation_codes
             .iter()
             .all(|c| *c == ValidationCode::ValidMerged));
-    }
+    });
+}
 
-    /// The committed value of every written key parses as JSON and the
-    /// write sets of all transactions on one key are identical
-    /// (Listing 2's property).
-    #[test]
-    fn converged_values_well_formed_and_uniform(specs in arb_crdt_block()) {
+/// The committed value of every written key parses as JSON and the
+/// write sets of all transactions on one key are identical (Listing 2's
+/// property).
+#[test]
+fn converged_values_well_formed_and_uniform() {
+    gen::cases(96, |g| {
+        let specs = arb_crdt_block(g);
         let mut block = build_block(&specs);
         let mut state = seeded_state();
         CrdtValidator::new().validate_and_commit(&mut block, &mut state, &[]);
         for (_, key, _) in &specs {
             let stored = state.value(key).expect("committed");
-            prop_assert!(Value::from_bytes(stored).is_ok());
+            assert!(Value::from_bytes(stored).is_ok());
         }
         for key in specs.iter().map(|(_, k, _)| k) {
             let values: Vec<&Vec<u8>> = block
@@ -103,33 +119,39 @@ proptest! {
                 .filter_map(|tx| tx.rwset.writes.get(key).map(|e| &e.value))
                 .collect();
             for pair in values.windows(2) {
-                prop_assert_eq!(pair[0], pair[1]);
+                assert_eq!(pair[0], pair[1]);
             }
         }
-    }
+    });
+}
 
-    /// No update loss: every top-level key contributed by any
-    /// transaction appears in the committed document for its ledger key.
-    #[test]
-    fn no_top_level_update_loss(specs in arb_crdt_block()) {
+/// No update loss: every top-level key contributed by any transaction
+/// appears in the committed document for its ledger key.
+#[test]
+fn no_top_level_update_loss() {
+    gen::cases(96, |g| {
+        let specs = arb_crdt_block(g);
         let mut block = build_block(&specs);
         let mut state = seeded_state();
         CrdtValidator::new().validate_and_commit(&mut block, &mut state, &[]);
         for (_, key, doc) in &specs {
             let stored = Value::from_bytes(state.value(key).unwrap()).unwrap();
             for field in doc.as_map().unwrap().keys() {
-                prop_assert!(
+                assert!(
                     stored.get(field).is_some(),
                     "field {field:?} of {key} lost: {stored}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Determinism: two validators over the same block produce identical
-    /// state and codes (what keeps replicas convergent).
-    #[test]
-    fn merge_validation_is_deterministic(specs in arb_crdt_block()) {
+/// Determinism: two validators over the same block produce identical
+/// state and codes (what keeps replicas convergent).
+#[test]
+fn merge_validation_is_deterministic() {
+    gen::cases(96, |g| {
+        let specs = arb_crdt_block(g);
         let run = || {
             let mut block = build_block(&specs);
             let mut state = seeded_state();
@@ -140,6 +162,6 @@ proptest! {
                 .collect();
             (snapshot, block.validation_codes)
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
 }

@@ -76,7 +76,9 @@ impl MerkleTree {
     /// Whether the tree was built from zero leaves.
     pub fn is_empty(&self) -> bool {
         // An empty tree is represented by the single sentinel root level.
-        self.levels.len() == 1 && self.levels[0].len() == 1 && self.levels[0][0] == sha256::digest(b"")
+        self.levels.len() == 1
+            && self.levels[0].len() == 1
+            && self.levels[0][0] == sha256::digest(b"")
     }
 
     /// Produces an inclusion proof (sibling path) for the leaf at `index`,

@@ -151,7 +151,9 @@ impl<'a> ChaincodeStub<'a> {
         for (key, value) in &results {
             self.work.reads += 1;
             self.work.bytes_read += value.len() as u64;
-            self.rwset.reads.record(key.clone(), self.state.version(key));
+            self.rwset
+                .reads
+                .record(key.clone(), self.state.version(key));
         }
         results
     }
@@ -281,7 +283,10 @@ mod tests {
         assert_eq!(stub.get_state("k"), Some(b"v".to_vec()));
         assert_eq!(stub.get_state("missing"), None);
         let (rwset, work) = stub.into_result();
-        assert_eq!(rwset.reads.get("k").unwrap().version, Some(Height::new(3, 1)));
+        assert_eq!(
+            rwset.reads.get("k").unwrap().version,
+            Some(Height::new(3, 1))
+        );
         assert_eq!(rwset.reads.get("missing").unwrap().version, None);
         assert_eq!(work.reads, 2);
         assert_eq!(work.bytes_read, 1);
@@ -344,10 +349,10 @@ mod tests {
 
     #[test]
     fn history_queries_answer_from_index() {
+        use fabriccrdt_crypto::Identity;
         use fabriccrdt_ledger::block::{Block, ValidationCode};
         use fabriccrdt_ledger::history::HistoryDb;
         use fabriccrdt_ledger::transaction::{Transaction, TxId};
-        use fabriccrdt_crypto::Identity;
 
         let client = Identity::new("client", "org1");
         let mut rwset = crate::chaincode::ReadWriteSet::new();

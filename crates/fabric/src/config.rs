@@ -1,5 +1,6 @@
 //! Network topology and pipeline configuration.
 
+use fabriccrdt_sim::latency::LatencyModel;
 use fabriccrdt_sim::time::SimTime;
 
 use crate::latency::LatencyConfig;
@@ -78,6 +79,138 @@ impl Default for BlockCutConfig {
     }
 }
 
+/// Parameters of the gossip block-dissemination layer (Fabric §4.4:
+/// per-org leader peers pull blocks from the ordering service and
+/// forward them; followers receive them via push gossip with periodic
+/// pull-based anti-entropy for state transfer).
+///
+/// This is plain data so that a whole run — including the gossip
+/// topology and every fault — is reproducible from the seed in
+/// [`PipelineConfig`]. The `fabriccrdt-gossip` crate interprets it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipConfig {
+    /// How many randomly chosen peers a peer forwards a freshly seen
+    /// block to (Fabric's `PropagatePeerNum`, default 3).
+    pub fanout: usize,
+    /// Peer-to-peer gossip hop latency.
+    pub link: LatencyModel,
+    /// Period of the pull-based anti-entropy (state-transfer) loop that
+    /// lets lagging peers request blocks they missed.
+    pub anti_entropy_interval: SimTime,
+    /// Flattened index of the peer whose block arrivals drive the
+    /// committing-peer pipeline when gossip is plugged into
+    /// [`crate::simulation::Simulation`] (peer `o * peers_per_org + p`
+    /// is peer `p` of org `o`; peer 0 of each org is its leader).
+    pub observed_peer: usize,
+}
+
+impl GossipConfig {
+    /// Defaults matching the paper topology: fanout 3, 1 ms links,
+    /// 500 ms anti-entropy, observing the last follower peer (the
+    /// farthest from the orderer, so commit latency includes full
+    /// dissemination).
+    pub fn calibrated(topology: &Topology) -> Self {
+        GossipConfig {
+            fanout: 3,
+            link: LatencyModel::Normal {
+                mean_secs: 0.0010,
+                std_secs: 0.0002,
+                min: SimTime::from_micros(200),
+            },
+            anti_entropy_interval: SimTime::from_millis(500),
+            observed_peer: topology.orgs * topology.peers_per_org - 1,
+        }
+    }
+}
+
+/// Per-link message faults applied to every gossip hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a message is dropped in transit.
+    pub drop: f64,
+    /// Probability a message is duplicated (the copy arrives after an
+    /// independently sampled delay — gossip must dedup it).
+    pub duplicate: f64,
+    /// Extra per-message delay added on top of the link latency.
+    pub extra_delay: LatencyModel,
+}
+
+impl LinkFaults {
+    /// A loss-free, duplication-free, no-extra-delay link.
+    pub fn none() -> Self {
+        LinkFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            extra_delay: LatencyModel::zero(),
+        }
+    }
+}
+
+/// A scheduled peer crash and restart. While down the peer loses its
+/// in-flight messages and receive buffer; its committed ledger persists
+/// (Fabric peers keep the ledger on disk) and is restored on restart,
+/// after which anti-entropy catches the peer up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashSpec {
+    /// Flattened peer index.
+    pub peer: usize,
+    /// Crash time.
+    pub at: SimTime,
+    /// Restart time (must be ≥ `at`).
+    pub restart_at: SimTime,
+}
+
+/// A network partition: during `[at, heal_at)` the `minority` peers can
+/// talk only among themselves; everyone else — including the ordering
+/// service — is unreachable from them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Partition start.
+    pub at: SimTime,
+    /// Heal time.
+    pub heal_at: SimTime,
+    /// Flattened indices of the isolated peers.
+    pub minority: Vec<usize>,
+}
+
+/// The full fault-injection surface of one run. All faults are sampled
+/// or scheduled deterministically from the run's seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Message-level faults on every gossip link.
+    pub link: LinkFaults,
+    /// Scheduled crashes/restarts.
+    pub crashes: Vec<CrashSpec>,
+    /// Scheduled partitions.
+    pub partitions: Vec<PartitionSpec>,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultConfig {
+            link: LinkFaults::none(),
+            crashes: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Whether this configuration injects any fault.
+    pub fn is_quiescent(&self) -> bool {
+        self.link.drop == 0.0
+            && self.link.duplicate == 0.0
+            && self.link.extra_delay == LatencyModel::zero()
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
 /// Full pipeline configuration for one simulation run.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -101,6 +234,14 @@ pub struct PipelineConfig {
     /// experiments). Each retry re-executes, re-endorses and re-orders —
     /// the development-complexity and load cost FabricCRDT eliminates.
     pub client_retries: usize,
+    /// Gossip dissemination parameters. `None` (the default everywhere)
+    /// keeps the ideal FIFO block delivery all the paper figures use;
+    /// `Some` asks gossip-aware constructors (the `fabriccrdt-gossip`
+    /// crate) to route blocks through the gossip layer instead.
+    pub gossip: Option<GossipConfig>,
+    /// Fault injection applied by the gossip layer. Ignored under ideal
+    /// FIFO delivery.
+    pub faults: FaultConfig,
 }
 
 impl PipelineConfig {
@@ -116,7 +257,30 @@ impl PipelineConfig {
             seed,
             reorder: false,
             client_retries: 0,
+            gossip: None,
+            faults: FaultConfig::none(),
         }
+    }
+
+    /// Routes block dissemination through the gossip layer with the
+    /// calibrated defaults for this topology.
+    pub fn with_gossip(mut self) -> Self {
+        self.gossip = Some(GossipConfig::calibrated(&self.topology));
+        self
+    }
+
+    /// Routes block dissemination through the gossip layer with explicit
+    /// parameters.
+    pub fn with_gossip_config(mut self, gossip: GossipConfig) -> Self {
+        self.gossip = Some(gossip);
+        self
+    }
+
+    /// Sets the fault-injection schedule (takes effect only with
+    /// gossip delivery).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Enables orderer-side reordering (the Fabric++ baseline).
@@ -168,5 +332,46 @@ mod tests {
         assert_eq!(cfg.block_cut.max_tx_count, 25);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.policy.required(), 3);
+        assert!(cfg.gossip.is_none());
+        assert!(cfg.faults.is_quiescent());
+    }
+
+    #[test]
+    fn gossip_defaults_observe_last_peer() {
+        let cfg = PipelineConfig::paper(25, 1).with_gossip();
+        let gossip = cfg.gossip.as_ref().unwrap();
+        assert_eq!(gossip.fanout, 3);
+        assert_eq!(gossip.observed_peer, 5); // 3 orgs × 2 peers − 1
+    }
+
+    #[test]
+    fn fault_quiescence_detects_each_knob() {
+        assert!(FaultConfig::none().is_quiescent());
+        let drops = FaultConfig {
+            link: LinkFaults {
+                drop: 0.1,
+                ..LinkFaults::none()
+            },
+            ..FaultConfig::none()
+        };
+        assert!(!drops.is_quiescent());
+        let crashes = FaultConfig {
+            crashes: vec![CrashSpec {
+                peer: 1,
+                at: SimTime::from_secs(1),
+                restart_at: SimTime::from_secs(2),
+            }],
+            ..FaultConfig::none()
+        };
+        assert!(!crashes.is_quiescent());
+        let split = FaultConfig {
+            partitions: vec![PartitionSpec {
+                at: SimTime::from_secs(1),
+                heal_at: SimTime::from_secs(2),
+                minority: vec![4, 5],
+            }],
+            ..FaultConfig::none()
+        };
+        assert!(!split.is_quiescent());
     }
 }

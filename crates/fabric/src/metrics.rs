@@ -51,6 +51,79 @@ impl TxRecord {
     }
 }
 
+/// One catch-up episode: a peer that fell behind (crash restart or
+/// healed partition) and the time it took gossip anti-entropy to bring
+/// it back to the network's committed height.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatchUpEpisode {
+    /// Flattened peer index.
+    pub peer: usize,
+    /// When the peer rejoined (restart or heal time).
+    pub from: SimTime,
+    /// When it reached the height the rest of the network had at
+    /// `from` (or later, if blocks kept arriving).
+    pub caught_up_at: SimTime,
+}
+
+impl CatchUpEpisode {
+    /// Rejoin-to-caught-up duration.
+    pub fn duration(&self) -> SimTime {
+        self.caught_up_at.saturating_sub(self.from)
+    }
+}
+
+/// Metrics of the block-dissemination (gossip) layer. Only populated
+/// when a run uses gossip delivery; ideal FIFO delivery reports `None`
+/// in [`RunMetrics::dissemination`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DisseminationMetrics {
+    /// Orderer-cut to per-peer block arrival latency, one sample per
+    /// `(block, peer)` first delivery.
+    pub propagation: Vec<SimTime>,
+    /// Gossip push messages put on the wire (including ones later
+    /// dropped by fault injection).
+    pub messages_sent: u64,
+    /// Pushes that arrived at a peer which already had the block — the
+    /// inherent redundancy of epidemic dissemination.
+    pub redundant_messages: u64,
+    /// Messages dropped by link fault injection.
+    pub messages_dropped: u64,
+    /// Extra copies injected by link duplication faults.
+    pub messages_duplicated: u64,
+    /// Anti-entropy rounds that actually transferred at least one block.
+    pub anti_entropy_transfers: u64,
+    /// Blocks shipped by anti-entropy state transfer.
+    pub anti_entropy_blocks: u64,
+    /// Catch-up episodes after crashes/partitions, in rejoin order.
+    pub catch_up: Vec<CatchUpEpisode>,
+}
+
+impl DisseminationMetrics {
+    /// Distribution of block propagation latencies (for percentile
+    /// reporting).
+    pub fn propagation_summary(&self) -> Summary {
+        Summary::from_times(&self.propagation)
+    }
+
+    /// Redundant-message ratio: fraction of received pushes that the
+    /// receiver already had. 0 when nothing was received.
+    pub fn redundancy_ratio(&self) -> f64 {
+        let received = self.messages_sent + self.messages_duplicated - self.messages_dropped;
+        if received == 0 {
+            return 0.0;
+        }
+        self.redundant_messages as f64 / received as f64
+    }
+
+    /// The longest catch-up episode, if any peer had to catch up.
+    pub fn worst_catch_up(&self) -> Option<CatchUpEpisode> {
+        self.catch_up
+            .iter()
+            .copied()
+            .max_by_key(CatchUpEpisode::duration)
+    }
+}
+
 /// Metrics for one experiment run.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
@@ -68,6 +141,9 @@ pub struct RunMetrics {
     /// Chaincode events of successfully committed transactions, in
     /// commit order.
     pub events: Vec<CommittedEvent>,
+    /// Gossip-layer metrics when the run used gossip delivery; `None`
+    /// under the default ideal FIFO delivery.
+    pub dissemination: Option<DisseminationMetrics>,
 }
 
 impl RunMetrics {
@@ -89,10 +165,7 @@ impl RunMetrics {
 
     /// Failures broken down by validation code.
     pub fn failures_with(&self, code: ValidationCode) -> usize {
-        self.records
-            .iter()
-            .filter(|r| r.code == Some(code))
-            .count()
+        self.records.iter().filter(|r| r.code == Some(code)).count()
     }
 
     /// Throughput of successful transactions over the whole run
@@ -176,6 +249,7 @@ mod tests {
             blocks_committed: 2,
             resubmissions: 0,
             events: Vec::new(),
+            dissemination: None,
         };
         assert_eq!(metrics.submitted(), 4);
         assert_eq!(metrics.successful(), 2);
@@ -199,9 +273,43 @@ mod tests {
             blocks_committed: 2,
             resubmissions: 0,
             events: Vec::new(),
+            dissemination: None,
         };
         let series = metrics.throughput_series(SimTime::from_secs(1));
         assert_eq!(series.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn dissemination_ratios_and_catch_up() {
+        let d = DisseminationMetrics {
+            propagation: vec![SimTime::from_millis(2), SimTime::from_millis(4)],
+            messages_sent: 10,
+            redundant_messages: 3,
+            messages_dropped: 2,
+            messages_duplicated: 1,
+            anti_entropy_transfers: 1,
+            anti_entropy_blocks: 4,
+            catch_up: vec![
+                CatchUpEpisode {
+                    peer: 1,
+                    from: SimTime::from_secs(1),
+                    caught_up_at: SimTime::from_secs(3),
+                },
+                CatchUpEpisode {
+                    peer: 2,
+                    from: SimTime::from_secs(1),
+                    caught_up_at: SimTime::from_secs(2),
+                },
+            ],
+        };
+        // 10 sent − 2 dropped + 1 duplicate = 9 received, 3 redundant.
+        assert!((d.redundancy_ratio() - 3.0 / 9.0).abs() < 1e-9);
+        let worst = d.worst_catch_up().unwrap();
+        assert_eq!(worst.peer, 1);
+        assert_eq!(worst.duration(), SimTime::from_secs(2));
+        assert!((d.propagation_summary().mean().unwrap() - 0.003).abs() < 1e-9);
+        assert_eq!(DisseminationMetrics::default().redundancy_ratio(), 0.0);
+        assert!(DisseminationMetrics::default().worst_catch_up().is_none());
     }
 
     #[test]

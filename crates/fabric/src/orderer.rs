@@ -197,7 +197,10 @@ mod tests {
         let mut o = Orderer::new(cfg(10));
         let (_, timeout) = o.receive(tx(1), SimTime::from_millis(100));
         let timeout = timeout.unwrap();
-        assert_eq!(timeout.at, SimTime::from_millis(100) + SimTime::from_secs(2));
+        assert_eq!(
+            timeout.at,
+            SimTime::from_millis(100) + SimTime::from_secs(2)
+        );
         assert_eq!(timeout.batch_id, 0);
         // Second tx of the same batch does not arm another timeout.
         let (_, none) = o.receive(tx(2), SimTime::from_millis(200));

@@ -213,8 +213,7 @@ impl<V: BlockValidator> Peer<V> {
         // re-seal only legitimizes the peer's *own* deterministic
         // merge rewrites.)
         if !block.data_hash_is_valid() {
-            block.validation_codes =
-                vec![ValidationCode::TamperedBlock; block.transactions.len()];
+            block.validation_codes = vec![ValidationCode::TamperedBlock; block.transactions.len()];
             block.header.previous_hash = self.chain.tip_hash();
             block.header.data_hash = Block::compute_data_hash(&block.transactions);
             return StagedBlock {
@@ -514,7 +513,10 @@ mod tests {
         let mut p = peer();
         let mut block = next_block(&p, vec![tx(1, "k", &["org1", "org2"])]);
         // Tamper with the transaction after the orderer sealed the block.
-        block.transactions[0].rwset.writes.put("k", b"evil".to_vec());
+        block.transactions[0]
+            .rwset
+            .writes
+            .put("k", b"evil".to_vec());
         let staged = p.process_block(block);
         assert_eq!(
             staged.block.validation_codes,

@@ -23,8 +23,8 @@
 //! 3. Emit the survivors in a topological order of the condensed graph
 //!    (deterministic: Kahn's algorithm with an index-ordered frontier).
 
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use fabriccrdt_ledger::transaction::Transaction;
 
@@ -236,13 +236,24 @@ mod tests {
 
     fn nonces(txs: &[Transaction]) -> Vec<u8> {
         txs.iter()
-            .map(|t| t.rwset.writes.iter().next().map(|(_, e)| e.value[0]).unwrap_or(255))
+            .map(|t| {
+                t.rwset
+                    .writes
+                    .iter()
+                    .next()
+                    .map(|(_, e)| e.value[0])
+                    .unwrap_or(255)
+            })
             .collect()
     }
 
     #[test]
     fn disjoint_transactions_unchanged() {
-        let batch = vec![tx(0, &["a"], &["a"]), tx(1, &["b"], &["b"]), tx(2, &[], &["c"])];
+        let batch = vec![
+            tx(0, &["a"], &["a"]),
+            tx(1, &["b"], &["b"]),
+            tx(2, &[], &["c"]),
+        ];
         let outcome = reorder_batch(batch);
         assert!(outcome.aborted.is_empty());
         assert_eq!(nonces(&outcome.ordered), [0, 1, 2]);
@@ -253,9 +264,9 @@ mod tests {
         // Writer of k first, two readers of k after: vanilla order fails
         // both readers; reordering puts readers first, all commit.
         let batch = vec![
-            tx(0, &[], &["k"]),          // writer
-            tx(1, &["k"], &["p1"]),      // reader
-            tx(2, &["k"], &["p2"]),      // reader
+            tx(0, &[], &["k"]),     // writer
+            tx(1, &["k"], &["p1"]), // reader
+            tx(2, &["k"], &["p2"]), // reader
         ];
         let outcome = reorder_batch(batch);
         assert!(outcome.aborted.is_empty());

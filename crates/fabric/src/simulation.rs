@@ -31,12 +31,76 @@ use fabriccrdt_sim::rng::SimRng;
 use fabriccrdt_sim::time::SimTime;
 
 use crate::chaincode::{ChaincodeEvent, ChaincodeRegistry, ChaincodeStub};
-use crate::metrics::CommittedEvent;
 use crate::config::PipelineConfig;
-use crate::metrics::{RunMetrics, TxRecord};
+use crate::latency::LatencyConfig;
+use crate::metrics::{CommittedEvent, DisseminationMetrics, RunMetrics, TxRecord};
 use crate::orderer::{Orderer, TimeoutRequest};
 use crate::peer::{Peer, StagedBlock};
 use crate::validator::BlockValidator;
+
+/// The pluggable block-dissemination layer between the orderer and the
+/// committing peer.
+///
+/// The default, [`IdealFifoDelivery`], reproduces the original pipeline
+/// exactly: one sampled orderer→peer hop per block, delivered in FIFO
+/// order. The `fabriccrdt-gossip` crate provides an alternative that
+/// routes every block through a simulated gossip network (leader pull,
+/// push gossip, anti-entropy) with fault injection, and reports
+/// dissemination metrics.
+pub trait DeliveryLayer {
+    /// Returns the time at which `block`, cut by the orderer at `now`,
+    /// becomes available to the committing peer. Implementations must
+    /// be monotone: successive calls return non-decreasing times (block
+    /// delivery is FIFO per channel, as in Fabric's delivery service).
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        block: &Block,
+        latency: &LatencyConfig,
+        rng: &mut SimRng,
+    ) -> SimTime;
+
+    /// Mirrors [`Simulation::seed_state`] into any replicas the layer
+    /// maintains, so their world state matches the committing peer's.
+    fn seed_state(&mut self, _key: &str, _value: &[u8]) {}
+
+    /// Hands over dissemination metrics accumulated since the last
+    /// call, if this layer collects any.
+    fn take_dissemination(&mut self) -> Option<DisseminationMetrics> {
+        None
+    }
+}
+
+/// The original ideal dissemination model: each block takes one sampled
+/// orderer→peer hop, and delivery order is forced FIFO. Draws exactly
+/// one `orderer_to_peer` sample per block from the pipeline rng, so
+/// runs with this layer are bit-identical to the pre-gossip pipeline.
+#[derive(Debug, Default)]
+pub struct IdealFifoDelivery {
+    last_delivery: SimTime,
+}
+
+impl IdealFifoDelivery {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        IdealFifoDelivery::default()
+    }
+}
+
+impl DeliveryLayer for IdealFifoDelivery {
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        _block: &Block,
+        latency: &LatencyConfig,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let hop = latency.orderer_to_peer.sample(rng);
+        let at = (now + hop).max(self.last_delivery);
+        self.last_delivery = at;
+        at
+    }
+}
 
 /// One transaction to submit: which chaincode to invoke with which
 /// arguments.
@@ -112,7 +176,10 @@ pub struct Simulation<V: BlockValidator> {
     resubmissions: u64,
     pending_blocks: VecDeque<Block>,
     staged: Option<StagedBlock>,
-    last_delivery: SimTime,
+    delivery: Box<dyn DeliveryLayer>,
+    /// Orderer-cut blocks in cut order, recorded when enabled via
+    /// [`Simulation::enable_block_log`].
+    block_log: Option<Vec<(SimTime, Block)>>,
     blocks_committed: u64,
     end_time: SimTime,
     /// Monotone nonce so transaction ids stay unique across retries and
@@ -124,6 +191,23 @@ impl<V: BlockValidator> Simulation<V> {
     /// Builds a simulation from a configuration, a validator and the
     /// deployed chaincodes.
     pub fn new(config: PipelineConfig, validator: V, registry: ChaincodeRegistry) -> Self {
+        Simulation::with_delivery(
+            config,
+            validator,
+            registry,
+            Box::new(IdealFifoDelivery::new()),
+        )
+    }
+
+    /// Builds a simulation with an explicit block-dissemination layer
+    /// (see [`DeliveryLayer`]). [`Simulation::new`] uses
+    /// [`IdealFifoDelivery`].
+    pub fn with_delivery(
+        config: PipelineConfig,
+        validator: V,
+        registry: ChaincodeRegistry,
+        delivery: Box<dyn DeliveryLayer>,
+    ) -> Self {
         let rng = SimRng::seed_from(config.seed);
         let peer = Peer::new(validator, config.policy.clone());
         let orderer = if config.reorder {
@@ -148,7 +232,8 @@ impl<V: BlockValidator> Simulation<V> {
             resubmissions: 0,
             pending_blocks: VecDeque::new(),
             staged: None,
-            last_delivery: SimTime::ZERO,
+            delivery,
+            block_log: None,
             blocks_committed: 0,
             end_time: SimTime::ZERO,
             next_nonce: 0,
@@ -157,6 +242,8 @@ impl<V: BlockValidator> Simulation<V> {
 
     /// Seeds a key into every peer's world state before the run (§7.2).
     pub fn seed_state(&mut self, key: impl Into<String>, value: Vec<u8>) {
+        let key = key.into();
+        self.delivery.seed_state(&key, &value);
         self.peer.seed_state(key, value);
     }
 
@@ -164,6 +251,20 @@ impl<V: BlockValidator> Simulation<V> {
     /// the run and in examples.
     pub fn peer(&self) -> &Peer<V> {
         &self.peer
+    }
+
+    /// Starts recording every orderer-cut block with its cut time.
+    /// Retrieve the log with [`Simulation::take_block_log`] after a run
+    /// — e.g. to replay the same block stream through a standalone
+    /// gossip network.
+    pub fn enable_block_log(&mut self) {
+        self.block_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded `(cut time, block)` log (empty if logging was
+    /// never enabled).
+    pub fn take_block_log(&mut self) -> Vec<(SimTime, Block)> {
+        self.block_log.take().unwrap_or_default()
     }
 
     /// Runs the pipeline over the given `(submission time, request)`
@@ -208,6 +309,7 @@ impl<V: BlockValidator> Simulation<V> {
             blocks_committed: self.blocks_committed,
             resubmissions: self.resubmissions,
             events: std::mem::take(&mut self.committed_events),
+            dissemination: self.delivery.take_dissemination(),
         }
     }
 
@@ -225,7 +327,8 @@ impl<V: BlockValidator> Simulation<V> {
                     .expect("transaction endorsed before ordering");
                 let (block, timeout) = self.orderer.receive(tx, now);
                 if let Some(timeout) = timeout {
-                    self.queue.schedule(timeout.at, Event::OrdererTimeout(timeout));
+                    self.queue
+                        .schedule(timeout.at, Event::OrdererTimeout(timeout));
                 }
                 if let Some(block) = block {
                     self.record_early_aborts(now);
@@ -253,9 +356,7 @@ impl<V: BlockValidator> Simulation<V> {
                     .transactions
                     .iter()
                     .zip(&tip.validation_codes)
-                    .filter_map(|(tx, code)| {
-                        self.index_by_id.get(&tx.id).map(|&idx| (idx, *code))
-                    })
+                    .filter_map(|(tx, code)| self.index_by_id.get(&tx.id).map(|&idx| (idx, *code)))
                     .collect();
                 for (idx, code) in updates {
                     self.records[idx].committed_at = Some(now);
@@ -319,7 +420,8 @@ impl<V: BlockValidator> Simulation<V> {
         let payload = tx.response_payload();
         let mut slowest_return = SimTime::ZERO;
         for org in self.config.policy.orgs() {
-            let peer_index = (i / self.config.topology.clients) % self.config.topology.peers_per_org;
+            let peer_index =
+                (i / self.config.topology.clients) % self.config.topology.peers_per_org;
             let keypair = KeyPair::derive(Identity::new(format!("peer{peer_index}"), org.clone()));
             tx.endorsements.push(Endorsement {
                 endorser: keypair.identity().clone(),
@@ -388,11 +490,15 @@ impl<V: BlockValidator> Simulation<V> {
             .schedule(now + notify + resubmit, Event::Endorse(idx));
     }
 
-    /// Broadcasts a cut block to the committing peer with FIFO delivery.
+    /// Broadcasts a cut block to the committing peer through the
+    /// dissemination layer.
     fn broadcast(&mut self, now: SimTime, block: Block) {
-        let hop = self.config.latency.orderer_to_peer.sample(&mut self.rng);
-        let at = (now + hop).max(self.last_delivery);
-        self.last_delivery = at;
+        if let Some(log) = &mut self.block_log {
+            log.push((now, block.clone()));
+        }
+        let at = self
+            .delivery
+            .deliver(now, &block, &self.config.latency, &mut self.rng);
         self.queue.schedule(at, Event::DeliverBlock(block));
     }
 
@@ -409,5 +515,4 @@ impl<V: BlockValidator> Simulation<V> {
         self.staged = Some(staged);
         self.queue.schedule(now + cost, Event::CommitDone);
     }
-
 }

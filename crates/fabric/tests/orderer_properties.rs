@@ -1,9 +1,8 @@
-//! Property-based tests for the ordering service: no transaction is
-//! lost or duplicated across cut blocks, block sizes respect the
+//! Randomized property tests for the ordering service: no transaction
+//! is lost or duplicated across cut blocks, block sizes respect the
 //! configured maximum, and numbering/hash-chaining stay consistent —
-//! for both the vanilla and the reordering orderer.
-
-use proptest::prelude::*;
+//! for both the vanilla and the reordering orderer. Driven by the
+//! deterministic in-repo generator (`fabriccrdt_sim::gen`).
 
 use fabriccrdt_crypto::Identity;
 use fabriccrdt_fabric::config::BlockCutConfig;
@@ -13,6 +12,7 @@ use fabriccrdt_ledger::chain::Blockchain;
 use fabriccrdt_ledger::rwset::ReadWriteSet;
 use fabriccrdt_ledger::transaction::{Transaction, TxId};
 use fabriccrdt_ledger::version::Height;
+use fabriccrdt_sim::gen;
 use fabriccrdt_sim::time::SimTime;
 
 fn tx(nonce: u64, read_key: Option<u8>, write_key: u8) -> Transaction {
@@ -33,10 +33,7 @@ fn tx(nonce: u64, read_key: Option<u8>, write_key: u8) -> Transaction {
 
 /// Drives an orderer over a transaction stream, flushing stragglers via
 /// the timeout, and returns the cut blocks plus early aborts.
-fn drive(
-    orderer: &mut Orderer,
-    txs: Vec<Transaction>,
-) -> (Vec<Block>, Vec<Transaction>) {
+fn drive(orderer: &mut Orderer, txs: Vec<Transaction>) -> (Vec<Block>, Vec<Transaction>) {
     let mut blocks = Vec::new();
     let mut last_timeout = None;
     for (i, tx) in txs.into_iter().enumerate() {
@@ -53,18 +50,24 @@ fn drive(
     (blocks, aborted)
 }
 
-proptest! {
-    /// Conservation: every submitted transaction appears exactly once —
-    /// either in a cut block or (reordering only) in the early-abort
-    /// set. Block sizes never exceed the maximum; numbering is
-    /// sequential; blocks chain onto genesis.
-    #[test]
-    fn orderer_conserves_transactions(
-        n in 1usize..60,
-        max_tx in 1usize..12,
-        reorder in any::<bool>(),
-        keys in prop::collection::vec((prop::option::of(0u8..4), 0u8..4), 60),
-    ) {
+/// Conservation: every submitted transaction appears exactly once —
+/// either in a cut block or (reordering only) in the early-abort set.
+/// Block sizes never exceed the maximum; numbering is sequential; blocks
+/// chain onto genesis.
+#[test]
+fn orderer_conserves_transactions() {
+    gen::cases(128, |g| {
+        let n = g.size(1, 59);
+        let max_tx = g.size(1, 11);
+        let reorder = g.flip();
+        let keys: Vec<(Option<u8>, u8)> = g.vec(60, 60, |g| {
+            let read = if g.flip() {
+                Some(g.range(0, 4) as u8)
+            } else {
+                None
+            };
+            (read, g.range(0, 4) as u8)
+        });
         let config = BlockCutConfig::with_max_tx(max_tx);
         let mut orderer = if reorder {
             Orderer::with_reordering(config)
@@ -77,24 +80,23 @@ proptest! {
                 tx(i as u64, read, write)
             })
             .collect();
-        let submitted: std::collections::BTreeSet<TxId> =
-            txs.iter().map(|t| t.id).collect();
+        let submitted: std::collections::BTreeSet<TxId> = txs.iter().map(|t| t.id).collect();
 
         let (blocks, aborted) = drive(&mut orderer, txs);
 
         let mut seen = std::collections::BTreeSet::new();
         for block in &blocks {
-            prop_assert!(block.len() <= max_tx, "block over size");
+            assert!(block.len() <= max_tx, "block over size");
             for t in &block.transactions {
-                prop_assert!(seen.insert(t.id), "duplicate {:?}", t.id.short());
+                assert!(seen.insert(t.id), "duplicate {:?}", t.id.short());
             }
         }
         for t in &aborted {
-            prop_assert!(seen.insert(t.id), "aborted duplicate");
+            assert!(seen.insert(t.id), "aborted duplicate");
         }
-        prop_assert_eq!(seen, submitted);
+        assert_eq!(seen, submitted);
         if !reorder {
-            prop_assert!(aborted.is_empty());
+            assert!(aborted.is_empty());
         }
 
         // Blocks append cleanly onto a genesis-rooted chain.
@@ -104,12 +106,16 @@ proptest! {
             chain.append(block).unwrap();
         }
         chain.verify_integrity().unwrap();
-    }
+    });
+}
 
-    /// The vanilla orderer preserves arrival order within and across
-    /// blocks (FIFO total order).
-    #[test]
-    fn vanilla_orderer_is_fifo(n in 1usize..50, max_tx in 1usize..10) {
+/// The vanilla orderer preserves arrival order within and across blocks
+/// (FIFO total order).
+#[test]
+fn vanilla_orderer_is_fifo() {
+    gen::cases(128, |g| {
+        let n = g.size(1, 49);
+        let max_tx = g.size(1, 9);
         let mut orderer = Orderer::new(BlockCutConfig::with_max_tx(max_tx));
         let txs: Vec<Transaction> = (0..n).map(|i| tx(i as u64, None, 0)).collect();
         let order_in: Vec<TxId> = txs.iter().map(|t| t.id).collect();
@@ -118,6 +124,6 @@ proptest! {
             .iter()
             .flat_map(|b| b.transactions.iter().map(|t| t.id))
             .collect();
-        prop_assert_eq!(order_in, order_out);
-    }
+        assert_eq!(order_in, order_out);
+    });
 }

@@ -54,7 +54,10 @@ impl Chaincode for AuditChaincode {
 
     fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[String]) -> Result<(), ChaincodeError> {
         let versions = stub.get_history_for_key(&args[0]).len();
-        stub.put_state(&format!("audit-{}", args[0]), versions.to_string().into_bytes());
+        stub.put_state(
+            &format!("audit-{}", args[0]),
+            versions.to_string().into_bytes(),
+        );
         stub.set_event("audited", args[0].clone().into_bytes());
         Ok(())
     }
@@ -74,12 +77,7 @@ fn config(block_size: usize, seed: u64) -> PipelineConfig {
 
 fn schedule(n: usize, rate_tps: f64, f: impl Fn(usize) -> TxRequest) -> Vec<(SimTime, TxRequest)> {
     (0..n)
-        .map(|i| {
-            (
-                SimTime::from_secs_f64(i as f64 / rate_tps),
-                f(i),
-            )
-        })
+        .map(|i| (SimTime::from_secs_f64(i as f64 / rate_tps), f(i)))
         .collect()
 }
 
@@ -314,10 +312,7 @@ fn history_and_events_flow_through_the_pipeline() {
     assert_eq!(phase2.events[0].name, "audited");
     assert_eq!(phase2.events[0].payload, b"asset");
     // The audit counted the three committed versions.
-    assert_eq!(
-        sim.peer().state().value("audit-asset"),
-        Some(&b"3"[..])
-    );
+    assert_eq!(sim.peer().state().value("audit-asset"), Some(&b"3"[..]));
 }
 
 #[test]
@@ -375,8 +370,7 @@ fn corrupted_endorsements_fail_policy_validation() {
     let mut sim = Simulation::new(config(10, 11), FabricValidator::new(), registry());
     let sched: Vec<(SimTime, TxRequest)> = (0..30)
         .map(|i| {
-            let request =
-                TxRequest::new("writeonly", vec![format!("k{i}"), "v".into()]);
+            let request = TxRequest::new("writeonly", vec![format!("k{i}"), "v".into()]);
             let request = if i % 3 == 0 {
                 request.with_corrupt_endorsement()
             } else {
@@ -407,8 +401,8 @@ fn reordering_network_end_to_end() {
                     TxRequest::new("writeonly", vec!["hot".into(), format!("v{i}")])
                 } else {
                     TxRequest::new("rmw", vec![format!("priv-{i}"), "v".into()])
-                        // reader of hot: rmw chaincode reads its first arg;
-                        // use a custom mix below instead
+                    // reader of hot: rmw chaincode reads its first arg;
+                    // use a custom mix below instead
                 };
                 (SimTime::from_secs_f64(i as f64 / 300.0), request)
             })
@@ -431,5 +425,8 @@ fn reordering_network_end_to_end() {
     // must not regress conflict-free workloads.
     assert_eq!(vanilla_metrics.successful(), 200);
     assert_eq!(reorder_metrics.successful(), 200);
-    assert_eq!(reorder_metrics.failures_with(ValidationCode::EarlyAborted), 0);
+    assert_eq!(
+        reorder_metrics.failures_with(ValidationCode::EarlyAborted),
+        0
+    );
 }

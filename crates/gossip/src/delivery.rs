@@ -1,0 +1,108 @@
+//! Plugging the gossip network into the transaction pipeline.
+//!
+//! [`GossipDelivery`] implements the pipeline's
+//! [`DeliveryLayer`](fabriccrdt_fabric::simulation::DeliveryLayer):
+//! every block the orderer cuts is published into an internal
+//! [`GossipNetwork`] and becomes available to the pipeline's committing
+//! peer once the *observed* replica (default: the last follower, the
+//! farthest from the orderer) has committed it. Commit latency measured
+//! by the pipeline then includes real dissemination time — and, under
+//! fault injection, the cost of drops, crashes, and partitions.
+//!
+//! To stay comparable with the default
+//! [`IdealFifoDelivery`](fabriccrdt_fabric::simulation::IdealFifoDelivery),
+//! `deliver` draws exactly one `orderer_to_peer` sample from the
+//! pipeline PRNG per block (used as the orderer→leader hop), keeping
+//! the pipeline's draw sequence — and therefore its block stream —
+//! identical between the two layers; all gossip-internal randomness
+//! comes from a seed fork inside the network.
+
+use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
+use fabriccrdt_fabric::config::{GossipConfig, PipelineConfig};
+use fabriccrdt_fabric::latency::LatencyConfig;
+use fabriccrdt_fabric::metrics::DisseminationMetrics;
+use fabriccrdt_fabric::simulation::{DeliveryLayer, Simulation};
+use fabriccrdt_fabric::validator::{BlockValidator, FabricValidator};
+use fabriccrdt_ledger::block::Block;
+use fabriccrdt_sim::rng::SimRng;
+use fabriccrdt_sim::time::SimTime;
+
+use crate::network::GossipNetwork;
+
+/// A [`DeliveryLayer`] that routes every orderer-cut block through a
+/// simulated gossip network before the committing peer sees it.
+pub struct GossipDelivery<V> {
+    network: GossipNetwork<V>,
+    observed: usize,
+    last: SimTime,
+}
+
+impl<V: BlockValidator> GossipDelivery<V> {
+    /// Builds the layer from the pipeline configuration (gossip
+    /// parameters, fault schedule, seed). `make_validator` constructs
+    /// the validator for each gossip replica — use the same strategy as
+    /// the pipeline's committing peer so all replicas agree.
+    pub fn new(config: &PipelineConfig, make_validator: impl Fn() -> V + 'static) -> Self {
+        let observed = config
+            .gossip
+            .clone()
+            .unwrap_or_else(|| GossipConfig::calibrated(&config.topology))
+            .observed_peer;
+        GossipDelivery {
+            network: GossipNetwork::new(config, make_validator),
+            observed,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// The underlying gossip network (peer replicas, metrics, clock).
+    pub fn network(&self) -> &GossipNetwork<V> {
+        &self.network
+    }
+}
+
+impl<V: BlockValidator> DeliveryLayer for GossipDelivery<V> {
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        block: &Block,
+        latency: &LatencyConfig,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        // One draw, exactly like IdealFifoDelivery, so the pipeline's
+        // PRNG sequence (and with it every later endorsement/ordering
+        // sample) is unchanged by switching delivery layers.
+        let hop = latency.orderer_to_peer.sample(rng);
+        self.network.publish_with_hop(now, hop, block.clone());
+        let committed_at = self
+            .network
+            .run_until_committed(self.observed, block.header.number);
+        let at = committed_at.max(self.last);
+        self.last = at;
+        at
+    }
+
+    fn seed_state(&mut self, key: &str, value: &[u8]) {
+        self.network.seed_state(key, value);
+    }
+
+    fn take_dissemination(&mut self) -> Option<DisseminationMetrics> {
+        // Let fault windows close and stragglers catch up so the
+        // metrics include complete catch-up episodes.
+        self.network.drain();
+        Some(self.network.take_metrics())
+    }
+}
+
+/// Builds a vanilla-Fabric pipeline whose block dissemination runs
+/// through the gossip layer (honoring `config.gossip` and
+/// `config.faults`). The FabricCRDT twin lives in the umbrella crate
+/// (`fabriccrdt_repro::fabriccrdt_gossip_simulation`), which can name
+/// the CRDT validator.
+pub fn fabric_gossip_simulation(
+    config: PipelineConfig,
+    registry: ChaincodeRegistry,
+) -> Simulation<FabricValidator> {
+    let delivery = Box::new(GossipDelivery::new(&config, FabricValidator::new));
+    Simulation::with_delivery(config, FabricValidator::new(), registry, delivery)
+}

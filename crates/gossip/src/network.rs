@@ -1,0 +1,574 @@
+//! The event-driven gossip network: leader pull, push forwarding,
+//! anti-entropy catch-up, and fault injection.
+//!
+//! Peers are flattened to indices `0..orgs * peers_per_org`; peer
+//! `o * peers_per_org + p` is peer `p` of org `o`, and peer 0 of each
+//! org is its leader. Every peer hosts a full
+//! [`Peer`](fabriccrdt_fabric::peer::Peer) replica; a block a peer sees
+//! for the first time is buffered (blocks can arrive out of order),
+//! forwarded to `fanout` random peers, and committed as soon as all its
+//! predecessors are in. Lagging peers recover through the periodic
+//! anti-entropy tick: pull committed blocks from a random better-off
+//! reachable peer, or — when no peer can help — re-request the raw
+//! blocks from the ordering service (Fabric's deliver-service
+//! reconnect).
+
+use std::collections::BTreeMap;
+
+use fabriccrdt_fabric::config::{FaultConfig, GossipConfig, PipelineConfig, Topology};
+use fabriccrdt_fabric::metrics::{CatchUpEpisode, DisseminationMetrics};
+use fabriccrdt_fabric::peer::{Peer, PeerSnapshot};
+use fabriccrdt_fabric::policy::EndorsementPolicy;
+use fabriccrdt_fabric::validator::BlockValidator;
+use fabriccrdt_ledger::block::Block;
+use fabriccrdt_sim::latency::LatencyModel;
+use fabriccrdt_sim::queue::EventQueue;
+use fabriccrdt_sim::rng::SimRng;
+use fabriccrdt_sim::time::SimTime;
+
+#[derive(Debug)]
+enum GossipEvent {
+    /// A raw (orderer-sealed) block arrives at a peer; `from` is the
+    /// forwarding peer, `None` for the ordering service.
+    RawBlock {
+        to: usize,
+        from: Option<usize>,
+        block: Block,
+    },
+    /// Committed blocks arrive at a pulling peer (anti-entropy).
+    Transfer { to: usize, blocks: Vec<Block> },
+    /// Per-peer anti-entropy timer.
+    Tick { peer: usize },
+    /// Scheduled fault: the peer goes down.
+    Crash { peer: usize },
+    /// Scheduled recovery: the peer restores its ledger and rejoins.
+    Restart { peer: usize },
+    /// A partition heals; its minority starts catching up.
+    Heal { partition: usize },
+}
+
+/// Per-peer bookkeeping around the replica itself.
+struct Slot<V> {
+    /// The live replica; `None` while crashed.
+    peer: Option<Peer<V>>,
+    /// Ledger persisted at crash time, consumed by restart.
+    saved: Option<PeerSnapshot>,
+    /// Raw blocks received but not yet committable (gaps below them).
+    buffer: BTreeMap<u64, Block>,
+    /// Outstanding `Tick` events for this peer.
+    ticks_pending: u32,
+    /// Active catch-up episode: (rejoin time, target committed height).
+    catch_up: Option<(SimTime, u64)>,
+}
+
+/// A deterministic, event-driven model of Fabric's gossip
+/// block-dissemination layer over the full topology, with fault
+/// injection. See the crate docs for the protocol summary.
+pub struct GossipNetwork<V> {
+    topology: Topology,
+    policy: EndorsementPolicy,
+    gossip: GossipConfig,
+    faults: FaultConfig,
+    /// Orderer → leader delivery latency (from the pipeline calibration).
+    orderer_hop: LatencyModel,
+    make_validator: Box<dyn Fn() -> V>,
+    rng: SimRng,
+    queue: EventQueue<GossipEvent>,
+    slots: Vec<Slot<V>>,
+    /// The ordering service's log: `(cut time, block)`, numbers `1..`.
+    published: Vec<(SimTime, Block)>,
+    metrics: DisseminationMetrics,
+    /// Time of the last processed event.
+    clock: SimTime,
+}
+
+impl<V: BlockValidator> GossipNetwork<V> {
+    /// Builds the network for a pipeline configuration. Uses
+    /// `config.gossip` (or [`GossipConfig::calibrated`] when unset),
+    /// applies `config.faults`, and forks its PRNG from `config.seed`,
+    /// so identical configs replay identical runs. `make_validator`
+    /// constructs one validator per replica (and per restart).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent fault schedules: out-of-range peer
+    /// indices, a restart before its crash, a heal before its
+    /// partition, a partition isolating every peer, or a link drop
+    /// probability of 1.0 (which would disconnect the mesh for good).
+    pub fn new(config: &PipelineConfig, make_validator: impl Fn() -> V + 'static) -> Self {
+        let topology = config.topology.clone();
+        let n_peers = topology.orgs * topology.peers_per_org;
+        assert!(n_peers > 0, "topology has no peers");
+        let gossip = config
+            .gossip
+            .clone()
+            .unwrap_or_else(|| GossipConfig::calibrated(&topology));
+        assert!(
+            gossip.observed_peer < n_peers,
+            "observed peer {} out of range (peers: {n_peers})",
+            gossip.observed_peer
+        );
+        let faults = config.faults.clone();
+        for crash in &faults.crashes {
+            assert!(crash.peer < n_peers, "crash peer out of range");
+            assert!(crash.restart_at >= crash.at, "restart before crash");
+        }
+        for partition in &faults.partitions {
+            assert!(partition.heal_at >= partition.at, "heal before partition");
+            assert!(
+                partition.minority.iter().all(|p| *p < n_peers),
+                "partition peer out of range"
+            );
+            assert!(
+                partition.minority.len() < n_peers,
+                "partition must leave a majority side"
+            );
+        }
+        assert!(
+            faults.link.drop < 1.0,
+            "drop probability 1.0 disconnects the gossip mesh"
+        );
+
+        let mut root = SimRng::seed_from(config.seed);
+        let rng = root.fork(0x676f_7373_6970); // "gossip"
+        let slots = (0..n_peers)
+            .map(|_| Slot {
+                peer: Some(Peer::new(make_validator(), config.policy.clone())),
+                saved: None,
+                buffer: BTreeMap::new(),
+                ticks_pending: 0,
+                catch_up: None,
+            })
+            .collect();
+        let mut queue = EventQueue::new();
+        for crash in &faults.crashes {
+            queue.schedule(crash.at, GossipEvent::Crash { peer: crash.peer });
+            queue.schedule(crash.restart_at, GossipEvent::Restart { peer: crash.peer });
+        }
+        for (index, partition) in faults.partitions.iter().enumerate() {
+            queue.schedule(partition.heal_at, GossipEvent::Heal { partition: index });
+        }
+        GossipNetwork {
+            topology,
+            policy: config.policy.clone(),
+            gossip,
+            faults,
+            orderer_hop: config.latency.orderer_to_peer,
+            make_validator: Box::new(make_validator),
+            rng,
+            queue,
+            slots,
+            published: Vec::new(),
+            metrics: DisseminationMetrics::default(),
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Seeds a key into every replica's world state (mirror of
+    /// `Simulation::seed_state`). Call before any event is processed.
+    pub fn seed_state(&mut self, key: &str, value: &[u8]) {
+        for slot in &mut self.slots {
+            if let Some(peer) = slot.peer.as_mut() {
+                peer.seed_state(key.to_string(), value.to_vec());
+            }
+        }
+    }
+
+    /// Number of peers in the network.
+    pub fn peer_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The replica at `index`, or `None` while it is crashed.
+    pub fn peer(&self, index: usize) -> Option<&Peer<V>> {
+        self.slots[index].peer.as_ref()
+    }
+
+    /// Committed (post-genesis) block count of each peer; crashed peers
+    /// report 0.
+    pub fn committed_heights(&self) -> Vec<u64> {
+        (0..self.slots.len()).map(|i| self.committed(i)).collect()
+    }
+
+    /// Blocks published by the ordering service so far.
+    pub fn published_count(&self) -> u64 {
+        self.published.len() as u64
+    }
+
+    /// Whether every peer is up and has committed every published block.
+    pub fn fully_converged(&self) -> bool {
+        let expected = self.published_count();
+        (0..self.slots.len()).all(|i| self.slots[i].peer.is_some() && self.committed(i) == expected)
+    }
+
+    /// Time of the last processed event.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Dissemination metrics accumulated so far.
+    pub fn metrics(&self) -> &DisseminationMetrics {
+        &self.metrics
+    }
+
+    /// Takes (and resets) the accumulated dissemination metrics.
+    pub fn take_metrics(&mut self) -> DisseminationMetrics {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Serialized ledger of the replica at `index` (state + chain
+    /// bytes), or `None` while it is crashed. Byte-equal snapshots mean
+    /// byte-equal ledgers — the reconvergence check.
+    pub fn snapshot(&self, index: usize) -> Option<PeerSnapshot> {
+        self.slots[index].peer.as_ref().map(Peer::snapshot)
+    }
+
+    /// Publishes an orderer-cut block into the network, sampling the
+    /// orderer→leader hop from the network's own PRNG. Blocks must be
+    /// published in order, numbered from 1.
+    pub fn publish(&mut self, cut_at: SimTime, block: Block) {
+        let hop = self.orderer_hop.sample(&mut self.rng);
+        self.publish_with_hop(cut_at, hop, block);
+    }
+
+    /// Publishes with an explicit orderer→leader hop (used by
+    /// [`crate::GossipDelivery`], which samples the hop from the
+    /// pipeline's PRNG to stay draw-for-draw compatible with ideal FIFO
+    /// delivery).
+    pub fn publish_with_hop(&mut self, cut_at: SimTime, hop: SimTime, block: Block) {
+        let number = block.header.number;
+        assert_eq!(
+            number,
+            self.published.len() as u64 + 1,
+            "blocks must be published in order, numbered from 1"
+        );
+        self.published.push((cut_at, block.clone()));
+        for org in 0..self.topology.orgs {
+            let leader = org * self.topology.peers_per_org;
+            if self.slots[leader].peer.is_some() && self.orderer_reachable(cut_at, leader) {
+                self.queue.schedule(
+                    cut_at + hop,
+                    GossipEvent::RawBlock {
+                        to: leader,
+                        from: None,
+                        block: block.clone(),
+                    },
+                );
+            }
+        }
+        // Arm the anti-entropy timers: any peer still behind once the
+        // pushes settle recovers through its tick.
+        for i in 0..self.slots.len() {
+            self.ensure_tick(cut_at, i);
+        }
+    }
+
+    /// Processes events until the replica at `peer` has committed block
+    /// `number`, returning the time that happened. Events already past
+    /// that point stay queued for later calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains first — a fault schedule that
+    /// never lets the peer recover (e.g. a partition without heal).
+    pub fn run_until_committed(&mut self, peer: usize, number: u64) -> SimTime {
+        while self.slots[peer].peer.is_none() || self.committed(peer) < number {
+            let Some((now, event)) = self.queue.pop() else {
+                panic!("gossip network deadlocked: peer {peer} never commits block {number}");
+            };
+            self.clock = now;
+            self.handle(now, event);
+        }
+        self.clock
+    }
+
+    /// Processes every remaining event (fault windows close, stragglers
+    /// catch up, timers expire) and returns the final clock.
+    pub fn drain(&mut self) -> SimTime {
+        while let Some((now, event)) = self.queue.pop() {
+            self.clock = now;
+            self.handle(now, event);
+        }
+        self.clock
+    }
+
+    /// Committed (post-genesis) block count; 0 while crashed.
+    fn committed(&self, i: usize) -> u64 {
+        self.slots[i]
+            .peer
+            .as_ref()
+            .map(|p| p.chain().height() - 1)
+            .unwrap_or(0)
+    }
+
+    fn has_block(&self, i: usize, number: u64) -> bool {
+        self.slots[i].buffer.contains_key(&number) || self.committed(i) >= number
+    }
+
+    /// Whether an active partition separates `a` and `b` at `now`.
+    fn partitioned(&self, now: SimTime, a: usize, b: usize) -> bool {
+        self.faults.partitions.iter().any(|p| {
+            now >= p.at && now < p.heal_at && (p.minority.contains(&a) != p.minority.contains(&b))
+        })
+    }
+
+    /// The ordering service sits on the majority side of every
+    /// partition.
+    fn orderer_reachable(&self, now: SimTime, peer: usize) -> bool {
+        !self
+            .faults
+            .partitions
+            .iter()
+            .any(|p| now >= p.at && now < p.heal_at && p.minority.contains(&peer))
+    }
+
+    fn handle(&mut self, now: SimTime, event: GossipEvent) {
+        match event {
+            GossipEvent::RawBlock { to, from, block } => self.raw_block(now, to, from, block),
+            GossipEvent::Transfer { to, blocks } => self.transfer(now, to, blocks),
+            GossipEvent::Tick { peer } => self.tick(now, peer),
+            GossipEvent::Crash { peer } => self.crash(peer),
+            GossipEvent::Restart { peer } => self.restart(now, peer),
+            GossipEvent::Heal { partition } => self.heal(now, partition),
+        }
+    }
+
+    fn raw_block(&mut self, now: SimTime, to: usize, from: Option<usize>, block: Block) {
+        if self.slots[to].peer.is_none() {
+            return; // down: the message is lost
+        }
+        let number = block.header.number;
+        if self.has_block(to, number) {
+            if from.is_some() {
+                self.metrics.redundant_messages += 1;
+            }
+            return;
+        }
+        self.record_arrival(now, number);
+        self.slots[to].buffer.insert(number, block.clone());
+        self.forward(now, to, from, &block);
+        self.commit_buffered(to);
+        self.check_catch_up(now, to);
+    }
+
+    /// Push-forwards a freshly seen block to `fanout` random peers
+    /// (excluding self and the sender), applying link faults.
+    fn forward(&mut self, now: SimTime, i: usize, sender: Option<usize>, block: &Block) {
+        let mut candidates: Vec<usize> = (0..self.slots.len())
+            .filter(|&j| j != i && Some(j) != sender)
+            .collect();
+        for _ in 0..self.gossip.fanout.min(candidates.len()) {
+            let pick = self.rng.gen_range(0, candidates.len() as u64) as usize;
+            let target = candidates.swap_remove(pick);
+            self.send_raw(now, i, target, block);
+        }
+    }
+
+    fn send_raw(&mut self, now: SimTime, from: usize, to: usize, block: &Block) {
+        if self.partitioned(now, from, to) {
+            return;
+        }
+        self.metrics.messages_sent += 1;
+        if self.rng.gen_bool(self.faults.link.drop) {
+            self.metrics.messages_dropped += 1;
+            return;
+        }
+        let delay = self.link_delay();
+        self.queue.schedule(
+            now + delay,
+            GossipEvent::RawBlock {
+                to,
+                from: Some(from),
+                block: block.clone(),
+            },
+        );
+        if self.rng.gen_bool(self.faults.link.duplicate) {
+            self.metrics.messages_duplicated += 1;
+            let delay = self.link_delay();
+            self.queue.schedule(
+                now + delay,
+                GossipEvent::RawBlock {
+                    to,
+                    from: Some(from),
+                    block: block.clone(),
+                },
+            );
+        }
+    }
+
+    fn link_delay(&mut self) -> SimTime {
+        self.gossip.link.sample(&mut self.rng) + self.faults.link.extra_delay.sample(&mut self.rng)
+    }
+
+    /// Anti-entropy tick: pull missing committed blocks from a random
+    /// better-off reachable peer, falling back to re-requesting raw
+    /// blocks from the ordering service; re-arms while still behind.
+    fn tick(&mut self, now: SimTime, i: usize) {
+        self.slots[i].ticks_pending -= 1;
+        if self.slots[i].peer.is_none() {
+            return; // restart re-arms
+        }
+        let mine = self.committed(i);
+        let published = self.published_count();
+        let candidates: Vec<usize> = (0..self.slots.len())
+            .filter(|&j| j != i && !self.partitioned(now, i, j) && self.committed(j) > mine)
+            .collect();
+        if !candidates.is_empty() {
+            let j = candidates[self.rng.gen_range(0, candidates.len() as u64) as usize];
+            let blocks: Vec<Block> = self.slots[j]
+                .peer
+                .as_ref()
+                .expect("candidates are up")
+                .chain()
+                .iter()
+                .filter(|b| b.header.number > mine)
+                .cloned()
+                .collect();
+            self.metrics.anti_entropy_transfers += 1;
+            self.metrics.anti_entropy_blocks += blocks.len() as u64;
+            let delay = self.gossip.link.sample(&mut self.rng);
+            self.queue
+                .schedule(now + delay, GossipEvent::Transfer { to: i, blocks });
+        } else if mine < published && self.orderer_reachable(now, i) {
+            // No peer can help (all behind or unreachable): reconnect to
+            // the deliver service and re-request what's missing.
+            let missing: Vec<Block> = (mine + 1..=published)
+                .filter(|n| !self.has_block(i, *n))
+                .map(|n| self.published[n as usize - 1].1.clone())
+                .collect();
+            for block in missing {
+                let hop = self.orderer_hop.sample(&mut self.rng);
+                self.queue.schedule(
+                    now + hop,
+                    GossipEvent::RawBlock {
+                        to: i,
+                        from: None,
+                        block,
+                    },
+                );
+            }
+        }
+        if self.committed(i) < published {
+            self.ensure_tick(now, i);
+        }
+    }
+
+    fn transfer(&mut self, now: SimTime, to: usize, blocks: Vec<Block>) {
+        if self.slots[to].peer.is_none() {
+            return;
+        }
+        for block in blocks {
+            // Locally buffered predecessors commit first; then the
+            // transferred block fills the next hole, if still a hole
+            // (pushes may have raced ahead of the pull).
+            self.commit_buffered(to);
+            let number = block.header.number;
+            if self.committed(to) + 1 != number {
+                continue;
+            }
+            self.record_arrival(now, number);
+            self.slots[to]
+                .peer
+                .as_mut()
+                .expect("checked above")
+                .replay_block(block)
+                .expect("anti-entropy blocks extend the chain: all replicas re-seal identically");
+        }
+        self.commit_buffered(to);
+        self.check_catch_up(now, to);
+    }
+
+    /// Commits buffered raw blocks as long as the next one is present.
+    fn commit_buffered(&mut self, i: usize) {
+        loop {
+            let next = self.committed(i) + 1;
+            let Some(block) = self.slots[i].buffer.remove(&next) else {
+                break;
+            };
+            let peer = self.slots[i].peer.as_mut().expect("caller checked");
+            let staged = peer.process_block(block);
+            peer.commit(staged)
+                .expect("buffered blocks extend the chain in order");
+        }
+    }
+
+    fn crash(&mut self, p: usize) {
+        let slot = &mut self.slots[p];
+        let Some(peer) = slot.peer.take() else {
+            return;
+        };
+        // The ledger persists across the crash; volatile receive state
+        // does not.
+        slot.saved = Some(peer.snapshot());
+        slot.buffer.clear();
+        slot.catch_up = None;
+    }
+
+    fn restart(&mut self, now: SimTime, p: usize) {
+        let snapshot = self.slots[p]
+            .saved
+            .take()
+            .expect("restart follows a crash with a saved ledger");
+        let peer = Peer::restore((self.make_validator)(), self.policy.clone(), &snapshot)
+            .expect("a peer's own snapshot restores cleanly");
+        self.slots[p].peer = Some(peer);
+        self.begin_catch_up(now, p);
+    }
+
+    fn heal(&mut self, now: SimTime, partition: usize) {
+        let minority = self.faults.partitions[partition].minority.clone();
+        for p in minority {
+            if self.slots[p].peer.is_some() {
+                self.begin_catch_up(now, p);
+            }
+        }
+    }
+
+    /// Registers a catch-up episode for a rejoining peer (target: what
+    /// the rest of the network has committed right now) and pulls
+    /// immediately.
+    fn begin_catch_up(&mut self, now: SimTime, p: usize) {
+        let target = (0..self.slots.len())
+            .filter(|&j| j != p && self.slots[j].peer.is_some())
+            .map(|j| self.committed(j))
+            .max()
+            .unwrap_or(0);
+        if target > self.committed(p) && self.slots[p].catch_up.is_none() {
+            self.slots[p].catch_up = Some((now, target));
+        }
+        self.slots[p].ticks_pending += 1;
+        self.queue.schedule(now, GossipEvent::Tick { peer: p });
+    }
+
+    fn check_catch_up(&mut self, now: SimTime, i: usize) {
+        if let Some((from, target)) = self.slots[i].catch_up {
+            if self.committed(i) >= target {
+                self.slots[i].catch_up = None;
+                self.metrics.catch_up.push(CatchUpEpisode {
+                    peer: i,
+                    from,
+                    caught_up_at: now,
+                });
+            }
+        }
+    }
+
+    /// Schedules an anti-entropy tick if none is outstanding.
+    fn ensure_tick(&mut self, now: SimTime, i: usize) {
+        if self.slots[i].ticks_pending > 0 {
+            return;
+        }
+        self.slots[i].ticks_pending += 1;
+        self.queue.schedule(
+            now + self.gossip.anti_entropy_interval,
+            GossipEvent::Tick { peer: i },
+        );
+    }
+
+    /// First time this block's content reaches any given peer: one
+    /// propagation-latency sample (relative to the orderer cut).
+    fn record_arrival(&mut self, now: SimTime, number: u64) {
+        let cut_at = self.published[number as usize - 1].0;
+        self.metrics.propagation.push(now.saturating_sub(cut_at));
+    }
+}

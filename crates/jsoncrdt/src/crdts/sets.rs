@@ -64,8 +64,7 @@ impl<T: Ord + Clone> GSet<T> {
 
     /// Joins another set's state (union).
     pub fn merge(&mut self, other: &GSet<T>) {
-        self.elements
-            .extend(other.elements.iter().cloned());
+        self.elements.extend(other.elements.iter().cloned());
     }
 }
 
@@ -137,10 +136,7 @@ impl<T: Ord + Clone> OrSet<T> {
 
     /// Number of visible elements.
     pub fn len(&self) -> usize {
-        self.adds
-            .keys()
-            .filter(|e| self.contains(e))
-            .count()
+        self.adds.keys().filter(|e| self.contains(e)).count()
     }
 
     /// Whether no element is visible.

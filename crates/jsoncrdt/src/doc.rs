@@ -100,18 +100,15 @@ impl Entry {
             }
         }
         if let Some(list) = &self.list {
-            let converted: Vec<Value> = list
-                .items
-                .values()
-                .filter_map(Entry::to_value)
-                .collect();
+            let converted: Vec<Value> = list.items.values().filter_map(Entry::to_value).collect();
             if !converted.is_empty() || self.reg.is_empty() {
                 return Some(Value::List(converted));
             }
         }
         // Register: newest live assignment wins.
         self.reg
-            .iter().rfind(|(id, _)| !self.tombstones.contains(id))
+            .iter()
+            .rfind(|(id, _)| !self.tombstones.contains(id))
             .map(|(_, v)| Value::String(v.clone()))
     }
 }
@@ -554,10 +551,7 @@ mod tests {
 
     #[test]
     fn deeply_nested_lists_in_maps_in_lists() {
-        let out = merged(&[
-            r#"{"a":[{"x":["1"]}]}"#,
-            r#"{"a":[{"x":["1"]},{"y":"2"}]}"#,
-        ]);
+        let out = merged(&[r#"{"a":[{"x":["1"]}]}"#, r#"{"a":[{"x":["1"]},{"y":"2"}]}"#]);
         let a = out.get("a").unwrap().as_list().unwrap();
         assert_eq!(a.len(), 2);
     }
@@ -746,7 +740,10 @@ mod tests {
             doc.apply(op(2, vec![id(1)], "b")).unwrap(),
             ApplyOutcome::Buffered
         );
-        assert_eq!(doc.apply(op(1, vec![], "a")).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(
+            doc.apply(op(1, vec![], "a")).unwrap(),
+            ApplyOutcome::Applied
+        );
         assert_eq!(doc.pending_len(), 0);
         assert_eq!(doc.to_value().get("k").unwrap().as_str(), Some("c"));
     }

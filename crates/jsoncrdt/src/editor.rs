@@ -93,7 +93,11 @@ impl Editor {
     /// # Errors
     ///
     /// Returns [`DocError::MutationAtHead`] for an empty path.
-    pub fn assign(&mut self, path: &[&str], value: impl Into<String>) -> Result<Operation, DocError> {
+    pub fn assign(
+        &mut self,
+        path: &[&str],
+        value: impl Into<String>,
+    ) -> Result<Operation, DocError> {
         if path.is_empty() {
             return Err(DocError::MutationAtHead);
         }

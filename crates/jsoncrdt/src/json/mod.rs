@@ -117,8 +117,7 @@ impl fmt::Display for Number {
 /// assert_eq!(v.to_string(), r#"{"deviceID":"Device1","readings":["50.5"]}"#);
 /// # Ok::<(), fabriccrdt_jsoncrdt::json::ParseError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Value {
     /// JSON `null`.
     #[default]
@@ -285,7 +284,6 @@ impl Value {
     }
 }
 
-
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_compact_string())
@@ -413,7 +411,9 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(m.get("a").unwrap().as_str(), Some("1"));
-        let l: Value = vec![Value::from("1"), Value::from("2")].into_iter().collect();
+        let l: Value = vec![Value::from("1"), Value::from("2")]
+            .into_iter()
+            .collect();
         assert_eq!(l.as_list().unwrap().len(), 2);
     }
 }

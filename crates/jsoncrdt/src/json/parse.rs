@@ -212,8 +212,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..=0xDFFF).contains(&low) {
                                 return Err(ParseError::new("invalid low surrogate", self.pos));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined).ok_or_else(|| {
                                 ParseError::new("invalid surrogate pair", self.pos)
                             })?
@@ -241,9 +240,8 @@ impl<'a> Parser<'a> {
                 Some(b) if b < 0x80 => out.push(b as char),
                 Some(b) => {
                     // Multi-byte UTF-8: re-decode from the source slice.
-                    let width = utf8_width(b).ok_or_else(|| {
-                        ParseError::new("invalid UTF-8 start byte", self.pos - 1)
-                    })?;
+                    let width = utf8_width(b)
+                        .ok_or_else(|| ParseError::new("invalid UTF-8 start byte", self.pos - 1))?;
                     let start = self.pos - 1;
                     let end = start + width;
                     if end > self.bytes.len() {
@@ -293,7 +291,10 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'.') {
             self.pos += 1;
             if !matches!(self.peek(), Some(b'0'..=b'9')) {
-                return Err(ParseError::new("digit expected after decimal point", self.pos));
+                return Err(ParseError::new(
+                    "digit expected after decimal point",
+                    self.pos,
+                ));
             }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
@@ -312,8 +313,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         let parsed: f64 = text
             .parse()
             .map_err(|_| ParseError::new("number out of range", start))?;

@@ -1,105 +1,135 @@
-//! Property-based tests for the JSON model and the CRDT laws.
+//! Randomized property tests for the JSON model and the CRDT laws,
+//! driven by the deterministic in-repo generator (`fabriccrdt_sim::gen`)
+//! so the suite runs with no external dependencies.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 use fabriccrdt_jsoncrdt::crdts::{GCounter, GSet, LwwRegister, OrSet, PnCounter};
 use fabriccrdt_jsoncrdt::json::Value;
-use fabriccrdt_jsoncrdt::op::{Cursor, ItemKey, Mutation, Operation};
+use fabriccrdt_jsoncrdt::op::{Cursor, CursorElement, ItemKey, Mutation, Operation};
 use fabriccrdt_jsoncrdt::op_codec;
 use fabriccrdt_jsoncrdt::{JsonCrdt, OpId, ReplicaId};
+use fabriccrdt_sim::gen::{self, Gen};
 
-/// Strategy for arbitrary operations.
-fn arb_operation() -> impl Strategy<Value = Operation> {
-    let arb_id = (1u64..1000, 0u64..8).prop_map(|(c, r)| OpId::new(c, ReplicaId(r)));
-    let element = prop_oneof![
-        "[a-z]{1,6}".prop_map(fabriccrdt_jsoncrdt::op::CursorElement::Key),
-        (0u64..16, any::<u64>()).prop_map(|(index, hash)| {
-            fabriccrdt_jsoncrdt::op::CursorElement::ListItem(ItemKey { index, hash })
-        }),
-    ];
-    let mutation = prop_oneof![
-        "[a-zA-Z0-9 ]{0,16}".prop_map(Mutation::Assign),
-        Just(Mutation::MakeMap),
-        Just(Mutation::MakeList),
-        Just(Mutation::Delete),
-    ];
-    (
-        arb_id.clone(),
-        prop::collection::vec(arb_id, 0..4),
-        prop::collection::vec(element, 0..5),
-        mutation,
-    )
-        .prop_map(|(id, deps, elements, mutation)| {
-            Operation::new(id, deps, Cursor::from_elements(elements), mutation)
-        })
-}
-
-/// Strategy for arbitrary JSON values (strings at the leaves, as in the
-/// paper's programming model, but also numbers/bools/null for the parser).
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-1.0e9..1.0e9f64).prop_map(Value::from),
-        "[a-zA-Z0-9 .\\-]{0,12}".prop_map(Value::string),
-    ];
-    leaf.prop_recursive(4, 48, 6, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::list),
-            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(Value::Map),
-        ]
-    })
-}
-
-/// Strategy for JSON documents whose leaves are strings only — the shape
-/// FabricCRDT chaincodes submit (paper §5.2).
-fn arb_string_doc() -> impl Strategy<Value = Value> {
-    let leaf = "[a-z0-9.]{1,8}".prop_map(Value::string);
-    let node = leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
-            prop::collection::btree_map("[a-z]{1,4}", inner, 0..4).prop_map(Value::Map),
-        ]
+/// An arbitrary operation.
+fn arb_operation(g: &mut Gen) -> Operation {
+    let mut arb_id = |g: &mut Gen| OpId::new(g.range(1, 1000), ReplicaId(g.range(0, 8)));
+    let id = arb_id(g);
+    let deps = g.vec(0, 3, &mut arb_id);
+    let elements = g.vec(0, 4, |g| {
+        if g.flip() {
+            CursorElement::Key(g.ident(1, 6))
+        } else {
+            CursorElement::ListItem(ItemKey {
+                index: g.range(0, 16),
+                hash: g.u64(),
+            })
+        }
     });
-    prop::collection::btree_map("[a-z]{1,4}", node, 0..5).prop_map(Value::Map)
+    let mutation = match g.range(0, 4) {
+        0 => Mutation::Assign(g.string_of("abcdefgXYZ0123456789 ", 0, 16)),
+        1 => Mutation::MakeMap,
+        2 => Mutation::MakeList,
+        _ => Mutation::Delete,
+    };
+    Operation::new(id, deps, Cursor::from_elements(elements), mutation)
 }
 
-proptest! {
-    #[test]
-    fn json_compact_roundtrip(v in arb_value()) {
+/// An arbitrary JSON value (strings at the leaves, as in the paper's
+/// programming model, but also numbers/bools/null for the parser).
+fn arb_value(g: &mut Gen, depth: usize) -> Value {
+    if depth == 0 || g.prob(0.45) {
+        return match g.range(0, 4) {
+            0 => Value::Null,
+            1 => Value::Bool(g.flip()),
+            2 => Value::from((g.f64_in(-1.0e9, 1.0e9) * 1e3).round() / 1e3),
+            _ => Value::string(g.string_of("abcdefXYZ0189 .-", 0, 12)),
+        };
+    }
+    if g.flip() {
+        Value::list(g.vec(0, 5, |g| arb_value(g, depth - 1)))
+    } else {
+        let entries: BTreeMap<String, Value> = g
+            .vec(0, 5, |g| (g.ident(1, 6), arb_value(g, depth - 1)))
+            .into_iter()
+            .collect();
+        Value::Map(entries)
+    }
+}
+
+/// A JSON document whose leaves are strings only — the shape FabricCRDT
+/// chaincodes submit (paper §5.2).
+fn arb_string_doc(g: &mut Gen) -> Value {
+    fn node(g: &mut Gen, depth: usize) -> Value {
+        if depth == 0 || g.prob(0.5) {
+            return Value::string(g.string_of("abcdefghij0123456789.", 1, 8));
+        }
+        if g.flip() {
+            Value::list(g.vec(0, 4, |g| node(g, depth - 1)))
+        } else {
+            let entries: BTreeMap<String, Value> = g
+                .vec(0, 4, |g| (g.ident(1, 4), node(g, depth - 1)))
+                .into_iter()
+                .collect();
+            Value::Map(entries)
+        }
+    }
+    let entries: BTreeMap<String, Value> = g
+        .vec(0, 4, |g| (g.ident(1, 4), node(g, 3)))
+        .into_iter()
+        .collect();
+    Value::Map(entries)
+}
+
+#[test]
+fn json_compact_roundtrip() {
+    gen::cases(128, |g| {
+        let v = arb_value(g, 4);
         let text = v.to_compact_string();
-        prop_assert_eq!(text.parse::<Value>().unwrap(), v);
-    }
+        assert_eq!(text.parse::<Value>().unwrap(), v, "{text}");
+    });
+}
 
-    #[test]
-    fn json_pretty_roundtrip(v in arb_value()) {
+#[test]
+fn json_pretty_roundtrip() {
+    gen::cases(128, |g| {
+        let v = arb_value(g, 4);
         let text = v.to_pretty_string();
-        prop_assert_eq!(text.parse::<Value>().unwrap(), v);
-    }
+        assert_eq!(text.parse::<Value>().unwrap(), v, "{text}");
+    });
+}
 
-    #[test]
-    fn json_canonical_form_is_stable(v in arb_value()) {
+#[test]
+fn json_canonical_form_is_stable() {
+    gen::cases(128, |g| {
+        let v = arb_value(g, 4);
         let once = v.to_compact_string();
         let twice = once.parse::<Value>().unwrap().to_compact_string();
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    /// Merging the same document repeatedly never changes the result.
-    #[test]
-    fn crdt_merge_idempotent(doc in arb_string_doc()) {
+/// Merging the same document repeatedly never changes the result.
+#[test]
+fn crdt_merge_idempotent() {
+    gen::cases(64, |g| {
+        let doc = arb_string_doc(g);
         let mut once = JsonCrdt::new(ReplicaId(1));
         once.merge_value(&doc).unwrap();
         let mut many = JsonCrdt::new(ReplicaId(1));
         for _ in 0..3 {
             many.merge_value(&doc).unwrap();
         }
-        prop_assert_eq!(once.to_value(), many.to_value());
-    }
+        assert_eq!(once.to_value(), many.to_value());
+    });
+}
 
-    /// The same merge sequence always produces the same result
-    /// (determinism is what lets every peer converge in block order).
-    #[test]
-    fn crdt_merge_deterministic(docs in prop::collection::vec(arb_string_doc(), 1..5)) {
+/// The same merge sequence always produces the same result (determinism
+/// is what lets every peer converge in block order).
+#[test]
+fn crdt_merge_deterministic() {
+    gen::cases(64, |g| {
+        let docs = g.vec(1, 4, arb_string_doc);
         let run = || {
             let mut d = JsonCrdt::new(ReplicaId(1));
             for doc in &docs {
@@ -107,81 +137,106 @@ proptest! {
             }
             d.to_value()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// A single merged document converts back to itself (roundtrip through
-    /// the CRDT, modulo the string-leaf normalization which arb_string_doc
-    /// never triggers).
-    #[test]
-    fn crdt_single_source_roundtrip(doc in arb_string_doc()) {
+/// A single merged document converts back to itself (roundtrip through
+/// the CRDT, modulo the string-leaf normalization which arb_string_doc
+/// never triggers).
+#[test]
+fn crdt_single_source_roundtrip() {
+    gen::cases(64, |g| {
+        let doc = arb_string_doc(g);
         let mut d = JsonCrdt::new(ReplicaId(1));
         d.merge_value(&doc).unwrap();
-        prop_assert_eq!(d.to_value(), doc);
-    }
+        assert_eq!(d.to_value(), doc);
+    });
+}
 
-    /// Merging sources with disjoint top-level keys is order-insensitive.
-    #[test]
-    fn crdt_disjoint_sources_commute(
-        a in prop::collection::btree_map("a[a-z]{1,3}", "[a-z]{1,6}".prop_map(Value::string), 0..4),
-        b in prop::collection::btree_map("b[a-z]{1,3}", "[a-z]{1,6}".prop_map(Value::string), 0..4),
-    ) {
-        let (a, b) = (Value::Map(a), Value::Map(b));
+/// Merging sources with disjoint top-level keys is order-insensitive.
+#[test]
+fn crdt_disjoint_sources_commute() {
+    gen::cases(64, |g| {
+        let side = |g: &mut Gen, prefix: &str| {
+            let entries: BTreeMap<String, Value> = g
+                .vec(0, 4, |g| {
+                    (
+                        format!("{prefix}{}", g.ident(1, 3)),
+                        Value::string(g.ident(1, 6)),
+                    )
+                })
+                .into_iter()
+                .collect();
+            Value::Map(entries)
+        };
+        let a = side(g, "a");
+        let b = side(g, "b");
         let mut ab = JsonCrdt::new(ReplicaId(1));
         ab.merge_value(&a).unwrap();
         ab.merge_value(&b).unwrap();
         let mut ba = JsonCrdt::new(ReplicaId(1));
         ba.merge_value(&b).unwrap();
         ba.merge_value(&a).unwrap();
-        prop_assert_eq!(ab.to_value(), ba.to_value());
-    }
+        assert_eq!(ab.to_value(), ba.to_value());
+    });
+}
 
-    /// No update loss: every distinct list item contributed by any source
-    /// survives the merge (the paper's "no update loss" requirement).
-    #[test]
-    fn crdt_list_items_never_lost(
-        lists in prop::collection::vec(
-            prop::collection::vec("[a-z0-9]{1,6}", 0..5), 1..4),
-    ) {
+/// No update loss: every distinct list item contributed by any source
+/// survives the merge (the paper's "no update loss" requirement).
+#[test]
+fn crdt_list_items_never_lost() {
+    gen::cases(64, |g| {
+        let lists = g.vec(1, 3, |g| g.vec(0, 4, |g| g.string_of("abcdef012", 1, 6)));
         let mut doc = JsonCrdt::new(ReplicaId(1));
         for items in &lists {
             let source = Value::Map(
-                [("l".to_owned(), Value::list(items.iter().map(|s| Value::string(s.clone()))))]
-                    .into_iter()
-                    .collect(),
+                [(
+                    "l".to_owned(),
+                    Value::list(items.iter().map(|s| Value::string(s.clone()))),
+                )]
+                .into_iter()
+                .collect(),
             );
             doc.merge_value(&source).unwrap();
         }
         let merged = doc.to_value();
         let merged_items: Vec<&str> = merged
             .get("l")
-            .map(|l| l.as_list().unwrap().iter().map(|v| v.as_str().unwrap()).collect())
+            .map(|l| {
+                l.as_list()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.as_str().unwrap())
+                    .collect()
+            })
             .unwrap_or_default();
         for items in &lists {
             for item in items {
-                prop_assert!(
-                    merged_items.contains(&item.as_str()),
-                    "lost item {item:?}"
-                );
+                assert!(merged_items.contains(&item.as_str()), "lost item {item:?}");
             }
         }
-    }
+    });
+}
 
-    /// Two sources writing the same list key converge to the same value
-    /// regardless of merge order: list-element identity is
-    /// content-addressed and ordering is deterministic, so list unions
-    /// are order-insensitive (unlike registers, which arbitrate by merge
-    /// order — the property FabricCRDT gets from identical block order).
-    #[test]
-    fn crdt_list_unions_commute(
-        a in prop::collection::vec("[a-z0-9]{1,6}", 0..6),
-        b in prop::collection::vec("[a-z0-9]{1,6}", 0..6),
-    ) {
+/// Two sources writing the same list key converge to the same value
+/// regardless of merge order: list-element identity is content-addressed
+/// and ordering is deterministic, so list unions are order-insensitive
+/// (unlike registers, which arbitrate by merge order — the property
+/// FabricCRDT gets from identical block order).
+#[test]
+fn crdt_list_unions_commute() {
+    gen::cases(64, |g| {
+        let a = g.vec(0, 6, |g| g.string_of("abcdef012", 1, 6));
+        let b = g.vec(0, 6, |g| g.string_of("abcdef012", 1, 6));
         let src = |items: &[String]| {
             Value::Map(
-                [("l".to_owned(), Value::list(items.iter().map(|s| Value::string(s.clone()))))]
-                    .into_iter()
-                    .collect(),
+                [(
+                    "l".to_owned(),
+                    Value::list(items.iter().map(|s| Value::string(s.clone()))),
+                )]
+                .into_iter()
+                .collect(),
             )
         };
         let mut ab = JsonCrdt::new(ReplicaId(1));
@@ -190,54 +245,80 @@ proptest! {
         let mut ba = JsonCrdt::new(ReplicaId(1));
         ba.merge_value(&src(&b)).unwrap();
         ba.merge_value(&src(&a)).unwrap();
-        prop_assert_eq!(ab.to_value(), ba.to_value());
-    }
+        assert_eq!(ab.to_value(), ba.to_value());
+    });
+}
 
-    /// Merge work counters are deterministic.
-    #[test]
-    fn crdt_work_deterministic(doc in arb_string_doc()) {
+/// Merge work counters are deterministic.
+#[test]
+fn crdt_work_deterministic() {
+    gen::cases(64, |g| {
+        let doc = arb_string_doc(g);
         let run = || {
             let mut d = JsonCrdt::new(ReplicaId(1));
             d.merge_value(&doc).unwrap()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// The JSON parser is total: arbitrary input never panics.
-    #[test]
-    fn parser_is_total(input in ".*") {
+/// The JSON parser is total: arbitrary input never panics.
+#[test]
+fn parser_is_total() {
+    gen::cases(256, |g| {
+        let input: String = g
+            .vec(0, 60, |g| {
+                char::from_u32(g.range(1, 0xd800) as u32).unwrap()
+            })
+            .into_iter()
+            .collect();
         let _ = Value::parse(&input);
-    }
+        // And inputs biased toward JSON-looking text.
+        let jsonish = g.string_of("{}[]\",:.0123456789truefalsenul \\", 0, 60);
+        let _ = Value::parse(&jsonish);
+    });
+}
 
-    /// ... including arbitrary non-UTF-8 byte strings via from_bytes.
-    #[test]
-    fn from_bytes_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+/// ... including arbitrary non-UTF-8 byte strings via from_bytes.
+#[test]
+fn from_bytes_is_total() {
+    gen::cases(256, |g| {
+        let bytes = g.bytes(0, 200);
         let _ = Value::from_bytes(&bytes);
-    }
+    });
+}
 
-    /// Operation codec roundtrips.
-    #[test]
-    fn op_codec_roundtrip(op in arb_operation()) {
+/// Operation codec roundtrips.
+#[test]
+fn op_codec_roundtrip() {
+    gen::cases(128, |g| {
+        let op = arb_operation(g);
         let decoded = op_codec::decode_op(&op_codec::encode_op(&op)).unwrap();
-        prop_assert_eq!(decoded, op);
-    }
+        assert_eq!(decoded, op);
+    });
+}
 
-    /// Operation decoding is total.
-    #[test]
-    fn op_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+/// Operation decoding is total.
+#[test]
+fn op_decode_is_total() {
+    gen::cases(256, |g| {
+        let bytes = g.bytes(0, 200);
         let _ = op_codec::decode_op(&bytes);
-    }
+    });
+}
 
-    /// Collaborative text: two replicas make arbitrary concurrent edit
-    /// scripts, exchange all operations, and converge to the same text
-    /// with no character of either replica's insertions lost unless
-    /// explicitly deleted.
-    #[test]
-    fn text_replicas_converge(
-        script_a in prop::collection::vec((0usize..20, "[a-z]{1,3}", any::<bool>()), 1..10),
-        script_b in prop::collection::vec((0usize..20, "[a-z]{1,3}", any::<bool>()), 1..10),
-    ) {
-        use fabriccrdt_jsoncrdt::text::TextDoc;
+/// Collaborative text: two replicas make arbitrary concurrent edit
+/// scripts, exchange all operations, and converge to the same text with
+/// no character of either replica's insertions lost unless explicitly
+/// deleted.
+#[test]
+fn text_replicas_converge() {
+    use fabriccrdt_jsoncrdt::text::TextDoc;
+    gen::cases(64, |g| {
+        let script =
+            |g: &mut Gen| g.vec(1, 9, |g| (g.range(0, 20) as usize, g.ident(1, 3), g.flip()));
+        let script_a = script(g);
+        let script_b = script(g);
         let mut a = TextDoc::new(ReplicaId(1));
         let mut b = TextDoc::new(ReplicaId(2));
         let mut ops_a = Vec::new();
@@ -262,16 +343,21 @@ proptest! {
         for op in ops_a {
             b.apply(op);
         }
-        prop_assert_eq!(a.text(), b.text());
-    }
+        assert_eq!(a.text(), b.text());
+    });
+}
 
-    /// RGA sequences converge under arbitrary delivery orders.
-    #[test]
-    fn rga_converges_under_shuffled_delivery(
-        inserts in prop::collection::vec((0u64..8, any::<char>()), 1..12),
-        shuffle_seed in any::<u64>(),
-    ) {
-        use fabriccrdt_jsoncrdt::crdts::Rga;
+/// RGA sequences converge under arbitrary delivery orders.
+#[test]
+fn rga_converges_under_shuffled_delivery() {
+    use fabriccrdt_jsoncrdt::crdts::Rga;
+    gen::cases(64, |g| {
+        let inserts = g.vec(1, 11, |g| {
+            (
+                g.range(0, 8),
+                char::from_u32(g.range(0x20, 0x7f) as u32).unwrap(),
+            )
+        });
         // Build a causally valid op list: each insert's parent is HEAD or
         // a previously inserted element.
         let mut ops: Vec<(OpId, OpId, char)> = Vec::new();
@@ -293,59 +379,53 @@ proptest! {
         };
         // Deliver in a deterministic shuffle.
         let mut shuffled = ops.clone();
-        let mut state = shuffle_seed;
-        for i in (1..shuffled.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
-            shuffled.swap(i, j);
-        }
+        g.rng().shuffle(&mut shuffled);
         let mut rga = Rga::new();
         for (p, id, ch) in shuffled {
             rga.insert_after(p, id, ch);
         }
-        prop_assert_eq!(rga.pending_len(), 0);
-        prop_assert_eq!(rga.to_text(), reference);
-    }
+        assert_eq!(rga.pending_len(), 0);
+        assert_eq!(rga.to_text(), reference);
+    });
+}
 
-    /// Add-wins graph merge laws (commutative, idempotent).
-    #[test]
-    fn graph_merge_laws(
-        script_a in prop::collection::vec((0u8..4, 0u8..4, any::<bool>()), 0..10),
-        script_b in prop::collection::vec((0u8..4, 0u8..4, any::<bool>()), 0..10),
-    ) {
-        use fabriccrdt_jsoncrdt::crdts::{Edge, GraphCrdt};
-        let build = |script: &[(u8, u8, bool)], replica: u64| {
-            let mut g = GraphCrdt::new();
+/// Add-wins graph merge laws (commutative, idempotent).
+#[test]
+fn graph_merge_laws() {
+    use fabriccrdt_jsoncrdt::crdts::{Edge, GraphCrdt};
+    gen::cases(64, |g| {
+        let script = |g: &mut Gen| g.vec(0, 9, |g| (g.range(0, 4), g.range(0, 4), g.flip()));
+        let build = |script: &[(u64, u64, bool)], replica: u64| {
+            let mut graph = GraphCrdt::new();
             for (i, (from, to, add_edge)) in script.iter().enumerate() {
                 let tag = OpId::new(i as u64 + 1, ReplicaId(replica));
                 if *add_edge {
-                    g.add_vertex(format!("v{from}"), tag);
-                    g.add_edge(Edge::new(format!("v{from}"), format!("v{to}")), tag);
+                    graph.add_vertex(format!("v{from}"), tag);
+                    graph.add_edge(Edge::new(format!("v{from}"), format!("v{to}")), tag);
                 } else {
-                    g.add_vertex(format!("v{to}"), tag);
+                    graph.add_vertex(format!("v{to}"), tag);
                 }
             }
-            g
+            graph
         };
-        let a = build(&script_a, 1);
-        let b = build(&script_b, 2);
+        let a = build(&script(g), 1);
+        let b = build(&script(g), 2);
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         let mut aa = a.clone();
         aa.merge(&a);
-        prop_assert_eq!(&aa, &a);
-    }
+        assert_eq!(&aa, &a);
+    });
+}
 
-    /// G-Counter semilattice laws.
-    #[test]
-    fn gcounter_laws(
-        ops_a in prop::collection::vec((0u64..4, 1u64..10), 0..8),
-        ops_b in prop::collection::vec((0u64..4, 1u64..10), 0..8),
-        ops_c in prop::collection::vec((0u64..4, 1u64..10), 0..8),
-    ) {
+/// G-Counter semilattice laws.
+#[test]
+fn gcounter_laws() {
+    gen::cases(64, |g| {
+        let ops = |g: &mut Gen| g.vec(0, 8, |g| (g.range(0, 4), g.range(1, 10)));
         let build = |ops: &[(u64, u64)]| {
             let mut c = GCounter::new();
             for &(r, n) in ops {
@@ -353,13 +433,13 @@ proptest! {
             }
             c
         };
-        let (a, b, c) = (build(&ops_a), build(&ops_b), build(&ops_c));
+        let (a, b, c) = (build(&ops(g)), build(&ops(g)), build(&ops(g)));
         // Commutativity.
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         // Associativity.
         let mut ab_c = ab.clone();
         ab_c.merge(&c);
@@ -367,32 +447,34 @@ proptest! {
         bc.merge(&c);
         let mut a_bc = a.clone();
         a_bc.merge(&bc);
-        prop_assert_eq!(&ab_c, &a_bc);
+        assert_eq!(&ab_c, &a_bc);
         // Idempotence.
         let mut aa = a.clone();
         aa.merge(&a);
-        prop_assert_eq!(&aa, &a);
-    }
+        assert_eq!(&aa, &a);
+    });
+}
 
-    /// PN-Counter merge preserves the value of independent updates.
-    #[test]
-    fn pncounter_merge_sums_disjoint_replicas(
-        inc in 0u64..1000, dec in 0u64..1000,
-    ) {
+/// PN-Counter merge preserves the value of independent updates.
+#[test]
+fn pncounter_merge_sums_disjoint_replicas() {
+    gen::cases(128, |g| {
+        let inc = g.range(0, 1000);
+        let dec = g.range(0, 1000);
         let mut a = PnCounter::new();
         a.increment(ReplicaId(1), inc);
         let mut b = PnCounter::new();
         b.decrement(ReplicaId(2), dec);
         a.merge(&b);
-        prop_assert_eq!(a.value(), inc as i64 - dec as i64);
-    }
+        assert_eq!(a.value(), inc as i64 - dec as i64);
+    });
+}
 
-    /// OR-Set: merge is commutative and idempotent over random scripts.
-    #[test]
-    fn orset_laws(
-        script_a in prop::collection::vec(("[a-c]", any::<bool>()), 0..12),
-        script_b in prop::collection::vec(("[a-c]", any::<bool>()), 0..12),
-    ) {
+/// OR-Set: merge is commutative and idempotent over random scripts.
+#[test]
+fn orset_laws() {
+    gen::cases(64, |g| {
+        let script = |g: &mut Gen| g.vec(0, 12, |g| (g.string_of("abc", 1, 1), g.flip()));
         let build = |script: &[(String, bool)], replica: u64| {
             let mut s = OrSet::new();
             for (i, (elem, add)) in script.iter().enumerate() {
@@ -404,24 +486,27 @@ proptest! {
             }
             s
         };
-        let a = build(&script_a, 1);
-        let b = build(&script_b, 2);
+        let a = build(&script(g), 1);
+        let b = build(&script(g), 2);
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         let mut aa = a.clone();
         aa.merge(&a);
-        prop_assert_eq!(&aa, &a);
-    }
+        assert_eq!(&aa, &a);
+    });
+}
 
-    /// GSet merge equals plain set union.
-    #[test]
-    fn gset_merge_is_union(
-        xs in prop::collection::btree_set("[a-z]{1,4}", 0..10),
-        ys in prop::collection::btree_set("[a-z]{1,4}", 0..10),
-    ) {
+/// GSet merge equals plain set union.
+#[test]
+fn gset_merge_is_union() {
+    gen::cases(64, |g| {
+        let xs: std::collections::BTreeSet<String> =
+            g.vec(0, 10, |g| g.ident(1, 4)).into_iter().collect();
+        let ys: std::collections::BTreeSet<String> =
+            g.vec(0, 10, |g| g.ident(1, 4)).into_iter().collect();
         let mut a = GSet::new();
         for x in &xs {
             a.insert(x.clone());
@@ -432,18 +517,19 @@ proptest! {
         }
         a.merge(&b);
         let union: std::collections::BTreeSet<_> = xs.union(&ys).cloned().collect();
-        prop_assert_eq!(a.len(), union.len());
+        assert_eq!(a.len(), union.len());
         for e in &union {
-            prop_assert!(a.contains(e));
+            assert!(a.contains(e));
         }
-    }
+    });
+}
 
-    /// LWW register: merge result is the max-stamp write, regardless of
-    /// order.
-    #[test]
-    fn lww_merge_picks_max_stamp(
-        stamps in prop::collection::vec((1u64..100, 1u64..5), 1..6),
-    ) {
+/// LWW register: merge result is the max-stamp write, regardless of
+/// order.
+#[test]
+fn lww_merge_picks_max_stamp() {
+    gen::cases(128, |g| {
+        let stamps = g.vec(1, 5, |g| (g.range(1, 100), g.range(1, 5)));
         let regs: Vec<LwwRegister<usize>> = stamps
             .iter()
             .enumerate()
@@ -457,8 +543,8 @@ proptest! {
         for r in regs.iter().rev().skip(1) {
             backward.merge(r);
         }
-        prop_assert_eq!(forward.stamp(), backward.stamp());
+        assert_eq!(forward.stamp(), backward.stamp());
         let max = regs.iter().map(LwwRegister::stamp).max().unwrap();
-        prop_assert_eq!(forward.stamp(), max);
-    }
+        assert_eq!(forward.stamp(), max);
+    });
 }

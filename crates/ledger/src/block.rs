@@ -174,7 +174,10 @@ mod tests {
         let block = Block::assemble(1, [0; 32], vec![tx(1), tx(2)]);
         assert!(block.data_hash_is_valid());
         let mut tampered = block.clone();
-        tampered.transactions[0].rwset.writes.put("evil", b"x".to_vec());
+        tampered.transactions[0]
+            .rwset
+            .writes
+            .put("evil", b"x".to_vec());
         assert!(!tampered.data_hash_is_valid());
     }
 
@@ -224,6 +227,9 @@ mod tests {
 
     #[test]
     fn validation_code_display() {
-        assert_eq!(ValidationCode::MvccConflict.to_string(), "MVCC_READ_CONFLICT");
+        assert_eq!(
+            ValidationCode::MvccConflict.to_string(),
+            "MVCC_READ_CONFLICT"
+        );
     }
 }

@@ -194,7 +194,10 @@ mod tests {
         let block = Block::assemble(5, Blockchain::GENESIS_PREVIOUS_HASH, vec![]);
         assert_eq!(
             chain.append(block).unwrap_err(),
-            ChainError::WrongNumber { expected: 0, got: 5 }
+            ChainError::WrongNumber {
+                expected: 0,
+                got: 5
+            }
         );
     }
 
@@ -203,7 +206,10 @@ mod tests {
         let mut chain = Blockchain::new();
         extend(&mut chain, vec![]);
         let block = Block::assemble(1, [9; 32], vec![]);
-        assert_eq!(chain.append(block).unwrap_err(), ChainError::BrokenHashChain);
+        assert_eq!(
+            chain.append(block).unwrap_err(),
+            ChainError::BrokenHashChain
+        );
         assert_eq!(chain.height(), 1);
     }
 
@@ -212,7 +218,10 @@ mod tests {
         let mut chain = Blockchain::new();
         extend(&mut chain, vec![]);
         let mut block = Block::assemble(1, chain.tip_hash(), vec![tx(1)]);
-        block.transactions[0].rwset.writes.put("evil", b"x".to_vec());
+        block.transactions[0]
+            .rwset
+            .writes
+            .put("evil", b"x".to_vec());
         assert_eq!(chain.append(block).unwrap_err(), ChainError::BadDataHash);
     }
 
@@ -227,7 +236,10 @@ mod tests {
             .rwset
             .writes
             .put("evil", b"x".to_vec());
-        assert_eq!(chain.verify_integrity().unwrap_err(), ChainError::BadDataHash);
+        assert_eq!(
+            chain.verify_integrity().unwrap_err(),
+            ChainError::BadDataHash
+        );
     }
 
     #[test]

@@ -449,10 +449,7 @@ mod tests {
     fn sample_block(n: u64, with_codes: bool) -> Block {
         let mut block = Block::assemble(n, [n as u8; 32], vec![sample_tx(1), sample_tx(2)]);
         if with_codes {
-            block.validation_codes = vec![
-                ValidationCode::Valid,
-                ValidationCode::MvccConflict,
-            ];
+            block.validation_codes = vec![ValidationCode::Valid, ValidationCode::MvccConflict];
         }
         block
     }

@@ -168,11 +168,7 @@ mod tests {
     fn replay_rebuilds_identical_history() {
         let blocks: Vec<Block> = (1..4u64)
             .map(|n| {
-                let mut b = Block::assemble(
-                    n,
-                    [0; 32],
-                    vec![tx(n * 2, "k", &[n as u8], false)],
-                );
+                let mut b = Block::assemble(n, [0; 32], vec![tx(n * 2, "k", &[n as u8], false)]);
                 b.validation_codes = vec![ValidationCode::Valid];
                 b
             })

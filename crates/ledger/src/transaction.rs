@@ -153,10 +153,14 @@ mod tests {
             endorser: peer.identity().clone(),
             signature: sig,
         });
-        assert!(peer.verify(&tx.response_payload(), &tx.endorsements[0].signature).is_ok());
+        assert!(peer
+            .verify(&tx.response_payload(), &tx.endorsements[0].signature)
+            .is_ok());
         // Tampering with the rwset invalidates the endorsement.
         tx.rwset.writes.put("k", b"tampered".to_vec());
-        assert!(peer.verify(&tx.response_payload(), &tx.endorsements[0].signature).is_err());
+        assert!(peer
+            .verify(&tx.response_payload(), &tx.endorsements[0].signature)
+            .is_err());
     }
 
     #[test]

@@ -93,8 +93,7 @@ impl WorldState {
         start: &str,
         end: &str,
     ) -> impl Iterator<Item = (&'a String, &'a VersionedValue)> {
-        self.entries
-            .range(start.to_owned()..end.to_owned())
+        self.entries.range(start.to_owned()..end.to_owned())
     }
 }
 
@@ -113,8 +112,12 @@ mod tests {
     #[test]
     fn put_overwrites_and_returns_previous() {
         let mut ws = WorldState::new();
-        assert!(ws.put("k".into(), b"v1".to_vec(), Height::new(1, 0)).is_none());
-        let prev = ws.put("k".into(), b"v2".to_vec(), Height::new(2, 0)).unwrap();
+        assert!(ws
+            .put("k".into(), b"v1".to_vec(), Height::new(1, 0))
+            .is_none());
+        let prev = ws
+            .put("k".into(), b"v2".to_vec(), Height::new(2, 0))
+            .unwrap();
         assert_eq!(prev.value, b"v1");
         assert_eq!(prev.version, Height::new(1, 0));
         assert_eq!(ws.value("k"), Some(&b"v2"[..]));

@@ -1,7 +1,6 @@
-//! Property-based tests for the ledger: codec totality and roundtrips,
-//! MVCC invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests for the ledger: codec totality and
+//! roundtrips, MVCC invariants. Driven by the deterministic in-repo
+//! generator (`fabriccrdt_sim::gen`).
 
 use fabriccrdt_crypto::{Identity, Signature};
 use fabriccrdt_ledger::block::{Block, ValidationCode};
@@ -11,133 +10,130 @@ use fabriccrdt_ledger::rwset::ReadWriteSet;
 use fabriccrdt_ledger::transaction::{Endorsement, Transaction, TxId};
 use fabriccrdt_ledger::version::Height;
 use fabriccrdt_ledger::worldstate::WorldState;
+use fabriccrdt_sim::gen::{self, Gen};
 
-fn arb_rwset() -> impl Strategy<Value = ReadWriteSet> {
+fn arb_rwset(g: &mut Gen) -> ReadWriteSet {
+    let mut rwset = ReadWriteSet::new();
     // Read versions stay below block 2 so they can never collide with
     // the heights the MVCC property test commits at (block 2).
-    let read = ("[a-z]{1,6}", prop::option::of((0u64..2, 0u64..8)));
-    let write = ("[a-z]{1,6}", prop::collection::vec(any::<u8>(), 0..12), 0u8..3);
-    (
-        prop::collection::vec(read, 0..4),
-        prop::collection::vec(write, 0..4),
-    )
-        .prop_map(|(reads, writes)| {
-            let mut rwset = ReadWriteSet::new();
-            for (key, version) in reads {
-                rwset
-                    .reads
-                    .record(key, version.map(|(b, t)| Height::new(b, t)));
-            }
-            for (key, value, kind) in writes {
-                match kind {
-                    0 => rwset.writes.put(key, value),
-                    1 => rwset.writes.put_crdt(key, value),
-                    _ => rwset.writes.delete(key),
-                }
-            }
-            rwset
-        })
-}
-
-fn arb_transaction() -> impl Strategy<Value = Transaction> {
-    (
-        any::<u64>(),
-        "[a-z]{1,8}",
-        arb_rwset(),
-        prop::collection::vec(("[a-z]{1,5}", "[a-z]{1,5}", any::<[u8; 32]>()), 0..3),
-    )
-        .prop_map(|(nonce, chaincode, rwset, endorsers)| {
-            let client = Identity::new("client", "org1");
-            Transaction {
-                id: TxId::derive(&client, nonce, &chaincode),
-                client,
-                chaincode,
-                rwset,
-                endorsements: endorsers
-                    .into_iter()
-                    .map(|(name, org, sig)| Endorsement {
-                        endorser: Identity::new(name, org),
-                        signature: Signature(sig),
-                    })
-                    .collect(),
-            }
-        })
-}
-
-fn arb_block() -> impl Strategy<Value = Block> {
-    (
-        0u64..100,
-        any::<[u8; 32]>(),
-        prop::collection::vec(arb_transaction(), 0..5),
-        any::<bool>(),
-    )
-        .prop_map(|(number, prev, txs, with_codes)| {
-            let mut block = Block::assemble(number, prev, txs);
-            if with_codes {
-                block.validation_codes = block
-                    .transactions
-                    .iter()
-                    .enumerate()
-                    .map(|(i, _)| {
-                        [
-                            ValidationCode::Valid,
-                            ValidationCode::MvccConflict,
-                            ValidationCode::ValidMerged,
-                            ValidationCode::EarlyAborted,
-                            ValidationCode::TamperedBlock,
-                        ][i % 5]
-                    })
-                    .collect();
-            }
-            block
-        })
-}
-
-proptest! {
-    /// Encode → decode is the identity.
-    #[test]
-    fn block_codec_roundtrip(block in arb_block()) {
-        let decoded = codec::decode_block(&codec::encode_block(&block)).unwrap();
-        prop_assert_eq!(decoded, block);
+    for _ in 0..g.size(0, 3) {
+        let key = g.ident(1, 6);
+        let version = if g.flip() {
+            Some(Height::new(g.range(0, 2), g.range(0, 8)))
+        } else {
+            None
+        };
+        rwset.reads.record(key, version);
     }
+    for _ in 0..g.size(0, 3) {
+        let key = g.ident(1, 6);
+        let value = g.bytes(0, 11);
+        match g.range(0, 3) {
+            0 => rwset.writes.put(key, value),
+            1 => rwset.writes.put_crdt(key, value),
+            _ => rwset.writes.delete(key),
+        }
+    }
+    rwset
+}
 
-    /// Decoding arbitrary bytes never panics (totality).
-    #[test]
-    fn decode_arbitrary_bytes_is_total(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+fn arb_transaction(g: &mut Gen) -> Transaction {
+    let client = Identity::new("client", "org1");
+    let nonce = g.u64();
+    let chaincode = g.ident(1, 8);
+    Transaction {
+        id: TxId::derive(&client, nonce, &chaincode),
+        client,
+        chaincode,
+        rwset: arb_rwset(g),
+        endorsements: g.vec(0, 2, |g| Endorsement {
+            endorser: Identity::new(g.ident(1, 5), g.ident(1, 5)),
+            signature: Signature(g.array32()),
+        }),
+    }
+}
+
+fn arb_block(g: &mut Gen) -> Block {
+    let number = g.range(0, 100);
+    let prev = g.array32();
+    let txs = g.vec(0, 4, arb_transaction);
+    let with_codes = g.flip();
+    let mut block = Block::assemble(number, prev, txs);
+    if with_codes {
+        block.validation_codes = block
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                [
+                    ValidationCode::Valid,
+                    ValidationCode::MvccConflict,
+                    ValidationCode::ValidMerged,
+                    ValidationCode::EarlyAborted,
+                    ValidationCode::TamperedBlock,
+                ][i % 5]
+            })
+            .collect();
+    }
+    block
+}
+
+/// Encode → decode is the identity.
+#[test]
+fn block_codec_roundtrip() {
+    gen::cases(128, |g| {
+        let block = arb_block(g);
+        let decoded = codec::decode_block(&codec::encode_block(&block)).unwrap();
+        assert_eq!(decoded, block);
+    });
+}
+
+/// Decoding arbitrary bytes never panics (totality).
+#[test]
+fn decode_arbitrary_bytes_is_total() {
+    gen::cases(256, |g| {
+        let bytes = g.bytes(0, 600);
         let _ = codec::decode_block(&bytes);
         let _ = codec::decode_chain(&bytes);
-    }
+    });
+}
 
-    /// Decoding a corrupted valid encoding never panics.
-    #[test]
-    fn decode_corrupted_encoding_is_total(
-        block in arb_block(),
-        flip in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..6),
-    ) {
+/// Decoding a corrupted valid encoding never panics.
+#[test]
+fn decode_corrupted_encoding_is_total() {
+    gen::cases(128, |g| {
+        let block = arb_block(g);
         let mut bytes = codec::encode_block(&block);
-        for (idx, mask) in flip {
+        for _ in 0..g.size(1, 5) {
             if !bytes.is_empty() {
-                let i = idx.index(bytes.len());
-                bytes[i] ^= mask;
+                let i = g.range(0, bytes.len() as u64) as usize;
+                bytes[i] ^= g.byte();
             }
         }
         let _ = codec::decode_block(&bytes);
-    }
+    });
+}
 
-    /// Canonical rwset bytes are injective enough: equal bytes imply
-    /// equal rwsets (over the generated universe).
-    #[test]
-    fn rwset_bytes_distinguish(a in arb_rwset(), b in arb_rwset()) {
+/// Canonical rwset bytes are injective enough: equal bytes imply equal
+/// rwsets (over the generated universe).
+#[test]
+fn rwset_bytes_distinguish() {
+    gen::cases(256, |g| {
+        let a = arb_rwset(g);
+        let b = arb_rwset(g);
         if a.to_bytes() == b.to_bytes() {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    /// MVCC safety invariant: in any committed block, no two successful
-    /// transactions have a read-version that was invalidated by an
-    /// earlier successful transaction of the same block.
-    #[test]
-    fn mvcc_never_commits_stale_reads(txs in prop::collection::vec(arb_transaction(), 1..8)) {
+/// MVCC safety invariant: in any committed block, no two successful
+/// transactions have a read-version that was invalidated by an earlier
+/// successful transaction of the same block.
+#[test]
+fn mvcc_never_commits_stale_reads() {
+    gen::cases(128, |g| {
+        let txs = g.vec(1, 7, arb_transaction);
         let mut state = WorldState::new();
         // Seed every key read at version (1, 0) so some reads match.
         for tx in &txs {
@@ -158,7 +154,7 @@ proptest! {
                 .reads
                 .iter()
                 .all(|(key, entry)| reference.version(key) == entry.version);
-            prop_assert_eq!(code.is_success(), reads_ok);
+            assert_eq!(code.is_success(), reads_ok);
             if reads_ok {
                 for (key, entry) in tx.rwset.writes.iter() {
                     if entry.is_delete {
@@ -169,5 +165,5 @@ proptest! {
                 }
             }
         }
-    }
+    });
 }

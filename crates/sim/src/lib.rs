@@ -13,6 +13,8 @@
 //! - [`arrivals`]: open-loop transaction arrival processes (the Caliper
 //!   clients submit at a configured rate regardless of system backpressure).
 //! - [`stats`]: online statistics and percentile summaries for metrics.
+//! - [`gen`]: deterministic test-data generation — the in-repo
+//!   replacement for proptest that keeps the workspace offline-buildable.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod gen;
 pub mod latency;
 pub mod queue;
 pub mod rng;

@@ -154,7 +154,10 @@ impl ExperimentConfig {
             let payload = shaped_payload(self.shape, &device, i).to_compact_string();
             schedule.push((
                 at,
-                TxRequest::new(chaincode_name.clone(), IotChaincode::args(&reads, &writes, &payload)),
+                TxRequest::new(
+                    chaincode_name.clone(),
+                    IotChaincode::args(&reads, &writes, &payload),
+                ),
             ));
         }
 

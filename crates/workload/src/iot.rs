@@ -44,11 +44,7 @@ impl IotChaincode {
 
     /// Builds the argument vector for an invocation.
     pub fn args(read_keys: &[String], write_keys: &[String], json: &str) -> Vec<String> {
-        vec![
-            read_keys.join(","),
-            write_keys.join(","),
-            json.to_owned(),
-        ]
+        vec![read_keys.join(","), write_keys.join(","), json.to_owned()]
     }
 }
 
@@ -121,7 +117,10 @@ mod tests {
         );
         let rwset = invoke(IotChaincode::crdt(), &state, args).unwrap();
         assert_eq!(rwset.reads.len(), 2);
-        assert_eq!(rwset.reads.get("d1").unwrap().version, Some(Height::new(1, 0)));
+        assert_eq!(
+            rwset.reads.get("d1").unwrap().version,
+            Some(Height::new(1, 0))
+        );
         assert_eq!(rwset.reads.get("d2").unwrap().version, None);
         assert!(rwset.writes.get("d1").unwrap().is_crdt);
     }
@@ -165,11 +164,7 @@ mod tests {
     #[test]
     fn multiple_write_keys_fan_out() {
         let state = WorldState::new();
-        let args = IotChaincode::args(
-            &[],
-            &["a".into(), "b".into(), "c".into()],
-            r#"{"x":"1"}"#,
-        );
+        let args = IotChaincode::args(&[], &["a".into(), "b".into(), "c".into()], r#"{"x":"1"}"#);
         let rwset = invoke(IotChaincode::crdt(), &state, args).unwrap();
         assert_eq!(rwset.writes.len(), 3);
     }

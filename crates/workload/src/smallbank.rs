@@ -80,7 +80,11 @@ impl SmallBankChaincode {
         SmallBankChaincode { crdt: true }
     }
 
-    fn load(&self, stub: &mut ChaincodeStub<'_>, account: &str) -> Result<Balances, ChaincodeError> {
+    fn load(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        account: &str,
+    ) -> Result<Balances, ChaincodeError> {
         let bytes = stub
             .get_state(account)
             .ok_or_else(|| ChaincodeError::new(format!("unknown account {account}")))?;
@@ -234,27 +238,45 @@ mod tests {
         let cc = SmallBankChaincode::classic();
 
         let mut stub = ChaincodeStub::new(&state);
-        cc.invoke(&mut stub, &["amalgamate".into(), "a".into()]).unwrap();
+        cc.invoke(&mut stub, &["amalgamate".into(), "a".into()])
+            .unwrap();
         let (rwset, _) = stub.into_result();
         let stored = Value::from_bytes(&rwset.writes.get("a").unwrap().value).unwrap();
         assert_eq!(
             Balances::parse(&stored).unwrap(),
-            Balances { checking: 2000, savings: 0 }
+            Balances {
+                checking: 2000,
+                savings: 0
+            }
         );
 
         let mut stub = ChaincodeStub::new(&state);
         assert!(cc
-            .invoke(&mut stub, &["transact_savings".into(), "a".into(), "-2000".into()])
+            .invoke(
+                &mut stub,
+                &["transact_savings".into(), "a".into(), "-2000".into()]
+            )
             .is_err());
         let mut stub = ChaincodeStub::new(&state);
         assert!(cc
-            .invoke(&mut stub, &["send_payment".into(), "a".into(), "a".into(), "99999".into()])
+            .invoke(
+                &mut stub,
+                &[
+                    "send_payment".into(),
+                    "a".into(),
+                    "a".into(),
+                    "99999".into()
+                ]
+            )
             .is_err());
         let mut stub = ChaincodeStub::new(&state);
         assert!(cc.invoke(&mut stub, &["bogus".into()]).is_err());
         let mut stub = ChaincodeStub::new(&state);
         assert!(cc
-            .invoke(&mut stub, &["deposit_checking".into(), "ghost".into(), "1".into()])
+            .invoke(
+                &mut stub,
+                &["deposit_checking".into(), "ghost".into(), "1".into()]
+            )
             .is_err());
     }
 
@@ -299,8 +321,7 @@ mod tests {
         assert_eq!(metrics.failed(), 0, "CRDT transactions never fail");
         let mut lost = 0i64;
         for (i, account) in account_names().iter().enumerate() {
-            let stored =
-                Value::from_bytes(sim.peer().state().value(account).unwrap()).unwrap();
+            let stored = Value::from_bytes(sim.peer().state().value(account).unwrap()).unwrap();
             let actual = Balances::parse(&stored).unwrap().checking;
             lost += (actual - expected[i]).abs();
         }

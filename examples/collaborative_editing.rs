@@ -17,10 +17,12 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
-use fabriccrdt_repro::fabric::chaincode::{Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub};
+use fabriccrdt_repro::fabric::chaincode::{
+    Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub,
+};
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
 use fabriccrdt_repro::jsoncrdt::json::Value;
 use fabriccrdt_repro::sim::time::SimTime;
 
@@ -115,7 +117,8 @@ fn main() {
         for round in 0..5 {
             let needle = format!("[{author} v{round}]");
             assert!(
-                list.iter().any(|p| p.as_str().unwrap().starts_with(&needle)),
+                list.iter()
+                    .any(|p| p.as_str().unwrap().starts_with(&needle)),
                 "missing edit {needle}"
             );
         }

@@ -14,10 +14,12 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
-use fabriccrdt_repro::fabric::chaincode::{Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub};
+use fabriccrdt_repro::fabric::chaincode::{
+    Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub,
+};
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
 use fabriccrdt_repro::jsoncrdt::json::Value;
 use fabriccrdt_repro::sim::time::SimTime;
 
@@ -111,7 +113,10 @@ fn main() {
     assert_eq!(metrics.failed(), 0);
 
     let committed = Value::from_bytes(sim.peer().state().value("api-usage").unwrap()).unwrap();
-    println!("\ncommitted counter state:\n{}", committed.to_pretty_string());
+    println!(
+        "\ncommitted counter state:\n{}",
+        committed.to_pretty_string()
+    );
 
     let value: u64 = committed
         .get("value")

@@ -16,10 +16,10 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
 use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
 use fabriccrdt_repro::jsoncrdt::json::Value;
 use fabriccrdt_repro::sim::time::SimTime;
 use fabriccrdt_repro::workload::iot::IotChaincode;
@@ -40,9 +40,8 @@ fn schedule(chaincode: &str) -> Vec<(SimTime, TxRequest)> {
                     "temp" => format!("{}C", 4 + (round * 3 + good) % 6),
                     _ => format!("{}%", 60 + (round * 7 + good) % 20),
                 };
-                let json = format!(
-                    r#"{{"goodID":"{key}","sensor-log":["{sensor}@{round}: {reading}"]}}"#
-                );
+                let json =
+                    format!(r#"{{"goodID":"{key}","sensor-log":["{sensor}@{round}: {reading}"]}}"#);
                 requests.push((
                     SimTime::from_millis(i * 5),
                     TxRequest::new(
@@ -98,15 +97,19 @@ fn main() {
     assert_eq!(failed, 0, "no failure requirement (§4.2)");
 
     let (ok_fabric, failed_fabric) = run(false);
-    println!("Fabric     : {ok_fabric:4} committed, {failed_fabric:4} failed (sensors must resubmit)");
+    println!(
+        "Fabric     : {ok_fabric:4} committed, {failed_fabric:4} failed (sensors must resubmit)"
+    );
     assert!(failed_fabric > 0);
 
     // Show one good's merged record on FabricCRDT via the merge path
     // directly: every reading of both sensors must be present.
-    let mut doc = fabriccrdt_repro::jsoncrdt::JsonCrdt::new(fabriccrdt_repro::jsoncrdt::ReplicaId(1));
+    let mut doc =
+        fabriccrdt_repro::jsoncrdt::JsonCrdt::new(fabriccrdt_repro::jsoncrdt::ReplicaId(1));
     for (_, request) in schedule("iot-crdt") {
         if request.args[1] == "good-0" {
-            doc.merge_value(&Value::parse(&request.args[2]).unwrap()).unwrap();
+            doc.merge_value(&Value::parse(&request.args[2]).unwrap())
+                .unwrap();
         }
     }
     let merged = doc.to_value();

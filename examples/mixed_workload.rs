@@ -14,10 +14,12 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
-use fabriccrdt_repro::fabric::chaincode::{Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub};
+use fabriccrdt_repro::fabric::chaincode::{
+    Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub,
+};
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
 use fabriccrdt_repro::jsoncrdt::json::Value;
 use fabriccrdt_repro::ledger::block::ValidationCode;
 use fabriccrdt_repro::sim::time::SimTime;
@@ -66,7 +68,11 @@ fn main() {
             let json = format!(r#"{{"readings":["{}.5C"]}}"#, 3 + i % 4);
             TxRequest::new(
                 "iot-crdt",
-                IotChaincode::args(&["warehouse-temp".into()], &["warehouse-temp".into()], &json),
+                IotChaincode::args(
+                    &["warehouse-temp".into()],
+                    &["warehouse-temp".into()],
+                    &json,
+                ),
             )
         } else {
             TxRequest::new("stock", vec!["item-100".into(), "-5".into()])

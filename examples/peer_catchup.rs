@@ -15,11 +15,11 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::{fabriccrdt_simulation, CrdtValidator};
 use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_repro::fabric::config::{PipelineConfig, Topology};
 use fabriccrdt_repro::fabric::peer::Peer;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::{fabriccrdt_simulation, CrdtValidator};
 use fabriccrdt_repro::ledger::codec;
 use fabriccrdt_repro::sim::time::SimTime;
 use fabriccrdt_repro::workload::iot::IotChaincode;

@@ -9,10 +9,10 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
 use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
 use fabriccrdt_repro::jsoncrdt::json::Value;
 use fabriccrdt_repro::sim::time::SimTime;
 use fabriccrdt_repro::workload::iot::IotChaincode;
@@ -77,7 +77,8 @@ fn main() {
     println!("\nPaper Listing 2 — the merged document on FabricCRDT preserves");
     println!("every reading from both conflicting transactions (no update loss):");
     // Demonstrate the merged value through the core validator directly.
-    let mut doc = fabriccrdt_repro::jsoncrdt::JsonCrdt::new(fabriccrdt_repro::jsoncrdt::ReplicaId(1));
+    let mut doc =
+        fabriccrdt_repro::jsoncrdt::JsonCrdt::new(fabriccrdt_repro::jsoncrdt::ReplicaId(1));
     doc.merge_value(&Value::parse(r#"{"deviceID":"Device1","readings":["51.0","49.5"]}"#).unwrap())
         .unwrap();
     doc.merge_value(&Value::parse(r#"{"deviceID":"Device1","readings":["50.0"]}"#).unwrap())

@@ -20,10 +20,10 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
 use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
 use fabriccrdt_repro::sim::rng::SimRng;
 use fabriccrdt_repro::sim::time::SimTime;
 use fabriccrdt_repro::workload::smallbank::{total_money, Balances, SmallBankChaincode};
@@ -81,7 +81,11 @@ fn main() {
         "Fabric          : {:3} committed, {:3} failed, total money ${total} {}",
         metrics.successful(),
         metrics.failed(),
-        if total == expected_total { "(conserved ✓)" } else { "(VIOLATED!)" }
+        if total == expected_total {
+            "(conserved ✓)"
+        } else {
+            "(VIOLATED!)"
+        }
     );
     assert_eq!(total, expected_total);
 

@@ -15,10 +15,10 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
 use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
 use fabriccrdt_repro::jsoncrdt::text::TextDoc;
 use fabriccrdt_repro::jsoncrdt::ReplicaId;
 use fabriccrdt_repro::sim::time::SimTime;
@@ -63,9 +63,7 @@ fn main() {
     let mut sim = fabriccrdt_simulation(PipelineConfig::paper(25, 19), registry);
     sim.seed_state("doc-42", br#"{"checkpoints":[]}"#.to_vec());
 
-    let checkpoint = |user: &str, text: &str| {
-        format!(r#"{{"checkpoints":["{user}: {text}"]}}"#)
-    };
+    let checkpoint = |user: &str, text: &str| format!(r#"{{"checkpoints":["{user}: {text}"]}}"#);
     let schedule = vec![
         (
             SimTime::ZERO,

@@ -13,7 +13,24 @@
 pub use fabriccrdt;
 pub use fabriccrdt_crypto as crypto;
 pub use fabriccrdt_fabric as fabric;
+pub use fabriccrdt_gossip as gossip;
 pub use fabriccrdt_jsoncrdt as jsoncrdt;
 pub use fabriccrdt_ledger as ledger;
 pub use fabriccrdt_sim as sim;
 pub use fabriccrdt_workload as workload;
+
+/// Builds a FabricCRDT network whose block dissemination runs through
+/// the simulated gossip layer (leader pull, push gossip, anti-entropy —
+/// Fabric §4.4), honoring `config.gossip` and `config.faults`. The
+/// vanilla-Fabric twin is
+/// [`fabriccrdt_gossip::fabric_gossip_simulation`].
+pub fn fabriccrdt_gossip_simulation(
+    config: fabric::config::PipelineConfig,
+    registry: fabric::chaincode::ChaincodeRegistry,
+) -> fabric::simulation::Simulation<fabriccrdt::CrdtValidator> {
+    let delivery = Box::new(gossip::GossipDelivery::new(
+        &config,
+        fabriccrdt::CrdtValidator::new,
+    ));
+    fabriccrdt::fabriccrdt_simulation_with_delivery(config, registry, delivery)
+}

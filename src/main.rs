@@ -24,10 +24,10 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
 use fabriccrdt_repro::fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::fabriccrdt_simulation;
 use fabriccrdt_repro::ledger::codec;
 use fabriccrdt_repro::sim::time::SimTime;
 use fabriccrdt_repro::workload::caliper::Benchmark;
@@ -132,17 +132,17 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         total_txs: flags.num("txs", 10_000)?,
         read_keys: flags.num("reads", 1)?,
         write_keys: flags.num("writes", 1)?,
-        shape: JsonShape::complexity(
-            flags.num("json-keys", 2)?,
-            flags.num("json-depth", 1)?,
-        ),
+        shape: JsonShape::complexity(flags.num("json-keys", 2)?, flags.num("json-depth", 1)?),
         conflict_pct: flags.num("conflicts", 100)?,
         seed: flags.num("seed", 42)?,
     };
     let result = config.run();
     println!("system      : {}", config.system.label());
     println!("block size  : {}", config.block_size);
-    println!("rate        : {} tx/s over {} txs", config.rate_tps, config.total_txs);
+    println!(
+        "rate        : {} tx/s over {} txs",
+        config.rate_tps, config.total_txs
+    );
     println!("successful  : {}", result.successful);
     println!("failed      : {}", result.failed);
     println!("throughput  : {:.1} tx/s", result.throughput_tps);
@@ -222,7 +222,8 @@ fn cmd_verify_chain(args: &[String]) -> Result<(), String> {
         .verify_integrity()
         .map_err(|e| format!("integrity: {e}"))?;
     let successful: usize = chain.iter().map(|b| b.successful_count()).sum();
-    println!("chain OK: {} blocks, {} transactions ({} successful), tip hash {}",
+    println!(
+        "chain OK: {} blocks, {} transactions ({} successful), tip hash {}",
         chain.height(),
         chain.total_transactions(),
         successful,

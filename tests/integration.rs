@@ -4,12 +4,12 @@
 
 use std::sync::Arc;
 
-use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
 use fabriccrdt_repro::fabric::chaincode::{
     Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub,
 };
 use fabriccrdt_repro::fabric::config::PipelineConfig;
 use fabriccrdt_repro::fabric::simulation::TxRequest;
+use fabriccrdt_repro::fabriccrdt::{fabric_simulation, fabriccrdt_simulation};
 use fabriccrdt_repro::jsoncrdt::json::Value;
 use fabriccrdt_repro::ledger::block::ValidationCode;
 use fabriccrdt_repro::sim::time::SimTime;

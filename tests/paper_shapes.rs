@@ -27,7 +27,10 @@ fn fig3_shape_block_size_penalty() {
             ..base(800)
         }
         .run();
-        assert_eq!(result.failed, 0, "FabricCRDT never fails (block {block_size})");
+        assert_eq!(
+            result.failed, 0,
+            "FabricCRDT never fails (block {block_size})"
+        );
         assert!(
             result.throughput_tps < previous + 5.0,
             "throughput must not rise with block size: {} at {block_size} after {previous}",
@@ -111,9 +114,16 @@ fn fig6_shape_saturation() {
         ..base(600)
     }
     .run();
-    assert!((low.throughput_tps - 100.0).abs() < 10.0, "{}", low.throughput_tps);
+    assert!(
+        (low.throughput_tps - 100.0).abs() < 10.0,
+        "{}",
+        low.throughput_tps
+    );
     assert!(high.throughput_tps < 320.0, "saturation cap");
-    assert!(high.avg_latency_secs > low.avg_latency_secs * 2.0, "queueing latency");
+    assert!(
+        high.avg_latency_secs > low.avg_latency_secs * 2.0,
+        "queueing latency"
+    );
     assert_eq!(high.failed, 0);
 }
 
