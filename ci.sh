@@ -20,4 +20,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# Smoke-run the experiment binaries with tiny configs: they assert
+# their own invariants (convergence, byte-identical ledgers, failover
+# recovery), so a panic here fails the gate.
+echo "==> experiment smoke runs"
+cargo run --release -q -p fabriccrdt-bench --bin partition_heal
+cargo run --release -q -p fabriccrdt-bench --bin orderer_failover -- --txs 300
+cargo run --release -q -p fabriccrdt-bench --bin ablation -- --txs 200
+
 echo "==> OK"

@@ -7,7 +7,7 @@
 
 use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_fabric::config::PipelineConfig;
-use fabriccrdt_fabric::simulation::{DeliveryLayer, Simulation};
+use fabriccrdt_fabric::simulation::{DeliveryLayer, OrderingBackend, Simulation};
 use fabriccrdt_fabric::validator::FabricValidator;
 
 use crate::validator::CrdtValidator;
@@ -66,6 +66,29 @@ pub fn fabric_simulation_with_delivery(
     delivery: Box<dyn DeliveryLayer>,
 ) -> Simulation<FabricValidator> {
     Simulation::with_delivery(config, FabricValidator::new(), registry, delivery)
+}
+
+/// Builds a FabricCRDT network with an explicit ordering backend —
+/// e.g. the `fabriccrdt-ordering` crate's `RaftOrderingBackend`, which
+/// replicates the block cutter across a crash-fault-tolerant Raft
+/// cluster with fault injection. [`fabriccrdt_simulation`] uses the
+/// single in-process orderer.
+pub fn fabriccrdt_simulation_with_ordering(
+    config: PipelineConfig,
+    registry: ChaincodeRegistry,
+    ordering: Box<dyn OrderingBackend>,
+) -> Simulation<CrdtValidator> {
+    Simulation::with_ordering(config, CrdtValidator::new(), registry, ordering)
+}
+
+/// Builds a vanilla Fabric network with an explicit ordering backend
+/// (see [`fabriccrdt_simulation_with_ordering`]).
+pub fn fabric_simulation_with_ordering(
+    config: PipelineConfig,
+    registry: ChaincodeRegistry,
+    ordering: Box<dyn OrderingBackend>,
+) -> Simulation<FabricValidator> {
+    Simulation::with_ordering(config, FabricValidator::new(), registry, ordering)
 }
 
 /// Builds a Fabric network with Fabric++-style orderer reordering and

@@ -123,6 +123,67 @@ impl GossipConfig {
     }
 }
 
+/// Parameters of the Raft-replicated ordering service (Fabric's
+/// consensus became a pluggable module and migrated to Raft; the
+/// paper's Kafka/ZooKeeper deployment is the same "crash-fault-tolerant
+/// total order" role). Interpreted by the `fabriccrdt-ordering` crate.
+///
+/// Like [`GossipConfig`], this is plain data: the whole cluster —
+/// election timeouts, link delays, every fault coin-flip — is
+/// reproducible from the run seed in [`PipelineConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaftConfig {
+    /// Number of ordering nodes (consenters). Tolerates
+    /// `(nodes - 1) / 2` simultaneous crashes.
+    pub nodes: usize,
+    /// Lower bound of the randomized election timeout.
+    pub election_timeout_min: SimTime,
+    /// Upper bound of the randomized election timeout (exclusive with
+    /// `min == max` allowed, then the timeout is fixed).
+    pub election_timeout_max: SimTime,
+    /// Leader heartbeat (empty `AppendEntries`) period. Must be well
+    /// below the election timeout or followers keep starting elections.
+    pub heartbeat_interval: SimTime,
+    /// Orderer-to-orderer link latency for Raft messages.
+    pub link: LatencyModel,
+    /// How often clients re-attempt delivery of transactions that are
+    /// not yet held by a reachable leader (leaderless windows, batches
+    /// lost to a deposed leader).
+    pub retry_interval: SimTime,
+    /// `Some(i)`: the cluster boots with node `i` already leader of
+    /// term 1 — a Fabric channel elects its leader at channel creation,
+    /// long before traffic. `None` models a cold start (first election
+    /// races from term 0).
+    pub preelected_leader: Option<usize>,
+    /// Fault schedule over *ordering-node* indices (`CrashSpec::peer`
+    /// and `PartitionSpec::minority` name Raft nodes here); link faults
+    /// apply to Raft messages. Independent of the gossip-layer
+    /// [`PipelineConfig::faults`].
+    pub faults: FaultConfig,
+}
+
+impl RaftConfig {
+    /// Calibrated defaults: 150–300 ms election timeouts, 50 ms
+    /// heartbeats, ~1 ms links (the gossip calibration), 100 ms client
+    /// retry, node 0 pre-elected, no faults.
+    pub fn calibrated(nodes: usize) -> Self {
+        RaftConfig {
+            nodes,
+            election_timeout_min: SimTime::from_millis(150),
+            election_timeout_max: SimTime::from_millis(300),
+            heartbeat_interval: SimTime::from_millis(50),
+            link: LatencyModel::Normal {
+                mean_secs: 0.0010,
+                std_secs: 0.0002,
+                min: SimTime::from_micros(200),
+            },
+            retry_interval: SimTime::from_millis(100),
+            preelected_leader: Some(0),
+            faults: FaultConfig::none(),
+        }
+    }
+}
+
 /// Per-link message faults applied to every gossip hop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkFaults {
@@ -242,6 +303,12 @@ pub struct PipelineConfig {
     /// Fault injection applied by the gossip layer. Ignored under ideal
     /// FIFO delivery.
     pub faults: FaultConfig,
+    /// Raft ordering-service parameters. `None` (the default
+    /// everywhere) keeps the single in-process orderer all the paper
+    /// figures use; `Some` asks Raft-aware constructors (the
+    /// `fabriccrdt-ordering` crate) to replicate the orderer across a
+    /// consensus cluster instead.
+    pub ordering: Option<RaftConfig>,
 }
 
 impl PipelineConfig {
@@ -259,6 +326,7 @@ impl PipelineConfig {
             client_retries: 0,
             gossip: None,
             faults: FaultConfig::none(),
+            ordering: None,
         }
     }
 
@@ -280,6 +348,20 @@ impl PipelineConfig {
     /// gossip delivery).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Replicates the ordering service across a Raft cluster with the
+    /// calibrated defaults (5 nodes, node 0 pre-elected).
+    pub fn with_raft_ordering(mut self) -> Self {
+        self.ordering = Some(RaftConfig::calibrated(5));
+        self
+    }
+
+    /// Replicates the ordering service across a Raft cluster with
+    /// explicit parameters.
+    pub fn with_raft_config(mut self, raft: RaftConfig) -> Self {
+        self.ordering = Some(raft);
         self
     }
 
@@ -342,6 +424,30 @@ mod tests {
         let gossip = cfg.gossip.as_ref().unwrap();
         assert_eq!(gossip.fanout, 3);
         assert_eq!(gossip.observed_peer, 5); // 3 orgs × 2 peers − 1
+    }
+
+    #[test]
+    fn raft_config_defaults() {
+        let cfg = PipelineConfig::paper(25, 1);
+        assert!(cfg.ordering.is_none());
+        let cfg = cfg.with_raft_ordering();
+        let raft = cfg.ordering.as_ref().unwrap();
+        assert_eq!(raft.nodes, 5);
+        assert_eq!(raft.preelected_leader, Some(0));
+        assert!(raft.heartbeat_interval < raft.election_timeout_min);
+        assert!(raft.election_timeout_min <= raft.election_timeout_max);
+        assert!(raft.faults.is_quiescent());
+    }
+
+    #[test]
+    fn raft_config_explicit_override() {
+        let raft = RaftConfig {
+            nodes: 3,
+            preelected_leader: None,
+            ..RaftConfig::calibrated(5)
+        };
+        let cfg = PipelineConfig::paper(25, 1).with_raft_config(raft.clone());
+        assert_eq!(cfg.ordering, Some(raft));
     }
 
     #[test]

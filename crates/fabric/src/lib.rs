@@ -49,12 +49,12 @@ pub mod simulation;
 pub mod validator;
 
 pub use chaincode::{Chaincode, ChaincodeError, ChaincodeStub, ExecWork};
-pub use config::{BlockCutConfig, PipelineConfig, Topology};
+pub use config::{BlockCutConfig, PipelineConfig, RaftConfig, Topology};
 pub use cost::{CostModel, ValidationWork};
 pub use latency::LatencyConfig;
-pub use metrics::{RunMetrics, TxRecord};
+pub use metrics::{OrderingMetrics, RunMetrics, TxRecord};
 pub use orderer::Orderer;
 pub use peer::{Peer, StagedBlock};
 pub use policy::EndorsementPolicy;
-pub use simulation::{Simulation, TxRequest};
+pub use simulation::{OrderingBackend, OrderingOutcome, Simulation, SingleOrderer, TxRequest};
 pub use validator::{BlockValidator, FabricValidator};

@@ -124,6 +124,40 @@ impl DisseminationMetrics {
     }
 }
 
+/// Metrics of the replicated (Raft) ordering service. Only populated
+/// when a run uses the Raft backend; the default single orderer
+/// reports `None` in [`RunMetrics::ordering`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OrderingMetrics {
+    /// Elections started (follower→candidate conversions), including
+    /// split votes that never won.
+    pub elections_started: u64,
+    /// Leadership handovers after the first leader was established.
+    pub leader_changes: u64,
+    /// Highest Raft term any node reached.
+    pub final_term: u64,
+    /// Per committed block: leader seal → commit-index advancement
+    /// covering it (the replication/commit latency).
+    pub commit_latency: Vec<SimTime>,
+    /// Client submission re-attempts: retry ticks where a pending
+    /// transaction was not held by any reachable leader (leaderless
+    /// windows, or a batch lost with a deposed/crashed leader).
+    pub submission_retries: u64,
+    /// Raft messages put on the wire (AppendEntries, votes, responses —
+    /// including ones later dropped by fault injection).
+    pub messages_sent: u64,
+    /// Messages dropped by link fault injection.
+    pub messages_dropped: u64,
+}
+
+impl OrderingMetrics {
+    /// Distribution of block replication/commit latencies (for
+    /// percentile reporting).
+    pub fn commit_latency_summary(&self) -> Summary {
+        Summary::from_times(&self.commit_latency)
+    }
+}
+
 /// Metrics for one experiment run.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
@@ -144,6 +178,9 @@ pub struct RunMetrics {
     /// Gossip-layer metrics when the run used gossip delivery; `None`
     /// under the default ideal FIFO delivery.
     pub dissemination: Option<DisseminationMetrics>,
+    /// Ordering-cluster metrics when the run used the Raft backend;
+    /// `None` under the default single orderer.
+    pub ordering: Option<OrderingMetrics>,
 }
 
 impl RunMetrics {
@@ -250,6 +287,7 @@ mod tests {
             resubmissions: 0,
             events: Vec::new(),
             dissemination: None,
+            ordering: None,
         };
         assert_eq!(metrics.submitted(), 4);
         assert_eq!(metrics.successful(), 2);
@@ -274,6 +312,7 @@ mod tests {
             resubmissions: 0,
             events: Vec::new(),
             dissemination: None,
+            ordering: None,
         };
         let series = metrics.throughput_series(SimTime::from_secs(1));
         assert_eq!(series.counts(), &[2, 1]);
@@ -310,6 +349,26 @@ mod tests {
         assert!((d.propagation_summary().mean().unwrap() - 0.003).abs() < 1e-9);
         assert_eq!(DisseminationMetrics::default().redundancy_ratio(), 0.0);
         assert!(DisseminationMetrics::default().worst_catch_up().is_none());
+    }
+
+    #[test]
+    fn ordering_metrics_percentiles() {
+        let o = OrderingMetrics {
+            elections_started: 3,
+            leader_changes: 1,
+            final_term: 2,
+            commit_latency: vec![SimTime::from_millis(2), SimTime::from_millis(6)],
+            submission_retries: 4,
+            messages_sent: 100,
+            messages_dropped: 5,
+        };
+        let summary = o.commit_latency_summary();
+        assert_eq!(summary.count(), 2);
+        assert!((summary.mean().unwrap() - 0.004).abs() < 1e-9);
+        assert_eq!(
+            OrderingMetrics::default().commit_latency_summary().count(),
+            0
+        );
     }
 
     #[test]

@@ -87,6 +87,30 @@ impl Orderer {
         orderer
     }
 
+    /// Creates an orderer that resumes cutting on top of an existing
+    /// chain position: the next cut block gets `next_block_number` and
+    /// chains onto `previous_hash`. A freshly elected Raft leader uses
+    /// this to continue numbering and hash-chaining from the tail of
+    /// its replicated log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_tx_count` is zero or `next_block_number`
+    /// is zero (block 0 is the genesis block).
+    pub fn resuming(
+        config: BlockCutConfig,
+        reorder: bool,
+        next_block_number: u64,
+        previous_hash: Digest,
+    ) -> Self {
+        assert!(next_block_number > 0, "block 0 is the genesis block");
+        let mut orderer = Orderer::new(config);
+        orderer.reorder = reorder;
+        orderer.next_block_number = next_block_number;
+        orderer.previous_hash = previous_hash;
+        orderer
+    }
+
     /// Drains the transactions early-aborted by reordering since the
     /// last call (empty for a non-reordering orderer).
     pub fn take_early_aborted(&mut self) -> Vec<Transaction> {
@@ -272,5 +296,83 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_block_size_panics() {
         Orderer::new(cfg(0));
+    }
+
+    // Timeout-bookkeeping regression suite: a `timeout_fired` arriving
+    // after a size-triggered cut (a stale `TimeoutRequest` the caller
+    // still has armed) must never cut an empty or duplicate block, no
+    // matter what arrived in between.
+
+    #[test]
+    fn stale_timeout_mid_next_batch_cuts_nothing() {
+        let mut o = Orderer::new(cfg(2));
+        let (_, stale) = o.receive(tx(1), SimTime::ZERO);
+        let stale = stale.unwrap();
+        let (cut, _) = o.receive(tx(2), SimTime::from_millis(1)); // size cut
+        assert!(cut.is_some());
+        // A new batch is already open when the stale timeout fires: it
+        // must not cut that batch early (that would duplicate the cut
+        // the *new* batch's own timeout performs later).
+        let (_, fresh) = o.receive(tx(3), SimTime::from_millis(2));
+        assert!(o.timeout_fired(stale).is_none());
+        assert_eq!(o.pending_len(), 1, "stale timeout must not touch the batch");
+        // The new batch's own timeout still cuts exactly once.
+        let block = o.timeout_fired(fresh.unwrap()).unwrap();
+        assert_eq!(block.len(), 1);
+        assert_eq!(block.header.number, 2);
+        assert_eq!(o.blocks_cut(), 2);
+    }
+
+    #[test]
+    fn timeout_armed_by_the_cutting_receive_is_stale() {
+        // With max_tx = 1 a single receive both arms a timeout (the tx
+        // started a batch) and cuts the batch; the armed request is
+        // born stale and must never fire a second, empty block.
+        let mut o = Orderer::new(cfg(1));
+        let (block, timeout) = o.receive(tx(1), SimTime::ZERO);
+        assert!(block.is_some());
+        let timeout = timeout.unwrap();
+        assert!(o.timeout_fired(timeout).is_none());
+        assert_eq!(o.blocks_cut(), 1);
+        // Even once a later batch is pending, the old request stays stale.
+        let (block2, _) = o.receive(tx(2), SimTime::from_millis(5));
+        assert!(block2.is_some());
+        assert!(o.timeout_fired(timeout).is_none());
+        assert_eq!(o.blocks_cut(), 2);
+    }
+
+    #[test]
+    fn double_fired_timeout_cuts_once() {
+        let mut o = Orderer::new(cfg(10));
+        let (_, timeout) = o.receive(tx(1), SimTime::ZERO);
+        let timeout = timeout.unwrap();
+        assert!(o.timeout_fired(timeout).is_some());
+        // The same request delivered again (duplicated event) is stale.
+        assert!(o.timeout_fired(timeout).is_none());
+        assert_eq!(o.blocks_cut(), 1);
+    }
+
+    #[test]
+    fn resuming_continues_numbering_and_chaining() {
+        let mut first = Orderer::new(cfg(1));
+        let (b1, _) = first.receive(tx(1), SimTime::ZERO);
+        let b1 = b1.unwrap();
+        // A successor (new Raft leader) resumes from the log tail.
+        let mut second = Orderer::resuming(cfg(1), false, 2, b1.hash());
+        let (b2, _) = second.receive(tx(2), SimTime::from_millis(1));
+        let b2 = b2.unwrap();
+        assert_eq!(b2.header.number, 2);
+        assert_eq!(b2.header.previous_hash, b1.hash());
+        let mut chain = fabriccrdt_ledger::chain::Blockchain::new();
+        chain.append(Block::genesis()).unwrap();
+        chain.append(b1).unwrap();
+        chain.append(b2).unwrap();
+        chain.verify_integrity().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "genesis")]
+    fn resuming_at_genesis_number_panics() {
+        Orderer::resuming(cfg(1), false, 0, Block::genesis().hash());
     }
 }

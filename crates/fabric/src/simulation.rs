@@ -21,7 +21,7 @@
 //! service; endorser CPU is assumed to scale out (the paper's bottleneck
 //! is the commit path).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use fabriccrdt_crypto::{Identity, KeyPair};
 use fabriccrdt_ledger::block::Block;
@@ -33,7 +33,7 @@ use fabriccrdt_sim::time::SimTime;
 use crate::chaincode::{ChaincodeEvent, ChaincodeRegistry, ChaincodeStub};
 use crate::config::PipelineConfig;
 use crate::latency::LatencyConfig;
-use crate::metrics::{CommittedEvent, DisseminationMetrics, RunMetrics, TxRecord};
+use crate::metrics::{CommittedEvent, DisseminationMetrics, OrderingMetrics, RunMetrics, TxRecord};
 use crate::orderer::{Orderer, TimeoutRequest};
 use crate::peer::{Peer, StagedBlock};
 use crate::validator::BlockValidator;
@@ -102,6 +102,121 @@ impl DeliveryLayer for IdealFifoDelivery {
     }
 }
 
+/// What one interaction with an [`OrderingBackend`] produced.
+#[derive(Debug, Default)]
+pub struct OrderingOutcome {
+    /// Blocks the ordering service committed, with their commit times,
+    /// in commit order. Commit times never exceed the interaction's
+    /// `now` (a backend cannot report the future — it asks to be woken
+    /// instead).
+    pub blocks: Vec<(SimTime, Block)>,
+    /// A batch timeout the pipeline must arm (the single orderer's
+    /// cutting timer). Replicated backends run their timers internally
+    /// and use `wakeup` instead.
+    pub timeout: Option<TimeoutRequest>,
+    /// The backend's next internal event time, if it has outstanding
+    /// work (replication in flight, armed timers, scheduled faults).
+    /// The pipeline schedules a wakeup so the backend's internal clock
+    /// keeps pace with simulated time; `None` means the backend is
+    /// quiescent until the next submission.
+    pub wakeup: Option<SimTime>,
+}
+
+impl OrderingOutcome {
+    /// Nothing happened: no blocks, no timers.
+    pub fn empty() -> Self {
+        OrderingOutcome::default()
+    }
+}
+
+/// The pluggable ordering service behind the pipeline.
+///
+/// The default, [`SingleOrderer`], wraps the original in-process
+/// [`Orderer`] and reproduces the pre-seam pipeline bit for bit. The
+/// `fabriccrdt-ordering` crate provides a Raft-replicated cluster
+/// (leader election, log replication, crash/partition fault injection)
+/// behind the same seam, reporting [`OrderingMetrics`].
+pub trait OrderingBackend {
+    /// An endorsed transaction reaches the ordering service at `now`.
+    fn submit(&mut self, tx: Transaction, now: SimTime) -> OrderingOutcome;
+
+    /// A batch timeout previously returned in
+    /// [`OrderingOutcome::timeout`] fires at `now`.
+    fn timeout_fired(&mut self, timeout: TimeoutRequest, now: SimTime) -> OrderingOutcome;
+
+    /// A wakeup previously requested via [`OrderingOutcome::wakeup`]
+    /// fires at `now` — advance internal timers/replication up to `now`.
+    fn wakeup(&mut self, _now: SimTime) -> OrderingOutcome {
+        OrderingOutcome::empty()
+    }
+
+    /// Drains transactions the ordering service early-aborted at block
+    /// cut (Fabric++ reordering) since the last call.
+    fn take_early_aborted(&mut self) -> Vec<Transaction> {
+        Vec::new()
+    }
+
+    /// Hands over ordering-cluster metrics accumulated since the last
+    /// call, if this backend collects any.
+    fn take_ordering_metrics(&mut self) -> Option<OrderingMetrics> {
+        None
+    }
+}
+
+/// The original single in-process ordering service behind the
+/// [`OrderingBackend`] seam. Emits every cut block at the interaction
+/// time, arms the pipeline-level batch timeout, never requests wakeups
+/// — runs with this backend are bit-identical to the pre-seam pipeline.
+#[derive(Debug)]
+pub struct SingleOrderer {
+    orderer: Orderer,
+}
+
+impl SingleOrderer {
+    /// Wraps a block-cutting orderer.
+    pub fn new(orderer: Orderer) -> Self {
+        SingleOrderer { orderer }
+    }
+
+    /// Builds the backend a pipeline configuration asks for (honoring
+    /// `config.reorder`).
+    pub fn from_config(config: &PipelineConfig) -> Self {
+        SingleOrderer::new(if config.reorder {
+            Orderer::with_reordering(config.block_cut)
+        } else {
+            Orderer::new(config.block_cut)
+        })
+    }
+}
+
+impl OrderingBackend for SingleOrderer {
+    fn submit(&mut self, tx: Transaction, now: SimTime) -> OrderingOutcome {
+        let (block, timeout) = self.orderer.receive(tx, now);
+        OrderingOutcome {
+            blocks: block.map(|b| (now, b)).into_iter().collect(),
+            timeout,
+            wakeup: None,
+        }
+    }
+
+    fn timeout_fired(&mut self, timeout: TimeoutRequest, now: SimTime) -> OrderingOutcome {
+        OrderingOutcome {
+            blocks: self
+                .orderer
+                .timeout_fired(timeout)
+                .map(|b| (now, b))
+                .into_iter()
+                .collect(),
+            timeout: None,
+            wakeup: None,
+        }
+    }
+
+    fn take_early_aborted(&mut self) -> Vec<Transaction> {
+        self.orderer.take_early_aborted()
+    }
+}
+
 /// One transaction to submit: which chaincode to invoke with which
 /// arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +262,9 @@ enum Event {
     DeliverBlock(Block),
     /// The peer finished processing the staged block.
     CommitDone,
+    /// The ordering backend asked to be woken (internal Raft timers,
+    /// in-flight replication). Never scheduled by [`SingleOrderer`].
+    OrderingWakeup,
 }
 
 /// The simulated network: peers, orderer, clients, wiring.
@@ -158,7 +276,10 @@ pub struct Simulation<V: BlockValidator> {
     config: PipelineConfig,
     registry: ChaincodeRegistry,
     peer: Peer<V>,
-    orderer: Orderer,
+    ordering: Box<dyn OrderingBackend>,
+    /// Ordering-backend wakeups already scheduled (dedup so each
+    /// internal event time gets exactly one pipeline event).
+    armed_wakeups: BTreeSet<SimTime>,
     rng: SimRng,
     queue: EventQueue<Event>,
     requests: Vec<TxRequest>,
@@ -208,18 +329,46 @@ impl<V: BlockValidator> Simulation<V> {
         registry: ChaincodeRegistry,
         delivery: Box<dyn DeliveryLayer>,
     ) -> Self {
+        let ordering = Box::new(SingleOrderer::from_config(&config));
+        Simulation::with_layers(config, validator, registry, delivery, ordering)
+    }
+
+    /// Builds a simulation with an explicit ordering backend (see
+    /// [`OrderingBackend`]) and the default ideal FIFO delivery.
+    /// [`Simulation::new`] uses [`SingleOrderer`].
+    pub fn with_ordering(
+        config: PipelineConfig,
+        validator: V,
+        registry: ChaincodeRegistry,
+        ordering: Box<dyn OrderingBackend>,
+    ) -> Self {
+        Simulation::with_layers(
+            config,
+            validator,
+            registry,
+            Box::new(IdealFifoDelivery::new()),
+            ordering,
+        )
+    }
+
+    /// Builds a simulation with explicit dissemination *and* ordering
+    /// layers — the fully general constructor the other three delegate
+    /// to.
+    pub fn with_layers(
+        config: PipelineConfig,
+        validator: V,
+        registry: ChaincodeRegistry,
+        delivery: Box<dyn DeliveryLayer>,
+        ordering: Box<dyn OrderingBackend>,
+    ) -> Self {
         let rng = SimRng::seed_from(config.seed);
         let peer = Peer::new(validator, config.policy.clone());
-        let orderer = if config.reorder {
-            Orderer::with_reordering(config.block_cut)
-        } else {
-            Orderer::new(config.block_cut)
-        };
         Simulation {
             config,
             registry,
             peer,
-            orderer,
+            ordering,
+            armed_wakeups: BTreeSet::new(),
             rng,
             queue: EventQueue::new(),
             requests: Vec::new(),
@@ -290,6 +439,7 @@ impl<V: BlockValidator> Simulation<V> {
         self.resubmissions = 0;
         self.blocks_committed = 0;
         self.end_time = SimTime::ZERO;
+        self.armed_wakeups.clear();
         for (i, (at, request)) in schedule.into_iter().enumerate() {
             self.requests.push(request);
             self.records.push(TxRecord::default());
@@ -310,6 +460,7 @@ impl<V: BlockValidator> Simulation<V> {
             resubmissions: self.resubmissions,
             events: std::mem::take(&mut self.committed_events),
             dissemination: self.delivery.take_dissemination(),
+            ordering: self.ordering.take_ordering_metrics(),
         }
     }
 
@@ -325,21 +476,17 @@ impl<V: BlockValidator> Simulation<V> {
                 let tx = self.endorsed[i]
                     .take()
                     .expect("transaction endorsed before ordering");
-                let (block, timeout) = self.orderer.receive(tx, now);
-                if let Some(timeout) = timeout {
-                    self.queue
-                        .schedule(timeout.at, Event::OrdererTimeout(timeout));
-                }
-                if let Some(block) = block {
-                    self.record_early_aborts(now);
-                    self.broadcast(now, block);
-                }
+                let outcome = self.ordering.submit(tx, now);
+                self.apply_ordering(now, outcome);
             }
             Event::OrdererTimeout(request) => {
-                if let Some(block) = self.orderer.timeout_fired(request) {
-                    self.record_early_aborts(now);
-                    self.broadcast(now, block);
-                }
+                let outcome = self.ordering.timeout_fired(request, now);
+                self.apply_ordering(now, outcome);
+            }
+            Event::OrderingWakeup => {
+                self.armed_wakeups.remove(&now);
+                let outcome = self.ordering.wakeup(now);
+                self.apply_ordering(now, outcome);
             }
             Event::DeliverBlock(block) => {
                 self.pending_blocks.push_back(block);
@@ -446,10 +593,33 @@ impl<V: BlockValidator> Simulation<V> {
         self.queue.schedule(arrival, Event::OrdererReceive(i));
     }
 
+    /// Applies an [`OrderingOutcome`]: schedules the batch timeout,
+    /// records early aborts and broadcasts cut blocks (in the exact
+    /// order the single-orderer path always used), then arms the
+    /// backend's next internal wakeup (deduplicated per instant).
+    fn apply_ordering(&mut self, now: SimTime, outcome: OrderingOutcome) {
+        if let Some(timeout) = outcome.timeout {
+            self.queue
+                .schedule(timeout.at, Event::OrdererTimeout(timeout));
+        }
+        if !outcome.blocks.is_empty() {
+            self.record_early_aborts(now);
+            for (at, block) in outcome.blocks {
+                debug_assert!(at <= now, "ordering backends cannot emit into the future");
+                self.broadcast(at, block);
+            }
+        }
+        if let Some(at) = outcome.wakeup {
+            if self.armed_wakeups.insert(at) {
+                self.queue.schedule(at, Event::OrderingWakeup);
+            }
+        }
+    }
+
     /// Records transactions the reordering orderer dropped before block
     /// formation (Fabric++ early abort).
     fn record_early_aborts(&mut self, now: SimTime) {
-        let aborted = self.orderer.take_early_aborted();
+        let aborted = self.ordering.take_early_aborted();
         for tx in aborted {
             if let Some(&idx) = self.index_by_id.get(&tx.id) {
                 let code = fabriccrdt_ledger::block::ValidationCode::EarlyAborted;

@@ -1,0 +1,85 @@
+//! The [`OrderingBackend`] adapter plugging [`RaftCluster`] into the
+//! pipeline's trait seam, plus convenience constructors mirroring the
+//! gossip crate's.
+
+use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
+use fabriccrdt_fabric::config::PipelineConfig;
+use fabriccrdt_fabric::metrics::OrderingMetrics;
+use fabriccrdt_fabric::orderer::TimeoutRequest;
+use fabriccrdt_fabric::simulation::{OrderingBackend, OrderingOutcome, Simulation};
+use fabriccrdt_fabric::validator::FabricValidator;
+use fabriccrdt_ledger::transaction::Transaction;
+use fabriccrdt_sim::time::SimTime;
+
+use crate::cluster::RaftCluster;
+
+/// Runs the Raft cluster behind the pipeline's [`OrderingBackend`]
+/// seam. Submissions enter the cluster immediately (the pipeline
+/// already charged the client→orderer hop); the cluster's internal
+/// timers (heartbeats, elections, batch timeouts, retries) surface as
+/// wakeup requests, so the pipeline's event queue stays the single
+/// clock.
+pub struct RaftOrderingBackend {
+    cluster: RaftCluster,
+}
+
+impl RaftOrderingBackend {
+    /// Builds the backend for a pipeline configuration (see
+    /// [`RaftCluster::new`] for the validation rules).
+    pub fn new(config: &PipelineConfig) -> Self {
+        RaftOrderingBackend {
+            cluster: RaftCluster::new(config),
+        }
+    }
+
+    /// Read access to the underlying cluster (leadership history,
+    /// per-replica committed prefixes).
+    pub fn cluster(&self) -> &RaftCluster {
+        &self.cluster
+    }
+
+    fn outcome_at(&mut self, now: SimTime) -> OrderingOutcome {
+        OrderingOutcome {
+            blocks: self.cluster.advance(now),
+            timeout: None,
+            wakeup: self.cluster.next_event_time(),
+        }
+    }
+}
+
+impl OrderingBackend for RaftOrderingBackend {
+    fn submit(&mut self, tx: Transaction, now: SimTime) -> OrderingOutcome {
+        self.cluster.enqueue(now, tx);
+        self.outcome_at(now)
+    }
+
+    fn timeout_fired(&mut self, _timeout: TimeoutRequest, now: SimTime) -> OrderingOutcome {
+        // Batch timeouts are armed inside the cluster (per leader);
+        // the pipeline-level hook only ever fires for timeouts this
+        // backend requested — and it requests none.
+        self.outcome_at(now)
+    }
+
+    fn wakeup(&mut self, now: SimTime) -> OrderingOutcome {
+        self.outcome_at(now)
+    }
+
+    fn take_early_aborted(&mut self) -> Vec<Transaction> {
+        self.cluster.take_early_aborted()
+    }
+
+    fn take_ordering_metrics(&mut self) -> Option<OrderingMetrics> {
+        Some(self.cluster.take_metrics())
+    }
+}
+
+/// A vanilla-Fabric pipeline whose ordering runs on the Raft cluster
+/// described by `config.ordering` (the calibrated 5-node cluster when
+/// unset). Mirrors `fabric_gossip_simulation` in the gossip crate.
+pub fn fabric_raft_simulation(
+    config: PipelineConfig,
+    registry: ChaincodeRegistry,
+) -> Simulation<FabricValidator> {
+    let backend = Box::new(RaftOrderingBackend::new(&config));
+    Simulation::with_ordering(config, FabricValidator::new(), registry, backend)
+}

@@ -16,6 +16,7 @@ pub use fabriccrdt_fabric as fabric;
 pub use fabriccrdt_gossip as gossip;
 pub use fabriccrdt_jsoncrdt as jsoncrdt;
 pub use fabriccrdt_ledger as ledger;
+pub use fabriccrdt_ordering as ordering;
 pub use fabriccrdt_sim as sim;
 pub use fabriccrdt_workload as workload;
 
@@ -33,4 +34,17 @@ pub fn fabriccrdt_gossip_simulation(
         fabriccrdt::CrdtValidator::new,
     ));
     fabriccrdt::fabriccrdt_simulation_with_delivery(config, registry, delivery)
+}
+
+/// Builds a FabricCRDT network whose ordering tier runs on the
+/// simulated Raft cluster (leader election, log replication,
+/// crash-failover — Fabric's pluggable consensus), honoring
+/// `config.ordering` and its fault schedule. The vanilla-Fabric twin
+/// is [`fabriccrdt_ordering::fabric_raft_simulation`].
+pub fn fabriccrdt_raft_simulation(
+    config: fabric::config::PipelineConfig,
+    registry: fabric::chaincode::ChaincodeRegistry,
+) -> fabric::simulation::Simulation<fabriccrdt::CrdtValidator> {
+    let backend = Box::new(ordering::RaftOrderingBackend::new(&config));
+    fabriccrdt::fabriccrdt_simulation_with_ordering(config, registry, backend)
 }
