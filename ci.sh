@@ -28,4 +28,16 @@ cargo run --release -q -p fabriccrdt-bench --bin partition_heal
 cargo run --release -q -p fabriccrdt-bench --bin orderer_failover -- --txs 300
 cargo run --release -q -p fabriccrdt-bench --bin ablation -- --txs 200
 
+# The commit-path wall-clock bench asserts parallel == sequential
+# ledgers internally and re-parses its own JSON artifact; the gate
+# additionally checks the artifact landed and carries the expected
+# fields (well-formedness beyond "the bin did not crash").
+echo "==> commit_path smoke run + artifact check"
+rm -f BENCH_commit_path.json
+cargo run --release -q -p fabriccrdt-bench --bin commit_path -- --txs 200
+test -s BENCH_commit_path.json
+grep -q '"bench": "commit_path"' BENCH_commit_path.json
+grep -q '"sequential_baseline_tps"' BENCH_commit_path.json
+grep -q '"speedup_at_4_workers"' BENCH_commit_path.json
+
 echo "==> OK"

@@ -101,7 +101,9 @@ fn row(system: &str, workload: &str, metrics: &RunMetrics) -> Vec<String> {
         system.to_owned(),
         workload.to_owned(),
         format!("{:.1}", metrics.successful_throughput_tps()),
-        format!("{:.3}", metrics.avg_latency_secs()),
+        metrics
+            .avg_latency_secs()
+            .map_or_else(|| "n/a".to_owned(), |s| format!("{s:.3}")),
         metrics.successful().to_string(),
         metrics.failed().to_string(),
     ]
@@ -174,7 +176,9 @@ fn main() {
                 .to_owned(),
                 block_size.to_string(),
                 format!("{:.1}", metrics.successful_throughput_tps()),
-                format!("{:.3}", metrics.avg_latency_secs()),
+                metrics
+                    .avg_latency_secs()
+                    .map_or_else(|| "n/a".to_owned(), |s| format!("{s:.3}")),
             ]);
         }
     }
@@ -223,7 +227,9 @@ fn main() {
         rows.push(vec![
             label.to_owned(),
             format!("{:.1}", metrics.successful_throughput_tps()),
-            format!("{:.1}", metrics.avg_latency_secs() * 1000.0),
+            metrics
+                .avg_latency_secs()
+                .map_or_else(|| "n/a".to_owned(), |s| format!("{:.1}", s * 1000.0)),
             metrics.successful().to_string(),
         ]);
     }
@@ -257,7 +263,9 @@ fn main() {
             metrics.successful().to_string(),
             metrics.failed().to_string(),
             metrics.resubmissions.to_string(),
-            format!("{:.2}", metrics.avg_latency_secs()),
+            metrics
+                .avg_latency_secs()
+                .map_or_else(|| "n/a".to_owned(), |s| format!("{s:.2}")),
         ]);
     }
     {
@@ -270,7 +278,9 @@ fn main() {
             metrics.successful().to_string(),
             metrics.failed().to_string(),
             metrics.resubmissions.to_string(),
-            format!("{:.2}", metrics.avg_latency_secs()),
+            metrics
+                .avg_latency_secs()
+                .map_or_else(|| "n/a".to_owned(), |s| format!("{s:.2}")),
         ]);
     }
     println!(

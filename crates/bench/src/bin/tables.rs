@@ -8,7 +8,7 @@
 use fabriccrdt_bench::HarnessOptions;
 use fabriccrdt_workload::experiment::{ExperimentConfig, SystemKind};
 use fabriccrdt_workload::generator::JsonShape;
-use fabriccrdt_workload::report::render_table;
+use fabriccrdt_workload::report::{latency_cell, render_table};
 
 fn main() {
     let options = HarnessOptions::from_args();
@@ -58,7 +58,7 @@ fn main() {
             system.label().to_owned(),
             config.block_size.to_string(),
             format!("{:.1}", result.throughput_tps),
-            format!("{:.3}", result.avg_latency_secs),
+            latency_cell(result.avg_latency_secs),
             result.successful.to_string(),
             result.failed.to_string(),
             result.blocks.to_string(),

@@ -89,7 +89,9 @@ fn main() {
                 if crdt { "FabricCRDT" } else { "Fabric" }.to_owned(),
                 format!("{skew:.1}"),
                 format!("{:.1}", metrics.successful_throughput_tps()),
-                format!("{:.3}", metrics.avg_latency_secs()),
+                metrics
+                    .avg_latency_secs()
+                    .map_or_else(|| "n/a".to_owned(), |s| format!("{s:.3}")),
                 metrics.successful().to_string(),
                 metrics.failed().to_string(),
             ]);

@@ -26,10 +26,11 @@ use std::collections::BTreeMap;
 
 use fabriccrdt_fabric::cost::ValidationWork;
 use fabriccrdt_fabric::validator::BlockValidator;
-use fabriccrdt_jsoncrdt::json::Value;
+use fabriccrdt_jsoncrdt::cache::decode_cached;
 use fabriccrdt_jsoncrdt::{JsonCrdt, ReplicaId};
 use fabriccrdt_ledger::block::{Block, ValidationCode};
 use fabriccrdt_ledger::mvcc;
+use fabriccrdt_ledger::transaction::Transaction;
 use fabriccrdt_ledger::worldstate::WorldState;
 
 use crate::types::TypedCrdt;
@@ -119,7 +120,10 @@ impl BlockValidator for CrdtValidator {
                 // CRDT; any other JSON map is the generic JSON-document
                 // CRDT. Unparsable values stay opaque: they skip MVCC
                 // (the flag is set) and commit in block order unmerged.
-                let Ok(value) = Value::from_bytes(&entry.value) else {
+                // The shared decode cache means the N peers of a network
+                // (and the parallel `prepare` pass) parse each distinct
+                // payload once.
+                let Ok(value) = decode_cached(&entry.value) else {
                     continue;
                 };
                 if value.as_map().is_none() {
@@ -194,6 +198,19 @@ impl BlockValidator for CrdtValidator {
         }
     }
 
+    /// Pre-parses CRDT write payloads into the shared decode cache.
+    /// Called from the peer's (possibly parallel) pre-validation stage,
+    /// this hoists JSON parsing off the sequential merge path; the
+    /// first-pass `decode_cached` above then hits the warm cache.
+    /// Value-neutral by the cache's determinism argument.
+    fn prepare(&self, tx: &Transaction) {
+        for (_, entry) in tx.rwset.writes.iter() {
+            if entry.is_crdt && !entry.is_delete {
+                let _ = decode_cached(&entry.value);
+            }
+        }
+    }
+
     fn name(&self) -> &str {
         "fabriccrdt"
     }
@@ -203,6 +220,7 @@ impl BlockValidator for CrdtValidator {
 mod tests {
     use super::*;
     use fabriccrdt_crypto::Identity;
+    use fabriccrdt_jsoncrdt::json::Value;
     use fabriccrdt_ledger::rwset::ReadWriteSet;
     use fabriccrdt_ledger::transaction::{Transaction, TxId};
     use fabriccrdt_ledger::version::Height;

@@ -23,6 +23,9 @@
 //! - [`validator`]: the pluggable block-validation trait;
 //!   [`validator::FabricValidator`] is vanilla Fabric MVCC. (FabricCRDT's
 //!   merging validator lives in the `fabriccrdt` core crate.)
+//! - [`pipeline`]: the commit-path validation pipeline seam —
+//!   sequential (seed-identical) or `std::thread::scope` parallel
+//!   pre-validation with an order-preserving join.
 //! - [`peer`]: the committing peer: duplicate detection, endorsement
 //!   verification, validator dispatch, staged commits.
 //! - [`metrics`]: per-transaction lifecycle records and run metrics.
@@ -43,6 +46,7 @@ pub mod latency;
 pub mod metrics;
 pub mod orderer;
 pub mod peer;
+pub mod pipeline;
 pub mod policy;
 pub mod reorder;
 pub mod simulation;
@@ -55,6 +59,7 @@ pub use latency::LatencyConfig;
 pub use metrics::{OrderingMetrics, RunMetrics, TxRecord};
 pub use orderer::Orderer;
 pub use peer::{Peer, StagedBlock};
+pub use pipeline::ValidationPipeline;
 pub use policy::EndorsementPolicy;
 pub use simulation::{OrderingBackend, OrderingOutcome, Simulation, SingleOrderer, TxRequest};
 pub use validator::{BlockValidator, FabricValidator};

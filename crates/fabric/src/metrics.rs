@@ -107,8 +107,14 @@ impl DisseminationMetrics {
 
     /// Redundant-message ratio: fraction of received pushes that the
     /// receiver already had. 0 when nothing was received.
+    ///
+    /// Drops are subtracted saturating: under heavy loss-fault
+    /// schedules a link can drop duplicated copies it never counted as
+    /// sent, so `dropped` may exceed `sent + duplicated` — that means
+    /// "nothing received", not a u64 underflow.
     pub fn redundancy_ratio(&self) -> f64 {
-        let received = self.messages_sent + self.messages_duplicated - self.messages_dropped;
+        let received =
+            (self.messages_sent + self.messages_duplicated).saturating_sub(self.messages_dropped);
         if received == 0 {
             return 0.0;
         }
@@ -159,7 +165,7 @@ impl OrderingMetrics {
 }
 
 /// Metrics for one experiment run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// One record per submitted transaction, in submission order.
     pub records: Vec<TxRecord>,
@@ -216,9 +222,11 @@ impl RunMetrics {
     }
 
     /// Average submit-to-commit latency of successful transactions in
-    /// seconds (figure panel b).
-    pub fn avg_latency_secs(&self) -> f64 {
-        self.latency_summary().mean().unwrap_or(0.0)
+    /// seconds (figure panel b), or `None` when no transaction
+    /// succeeded — a run where everything failed has *no* latency, and
+    /// reporting it as a perfect 0.0 s corrupted aggregate tables.
+    pub fn avg_latency_secs(&self) -> Option<f64> {
+        self.latency_summary().mean()
     }
 
     /// Successful commits per time bucket — the throughput-over-time
@@ -295,7 +303,7 @@ mod tests {
         assert_eq!(metrics.failures_with(ValidationCode::MvccConflict), 1);
         assert!((metrics.successful_throughput_tps() - 1.0).abs() < 1e-9);
         // Latencies: 100ms and 180ms → mean 140ms.
-        assert!((metrics.avg_latency_secs() - 0.14).abs() < 1e-9);
+        assert!((metrics.avg_latency_secs().unwrap() - 0.14).abs() < 1e-9);
     }
 
     #[test]
@@ -352,6 +360,22 @@ mod tests {
     }
 
     #[test]
+    fn redundancy_ratio_survives_excess_drops() {
+        // Regression: a lossy-link schedule can report more drops than
+        // `sent + duplicated` (e.g. duplicated copies dropped without
+        // being re-counted as sent). The old unchecked subtraction
+        // underflowed u64 and produced a ratio of ~0 over 2^64.
+        let d = DisseminationMetrics {
+            messages_sent: 3,
+            messages_duplicated: 1,
+            messages_dropped: 7,
+            redundant_messages: 2,
+            ..DisseminationMetrics::default()
+        };
+        assert_eq!(d.redundancy_ratio(), 0.0);
+    }
+
+    #[test]
     fn ordering_metrics_percentiles() {
         let o = OrderingMetrics {
             elections_started: 3,
@@ -376,6 +400,7 @@ mod tests {
         let metrics = RunMetrics::default();
         assert_eq!(metrics.successful(), 0);
         assert_eq!(metrics.successful_throughput_tps(), 0.0);
-        assert_eq!(metrics.avg_latency_secs(), 0.0);
+        // A run with no successes has no latency at all — not 0.0 s.
+        assert_eq!(metrics.avg_latency_secs(), None);
     }
 }

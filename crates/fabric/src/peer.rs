@@ -35,6 +35,7 @@ pub struct PeerSnapshot {
 }
 
 use crate::cost::ValidationWork;
+use crate::pipeline::ValidationPipeline;
 use crate::policy::EndorsementPolicy;
 use crate::validator::BlockValidator;
 
@@ -64,6 +65,7 @@ pub struct Peer<V> {
     committed_ids: HashSet<TxId>,
     validator: V,
     policy: EndorsementPolicy,
+    pipeline: ValidationPipeline,
 }
 
 impl<V: BlockValidator> Peer<V> {
@@ -83,7 +85,28 @@ impl<V: BlockValidator> Peer<V> {
             committed_ids: HashSet::new(),
             validator,
             policy,
+            pipeline: ValidationPipeline::Sequential,
         }
+    }
+
+    /// Selects the pre-validation pipeline (builder style). The default,
+    /// [`ValidationPipeline::Sequential`], is byte-for-byte the seed
+    /// commit path; `Parallel` is value-identical (see
+    /// `crates/fabric/src/pipeline.rs` for the determinism argument) and
+    /// only changes wall-clock time.
+    pub fn with_pipeline(mut self, pipeline: ValidationPipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Replaces the pre-validation pipeline in place.
+    pub fn set_pipeline(&mut self, pipeline: ValidationPipeline) {
+        self.pipeline = pipeline;
+    }
+
+    /// The active pre-validation pipeline.
+    pub fn pipeline(&self) -> ValidationPipeline {
+        self.pipeline
     }
 
     /// The current world state (committed blocks only).
@@ -151,6 +174,7 @@ impl<V: BlockValidator> Peer<V> {
             committed_ids,
             validator,
             policy,
+            pipeline: ValidationPipeline::Sequential,
         })
     }
 
@@ -223,30 +247,56 @@ impl<V: BlockValidator> Peer<V> {
             };
         }
 
-        let mut sigs_verified = 0u64;
+        // Stage 1 (sequential, cheap): duplicate-id detection. This is
+        // the one cross-transaction dependency in pre-validation — a
+        // transaction is a duplicate relative to everything committed
+        // *and* everything earlier in this block — so it runs before the
+        // fan-out, keeping the per-transaction stage below pure.
         let mut seen_in_block: HashSet<TxId> = HashSet::new();
-        let pre: Vec<Option<ValidationCode>> = block
+        let duplicate: Vec<bool> = block
             .transactions
             .iter()
-            .map(|tx| {
-                if self.committed_ids.contains(&tx.id) || !seen_in_block.insert(tx.id) {
-                    return Some(ValidationCode::DuplicateTxId);
+            .map(|tx| self.committed_ids.contains(&tx.id) || !seen_in_block.insert(tx.id))
+            .collect();
+
+        // Stage 2 (pipeline fan-out): endorsement validation — every
+        // signature must verify and the endorsing organizations must
+        // satisfy the policy. Each transaction's outcome is a pure
+        // function of the transaction itself, so the pipeline may
+        // evaluate them on worker threads; `map_ordered` joins results
+        // back in block order. Duplicates short-circuit *before* any
+        // signature is checked (exactly as the seed's early return did),
+        // so `sigs_verified` — and with it the simulated block cost — is
+        // identical under every pipeline.
+        let endorsed: Vec<(Option<ValidationCode>, u64)> =
+            self.pipeline.map_ordered(&block.transactions, |i, tx| {
+                if duplicate[i] {
+                    return (Some(ValidationCode::DuplicateTxId), 0);
                 }
-                // Endorsement validation: every signature must verify and
-                // the endorsing organizations must satisfy the policy.
+                // Warm validator-side caches (e.g. CRDT payload decode)
+                // off the sequential critical path; value-neutral.
+                self.validator.prepare(tx);
                 let payload = tx.response_payload();
+                let mut sigs = 0u64;
                 let mut valid_orgs = Vec::new();
                 for endorsement in &tx.endorsements {
-                    sigs_verified += 1;
+                    sigs += 1;
                     let keypair = KeyPair::derive(endorsement.endorser.clone());
                     if keypair.verify(&payload, &endorsement.signature).is_ok() {
                         valid_orgs.push(endorsement.endorser.org.clone());
                     }
                 }
                 if !self.policy.is_satisfied_by(&valid_orgs) {
-                    return Some(ValidationCode::EndorsementPolicyFailure);
+                    return (Some(ValidationCode::EndorsementPolicyFailure), sigs);
                 }
-                None
+                (None, sigs)
+            });
+        let mut sigs_verified = 0u64;
+        let pre: Vec<Option<ValidationCode>> = endorsed
+            .into_iter()
+            .map(|(code, sigs)| {
+                sigs_verified += sigs;
+                code
             })
             .collect();
 

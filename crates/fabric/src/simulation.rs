@@ -362,7 +362,7 @@ impl<V: BlockValidator> Simulation<V> {
         ordering: Box<dyn OrderingBackend>,
     ) -> Self {
         let rng = SimRng::seed_from(config.seed);
-        let peer = Peer::new(validator, config.policy.clone());
+        let peer = Peer::new(validator, config.policy.clone()).with_pipeline(config.validation);
         Simulation {
             config,
             registry,

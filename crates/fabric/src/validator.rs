@@ -7,6 +7,7 @@
 
 use fabriccrdt_ledger::block::{Block, ValidationCode};
 use fabriccrdt_ledger::mvcc;
+use fabriccrdt_ledger::transaction::Transaction;
 use fabriccrdt_ledger::worldstate::WorldState;
 
 use crate::cost::ValidationWork;
@@ -17,7 +18,12 @@ use crate::cost::ValidationWork;
 /// `pre_decided` carries per-transaction codes decided by earlier stages
 /// (duplicate ids, endorsement-policy failures); those transactions must
 /// be recorded as-is and must not touch the state.
-pub trait BlockValidator {
+///
+/// `Sync` is required because the peer's pre-validation stage may fan
+/// transactions out over scoped worker threads
+/// ([`crate::pipeline::ValidationPipeline`]), each of which calls
+/// [`BlockValidator::prepare`] through a shared reference.
+pub trait BlockValidator: Sync {
     /// Runs validation and commit, returning the work performed
     /// (excluding signature verification, which the peer accounts for).
     fn validate_and_commit(
@@ -26,6 +32,20 @@ pub trait BlockValidator {
         state: &mut WorldState,
         pre_decided: &[Option<ValidationCode>],
     ) -> ValidationWork;
+
+    /// Per-transaction warm-up hook, invoked from the (possibly
+    /// parallel) pre-validation stage for every non-duplicate
+    /// transaction, *before* the sequential
+    /// [`validate_and_commit`](BlockValidator::validate_and_commit)
+    /// stage runs.
+    ///
+    /// Implementations may use it to hoist per-transaction decode work
+    /// off the sequential critical path — e.g. FabricCRDT's merging
+    /// validator pre-parses CRDT write payloads into a shared decode
+    /// cache here. The hook must be pure with respect to validation
+    /// outcomes: it must not touch the world state or the block, so a
+    /// no-op implementation (the default) is always value-equivalent.
+    fn prepare(&self, _tx: &Transaction) {}
 
     /// Short name for reports ("fabric", "fabriccrdt").
     fn name(&self) -> &str;

@@ -1,0 +1,247 @@
+//! Equivalence sweep for the [`ValidationPipeline`] seam.
+//!
+//! The parallel pre-validation stage may only change wall-clock time,
+//! never outcomes: for every workload, every fault/corruption mix and
+//! every worker count, `Parallel { workers }` must produce
+//! byte-identical ledgers (serialized world state *and* chain) and
+//! identical [`RunMetrics`] — including the work-derived simulated
+//! timestamps — as the seed's `Sequential` path. The sweep reuses the
+//! deterministic in-repo generator (`fabriccrdt_sim::gen`), the same
+//! harness style as the `raft_safety` sweep.
+
+use std::sync::Arc;
+
+use fabriccrdt_crypto::{Identity, KeyPair};
+use fabriccrdt_fabric::chaincode::{Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub};
+use fabriccrdt_fabric::config::PipelineConfig;
+use fabriccrdt_fabric::metrics::RunMetrics;
+use fabriccrdt_fabric::peer::{Peer, PeerSnapshot};
+use fabriccrdt_fabric::pipeline::ValidationPipeline;
+use fabriccrdt_fabric::policy::EndorsementPolicy;
+use fabriccrdt_fabric::simulation::{Simulation, TxRequest};
+use fabriccrdt_fabric::validator::FabricValidator;
+use fabriccrdt_ledger::block::{Block, ValidationCode};
+use fabriccrdt_ledger::rwset::ReadWriteSet;
+use fabriccrdt_ledger::transaction::{Endorsement, Transaction, TxId};
+use fabriccrdt_sim::gen::{self, Gen};
+use fabriccrdt_sim::time::SimTime;
+
+/// Read-modify-write chaincode: args = [key, value]. Conflicting
+/// reads make MVCC outcomes sensitive to block formation, which in
+/// turn makes the metrics sensitive to any accounting drift.
+struct Rmw;
+
+impl Chaincode for Rmw {
+    fn name(&self) -> &str {
+        "rmw"
+    }
+
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[String]) -> Result<(), ChaincodeError> {
+        stub.get_state(&args[0]);
+        stub.put_state(&args[0], args[1].clone().into_bytes());
+        Ok(())
+    }
+}
+
+/// Write-only chaincode: args = [key, value].
+struct WriteOnly;
+
+impl Chaincode for WriteOnly {
+    fn name(&self) -> &str {
+        "writeonly"
+    }
+
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[String]) -> Result<(), ChaincodeError> {
+        stub.put_state(&args[0], args[1].clone().into_bytes());
+        Ok(())
+    }
+}
+
+fn registry() -> ChaincodeRegistry {
+    let mut reg = ChaincodeRegistry::new();
+    reg.deploy(Arc::new(Rmw));
+    reg.deploy(Arc::new(WriteOnly));
+    reg
+}
+
+/// A randomized workload: disjoint writes, hot-key conflicts and a
+/// sprinkle of corrupted endorsements (policy failures).
+fn arb_schedule(g: &mut Gen) -> Vec<(SimTime, TxRequest)> {
+    let n = g.size(20, 60);
+    let rate = g.f64_in(100.0, 400.0);
+    (0..n)
+        .map(|i| {
+            let request = if g.prob(0.4) {
+                TxRequest::new("rmw", vec!["hot".into(), format!("v{i}")])
+            } else {
+                TxRequest::new("writeonly", vec![format!("k{i}"), format!("v{i}")])
+            };
+            let request = if g.prob(0.1) {
+                request.with_corrupt_endorsement()
+            } else {
+                request
+            };
+            (SimTime::from_secs_f64(i as f64 / rate), request)
+        })
+        .collect()
+}
+
+fn run_with(
+    pipeline: ValidationPipeline,
+    block_size: usize,
+    seed: u64,
+    schedule: &[(SimTime, TxRequest)],
+) -> (RunMetrics, PeerSnapshot) {
+    let config = PipelineConfig::paper(block_size, seed).with_validation(pipeline);
+    let mut sim = Simulation::new(config, FabricValidator::new(), registry());
+    sim.seed_state("hot", b"0".to_vec());
+    let metrics = sim.run(schedule.to_vec());
+    let snapshot = sim.peer().snapshot();
+    (metrics, snapshot)
+}
+
+/// The tentpole property: across 50 random workload/seed cases, every
+/// worker count 1..=8 yields a byte-identical ledger and identical
+/// run metrics vs the sequential seed path.
+#[test]
+fn parallel_validation_matches_sequential_over_seeded_sweep() {
+    gen::cases(50, |g| {
+        let seed = g.u64();
+        let block_size = g.size(5, 25);
+        let schedule = arb_schedule(g);
+        let (seq_metrics, seq_snapshot) =
+            run_with(ValidationPipeline::Sequential, block_size, seed, &schedule);
+        for workers in 1..=8 {
+            let (par_metrics, par_snapshot) = run_with(
+                ValidationPipeline::parallel(workers),
+                block_size,
+                seed,
+                &schedule,
+            );
+            assert_eq!(
+                seq_snapshot.state, par_snapshot.state,
+                "seed {seed}: world state diverged at {workers} workers"
+            );
+            assert_eq!(
+                seq_snapshot.chain, par_snapshot.chain,
+                "seed {seed}: chain diverged at {workers} workers"
+            );
+            assert_eq!(
+                seq_metrics, par_metrics,
+                "seed {seed}: metrics diverged at {workers} workers"
+            );
+        }
+    });
+}
+
+// ---- direct block replay: duplicate ids and tampered blocks --------
+
+fn policy() -> EndorsementPolicy {
+    EndorsementPolicy::all_of(vec!["org1".to_string()])
+}
+
+fn endorsed_tx(nonce: u64) -> Transaction {
+    let client = Identity::new("client", "org1");
+    let mut rwset = ReadWriteSet::new();
+    rwset
+        .writes
+        .put(format!("k{nonce}"), nonce.to_le_bytes().to_vec());
+    let mut tx = Transaction {
+        id: TxId::derive(&client, nonce, "cc"),
+        client,
+        chaincode: "cc".into(),
+        rwset,
+        endorsements: Vec::new(),
+    };
+    let peer = KeyPair::derive(Identity::new("peer0", "org1"));
+    tx.endorsements.push(Endorsement {
+        endorser: peer.identity().clone(),
+        signature: peer.sign(&tx.response_payload()),
+    });
+    tx
+}
+
+fn badly_endorsed_tx(nonce: u64) -> Transaction {
+    let mut tx = endorsed_tx(nonce);
+    tx.endorsements[0].signature.0[0] ^= 0xFF;
+    tx
+}
+
+/// Replays a hand-built block stream — including in-block duplicates,
+/// cross-block duplicates and policy failures — through a peer with
+/// the given pipeline, returning snapshot plus per-block codes and
+/// work-derived signature counts.
+fn replay(
+    pipeline: ValidationPipeline,
+    blocks: &[Block],
+) -> (PeerSnapshot, Vec<Vec<ValidationCode>>, Vec<u64>) {
+    let mut peer = Peer::new(FabricValidator::new(), policy()).with_pipeline(pipeline);
+    let mut codes = Vec::new();
+    let mut sigs = Vec::new();
+    for block in blocks {
+        let staged = peer.process_block(block.clone());
+        codes.push(staged.block.validation_codes.clone());
+        sigs.push(staged.work.sigs_verified);
+        peer.commit(staged).expect("blocks arrive in chain order");
+    }
+    (peer.snapshot(), codes, sigs)
+}
+
+/// Duplicate-id short-circuiting must not drift between pipelines:
+/// the seed skips signature verification for duplicates, and the
+/// work counters drive simulated time, so a parallel path that
+/// verified them anyway would silently change every timestamp.
+#[test]
+fn duplicates_and_policy_failures_identical_across_worker_counts() {
+    let dup = endorsed_tx(1);
+    let blocks = vec![
+        // Block 1: one good tx, one in-block duplicate pair.
+        Block::assemble(1, [0; 32], vec![endorsed_tx(2), dup.clone(), dup.clone()]),
+        // Block 2: cross-block duplicate, a policy failure, a good tx.
+        Block::assemble(2, [0; 32], vec![dup, badly_endorsed_tx(3), endorsed_tx(4)]),
+    ];
+    let (seq_snap, seq_codes, seq_sigs) = replay(ValidationPipeline::Sequential, &blocks);
+    assert_eq!(
+        seq_codes[0],
+        vec![
+            ValidationCode::Valid,
+            ValidationCode::Valid,
+            ValidationCode::DuplicateTxId
+        ]
+    );
+    assert_eq!(
+        seq_codes[1],
+        vec![
+            ValidationCode::DuplicateTxId,
+            ValidationCode::EndorsementPolicyFailure,
+            ValidationCode::Valid
+        ]
+    );
+    // Duplicates skip signature verification entirely.
+    assert_eq!(seq_sigs, vec![2, 2]);
+    for workers in 1..=8 {
+        let (snap, codes, sigs) = replay(ValidationPipeline::parallel(workers), &blocks);
+        assert_eq!(snap, seq_snap, "{workers} workers: snapshot diverged");
+        assert_eq!(codes, seq_codes, "{workers} workers: codes diverged");
+        assert_eq!(sigs, seq_sigs, "{workers} workers: work diverged");
+    }
+}
+
+/// A tampered block (data hash mismatch) invalidates every transaction
+/// before any signature is verified — under every pipeline.
+#[test]
+fn tampered_blocks_identical_across_worker_counts() {
+    let mut block = Block::assemble(1, [0; 32], vec![endorsed_tx(1), endorsed_tx(2)]);
+    block.header.data_hash = [0xAA; 32];
+    let run = |pipeline: ValidationPipeline| {
+        let peer = Peer::new(FabricValidator::new(), policy()).with_pipeline(pipeline);
+        let staged = peer.process_block(block.clone());
+        assert_eq!(staged.work.sigs_verified, 0);
+        staged.block.validation_codes
+    };
+    let seq = run(ValidationPipeline::Sequential);
+    assert_eq!(seq, vec![ValidationCode::TamperedBlock; 2]);
+    for workers in 1..=8 {
+        assert_eq!(run(ValidationPipeline::parallel(workers)), seq);
+    }
+}

@@ -158,7 +158,9 @@ fn latency_is_hundreds_of_milliseconds_uncongested() {
             TxRequest::new("writeonly", vec![format!("k{i}"), "v".into()])
         }),
     );
-    let avg = metrics.avg_latency_secs();
+    let avg = metrics
+        .avg_latency_secs()
+        .expect("run committed transactions");
     // §1: "on the order of hundreds of milliseconds to seconds".
     assert!(avg > 0.02 && avg < 2.0, "avg latency {avg}s");
 }
@@ -360,7 +362,7 @@ fn client_retries_eventually_commit_conflicting_transactions() {
     );
     assert!(with_retries.resubmissions > 100, "retries cost round trips");
     assert!(
-        with_retries.avg_latency_secs() > no_retries.avg_latency_secs(),
+        with_retries.avg_latency_secs().unwrap() > no_retries.avg_latency_secs().unwrap(),
         "retry latency spans multiple pipeline rounds"
     );
 }

@@ -67,6 +67,7 @@ struct Slot<V> {
 pub struct GossipNetwork<V> {
     topology: Topology,
     policy: EndorsementPolicy,
+    validation: fabriccrdt_fabric::pipeline::ValidationPipeline,
     gossip: GossipConfig,
     faults: FaultConfig,
     /// Orderer → leader delivery latency (from the pipeline calibration).
@@ -133,7 +134,10 @@ impl<V: BlockValidator> GossipNetwork<V> {
         let rng = root.fork(0x676f_7373_6970); // "gossip"
         let slots = (0..n_peers)
             .map(|_| Slot {
-                peer: Some(Peer::new(make_validator(), config.policy.clone())),
+                peer: Some(
+                    Peer::new(make_validator(), config.policy.clone())
+                        .with_pipeline(config.validation),
+                ),
                 saved: None,
                 buffer: BTreeMap::new(),
                 ticks_pending: 0,
@@ -151,6 +155,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
         GossipNetwork {
             topology,
             policy: config.policy.clone(),
+            validation: config.validation,
             gossip,
             faults,
             orderer_hop: config.latency.orderer_to_peer,
@@ -509,8 +514,9 @@ impl<V: BlockValidator> GossipNetwork<V> {
             .saved
             .take()
             .expect("restart follows a crash with a saved ledger");
-        let peer = Peer::restore((self.make_validator)(), self.policy.clone(), &snapshot)
+        let mut peer = Peer::restore((self.make_validator)(), self.policy.clone(), &snapshot)
             .expect("a peer's own snapshot restores cleanly");
+        peer.set_pipeline(self.validation);
         self.slots[p].peer = Some(peer);
         self.begin_catch_up(now, p);
     }

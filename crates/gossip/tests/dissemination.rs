@@ -177,6 +177,10 @@ fn link_faults_recovered_by_anti_entropy() {
     let metrics = network.metrics();
     assert!(metrics.messages_dropped > 0, "40% drop rate must bite");
     assert!(metrics.messages_duplicated > 0);
+    // Regression: the ratio must stay a sane fraction under heavy loss
+    // (the old unchecked subtraction could underflow to ~0/2^64).
+    let ratio = metrics.redundancy_ratio();
+    assert!((0.0..=1.0).contains(&ratio), "redundancy ratio {ratio}");
 }
 
 #[test]
@@ -259,6 +263,26 @@ fn any_fault_schedule_converges_to_ideal_state() {
             .with_faults(arb_faults(g));
         let mut network = seeded_network(&config);
         run_stream(&mut network, &blocks);
+        assert_all_match_reference(&network, &blocks);
+    });
+}
+
+/// Satellite property: the parallel validation pipeline is
+/// value-identical to the sequential seed path on the *CRDT merge*
+/// workload too, across random fault schedules — every converged
+/// peer's snapshot matches the sequential reference byte for byte.
+#[test]
+fn parallel_validation_matches_sequential_under_fault_schedules() {
+    gen::cases(16, |g| {
+        let blocks = block_stream(g.size(3, 8), g.size(1, 5));
+        let workers = g.size(2, 8);
+        let config = PipelineConfig::paper(25, g.u64())
+            .with_gossip()
+            .with_faults(arb_faults(g))
+            .with_parallel_validation(workers);
+        let mut network = seeded_network(&config);
+        run_stream(&mut network, &blocks);
+        // The reference replay inside runs the sequential default.
         assert_all_match_reference(&network, &blocks);
     });
 }

@@ -1,0 +1,139 @@
+//! Process-wide cache of decoded MergeTx payloads.
+//!
+//! FabricCRDT's Algorithm 1 parses every CRDT write-set value from
+//! plain JSON bytes (line 9) before merging it. The same payload bytes
+//! are parsed many times per process: every committing peer of a
+//! simulated network (six in the paper topology) decodes the identical
+//! MergeTx, and a crashed peer re-decodes the whole suffix of the
+//! chain during catch-up. This cache memoizes `bytes → parsed
+//! [`Value`]` so each distinct payload is parsed once.
+//!
+//! # Determinism
+//!
+//! The cached value is a pure function of the key bytes, and entries
+//! are immutable (`Arc<Value>`, handed out by shared reference). A hit
+//! and a miss therefore produce byte-identical downstream results —
+//! the cache can only change wall-clock time, never validation
+//! outcomes, merge results or simulated-time work counters. This is
+//! the same argument that makes the parallel validation pipeline safe
+//! (see `fabriccrdt-fabric`'s `pipeline` module), and it is what lets
+//! the pipeline's `prepare` hook warm this cache from worker threads.
+//!
+//! # Bounds
+//!
+//! The cache holds at most [`MAX_ENTRIES`] payloads and is flushed
+//! wholesale when full (epoch eviction — no LRU bookkeeping on the hot
+//! path). Parse *failures* are not cached: the failing path is rare
+//! (malformed payloads commit opaquely) and caching errors would grow
+//! the map with garbage keys under adversarial input.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::{ParseError, Value};
+
+/// Maximum number of cached payloads before the cache is flushed.
+pub const MAX_ENTRIES: usize = 8192;
+
+static CACHE: OnceLock<Mutex<HashMap<Vec<u8>, Arc<Value>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<Vec<u8>, Arc<Value>>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Hit/miss counters of the process-wide decode cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse.
+    pub misses: u64,
+    /// Payloads currently cached.
+    pub entries: usize,
+}
+
+/// Parses `bytes` as JSON, memoizing successful parses process-wide.
+///
+/// Equivalent to [`Value::from_bytes`] followed by `Arc::new`, except
+/// that repeated calls with the same bytes share one parse and one
+/// allocation.
+///
+/// # Errors
+///
+/// Returns the [`ParseError`] of the underlying parse; failures are
+/// never cached.
+pub fn decode_cached(bytes: &[u8]) -> Result<Arc<Value>, ParseError> {
+    if let Some(hit) = cache().lock().expect("decode cache poisoned").get(bytes) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit.clone());
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let parsed = Arc::new(Value::from_bytes(bytes)?);
+    let mut guard = cache().lock().expect("decode cache poisoned");
+    if guard.len() >= MAX_ENTRIES {
+        guard.clear();
+    }
+    guard.insert(bytes.to_vec(), parsed.clone());
+    Ok(parsed)
+}
+
+/// Current cache statistics.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: cache().lock().expect("decode cache poisoned").len(),
+    }
+}
+
+/// Empties the cache (for benchmarks that want cold-start numbers).
+/// The hit/miss counters keep running.
+pub fn clear() {
+    cache().lock().expect("decode cache poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_decodes_share_one_parse() {
+        let payload = br#"{"cache-test-key":"shared","readings":["1","2"]}"#;
+        let first = decode_cached(payload).unwrap();
+        let second = decode_cached(payload).unwrap();
+        // Same allocation, not merely equal values.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*first, Value::from_bytes(payload).unwrap());
+    }
+
+    #[test]
+    fn distinct_payloads_do_not_collide() {
+        let a = decode_cached(br#"{"k":"a"}"#).unwrap();
+        let b = decode_cached(br#"{"k":"b"}"#).unwrap();
+        assert_ne!(*a, *b);
+    }
+
+    #[test]
+    fn parse_failures_propagate_and_are_not_cached() {
+        let before = stats();
+        assert!(decode_cached(b"not json").is_err());
+        assert!(decode_cached(b"not json").is_err());
+        let after = stats();
+        // Both attempts were misses — failures never populate the map.
+        assert!(after.misses >= before.misses + 2);
+    }
+
+    #[test]
+    fn stats_move_on_hits() {
+        let payload = br#"{"stats-probe":"x"}"#;
+        decode_cached(payload).unwrap();
+        let before = stats();
+        decode_cached(payload).unwrap();
+        let after = stats();
+        assert!(after.hits > before.hits);
+        assert!(after.entries >= 1);
+    }
+}

@@ -30,10 +30,11 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::clock::{LamportClock, OpId, ReplicaId};
 use crate::json::Value;
-use crate::op::{Cursor, CursorElement, ItemKey, Mutation, Operation};
+use crate::op::{Cursor, CursorElement, Deps, ItemKey, Mutation, Operation};
 use crate::work::WorkStats;
 
 /// An entry in a map (under a string key) or in a list (under an
@@ -53,9 +54,14 @@ struct Entry {
     tombstones: BTreeSet<OpId>,
 }
 
+/// Map children are keyed by shared `Arc<str>` so that the descent in
+/// [`descend`] can do an `entry(key.clone())` lookup with a refcount
+/// bump instead of allocating a fresh `String` per step (the merge hot
+/// path descends once per operation, i.e. once per node of every
+/// merged document).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct MapNode {
-    children: BTreeMap<String, Entry>,
+    children: BTreeMap<Arc<str>, Entry>,
 }
 
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -93,7 +99,7 @@ impl Entry {
             let converted: BTreeMap<String, Value> = map
                 .children
                 .iter()
-                .filter_map(|(k, e)| e.to_value().map(|v| (k.clone(), v)))
+                .filter_map(|(k, e)| e.to_value().map(|v| (k.to_string(), v)))
                 .collect();
             if !converted.is_empty() || self.reg.is_empty() && self.list.is_none() {
                 return Some(Value::Map(converted));
@@ -179,6 +185,10 @@ pub struct JsonCrdt {
     applied: BTreeSet<OpId>,
     pending: Vec<Operation>,
     work: WorkStats,
+    /// Key interner: one shared `Arc<str>` per distinct map key ever
+    /// merged, so repeated merges of the same schema ("readings",
+    /// "deviceID", …) reuse the allocation across operations.
+    interned: BTreeSet<Arc<str>>,
 }
 
 impl JsonCrdt {
@@ -191,6 +201,7 @@ impl JsonCrdt {
             applied: BTreeSet::new(),
             pending: Vec::new(),
             work: WorkStats::new(),
+            interned: BTreeSet::new(),
         }
     }
 
@@ -266,10 +277,11 @@ impl JsonCrdt {
         let before = self.work;
         // Algorithm 2, lines 2–21: one cursor and dependency chain per
         // top-level key; recursion mirrors the list/map cases.
+        let mut cursor = Cursor::new();
         for (key, value) in map {
-            let mut cursor = Cursor::new();
             let mut last_dep: Option<OpId> = None;
-            cursor.push_key(key.clone());
+            let key = self.intern(key);
+            cursor.push_key(key);
             self.merge_at(&mut cursor, value, &mut last_dep)?;
             cursor.pop();
         }
@@ -286,9 +298,20 @@ impl JsonCrdt {
             .root
             .children
             .iter()
-            .filter_map(|(k, e)| e.to_value().map(|v| (k.clone(), v)))
+            .filter_map(|(k, e)| e.to_value().map(|v| (k.to_string(), v)))
             .collect();
         Value::Map(converted)
+    }
+
+    /// Returns the shared interned form of a map key, allocating it on
+    /// first sight.
+    fn intern(&mut self, key: &str) -> Arc<str> {
+        if let Some(existing) = self.interned.get(key) {
+            return existing.clone();
+        }
+        let shared: Arc<str> = Arc::from(key);
+        self.interned.insert(shared.clone());
+        shared
     }
 
     /// Generates, applies and chains one operation.
@@ -299,8 +322,8 @@ impl JsonCrdt {
         last_dep: &mut Option<OpId>,
     ) -> Result<(), DocError> {
         let id = self.clock.tick();
-        let deps = last_dep.iter().copied().collect();
-        let op = Operation::new(id, deps, cursor.clone(), mutation);
+        // `Deps` inlines the 0/1-dependency cases — no per-op Vec.
+        let op = Operation::new(id, Deps::from(*last_dep), cursor.clone(), mutation);
         // Dependencies are generated in order, so this never buffers.
         let outcome = self.apply(op)?;
         debug_assert_eq!(outcome, ApplyOutcome::Applied);
@@ -336,7 +359,8 @@ impl JsonCrdt {
             Value::Map(map) => {
                 self.emit(cursor, Mutation::MakeMap, last_dep)?;
                 for (key, item) in map {
-                    cursor.push_key(key.clone());
+                    let key = self.intern(key);
+                    cursor.push_key(key);
                     self.merge_at(cursor, item, last_dep)?;
                     cursor.pop();
                 }
@@ -451,7 +475,7 @@ fn descend<'a>(
             // element's type); for hand-built cursors we map the step onto
             // a deterministic synthetic child rather than panic.
             (Container::Map(map), CursorElement::ListItem(ik)) => {
-                map.children.entry(ik.to_string()).or_default()
+                map.children.entry(ik.to_string().into()).or_default()
             }
             (Container::List(list), CursorElement::Key(k)) => list
                 .items

@@ -182,8 +182,8 @@ impl Editor {
 
     fn emit(&mut self, cursor: Cursor, mutation: Mutation) -> Result<Operation, DocError> {
         let id = self.doc.clock().clone().tick();
-        let deps: Vec<OpId> = self.last_local.iter().copied().collect();
-        let op = Operation::new(id, deps, cursor, mutation);
+        // 0/1 dependencies inline into `Deps` — no Vec per edit.
+        let op = Operation::new(id, self.last_local, cursor, mutation);
         self.doc.apply(op.clone())?;
         self.last_local = Some(id);
         Ok(op)

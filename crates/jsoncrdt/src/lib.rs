@@ -20,6 +20,9 @@
 //! - [`crdts`]: the additional CRDTs the paper lists as future work —
 //!   G-Counter, PN-Counter, G-Set, OR-Set and LWW-Register — each with the
 //!   usual join-semilattice `merge`.
+//! - [`cache`]: a process-wide memo of decoded MergeTx payloads, so the
+//!   N committing peers of a simulated network parse each distinct
+//!   payload once instead of N times.
 //!
 //! # Quick example: merging two conflicting transactions (paper Listing 1/2)
 //!
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod clock;
 pub mod crdts;
 pub mod doc;
@@ -56,5 +60,5 @@ pub use clock::{LamportClock, OpId, ReplicaId};
 pub use crdts::{GCounter, GSet, LwwRegister, OrSet, PnCounter};
 pub use doc::JsonCrdt;
 pub use editor::Editor;
-pub use op::{Cursor, Mutation, Operation};
+pub use op::{Cursor, Deps, Mutation, Operation};
 pub use work::WorkStats;

@@ -9,6 +9,7 @@
 use crate::clock::OpId;
 use crate::json::Value;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identity of a list element.
 ///
@@ -59,10 +60,17 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// One step of a cursor path.
+///
+/// Map keys are shared `Arc<str>`s rather than owned `String`s: the
+/// merge hot path (`JsonCrdt::merge_at`) clones the cursor once per
+/// generated operation, and a block full of MergeTxs repeats the same
+/// handful of keys ("readings", "deviceID", …) thousands of times.
+/// Interning turns every one of those clones into a reference-count
+/// bump instead of a heap allocation + memcpy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CursorElement {
     /// Descend into the map child with this key.
-    Key(String),
+    Key(Arc<str>),
     /// Descend into the list element with this identity.
     ListItem(ItemKey),
 }
@@ -107,8 +115,10 @@ impl Cursor {
         Cursor { elements }
     }
 
-    /// Appends a map-key step.
-    pub fn push_key(&mut self, key: impl Into<String>) {
+    /// Appends a map-key step. Accepts `&str`, `String` or a shared
+    /// `Arc<str>` (pass an interned key on hot paths to avoid the
+    /// allocation).
+    pub fn push_key(&mut self, key: impl Into<Arc<str>>) {
         self.elements.push(CursorElement::Key(key.into()));
     }
 
@@ -177,6 +187,63 @@ impl fmt::Display for Mutation {
     }
 }
 
+/// Causal dependencies of an operation.
+///
+/// The dependency chains [`crate::JsonCrdt::merge_value`] and
+/// [`crate::Editor`] generate are transitively reduced, so in practice
+/// every operation has zero or one dependency. Those cases are inlined
+/// here — the seed code built a `Vec<OpId>` per emitted operation, one
+/// heap allocation per node of every merged document. `Deps` derefs to
+/// `&[OpId]`, so iteration and indexing read exactly like the old
+/// `Vec`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Deps {
+    /// No dependencies (the first operation of a chain).
+    #[default]
+    None,
+    /// A single dependency — what every merge-generated operation has.
+    One(OpId),
+    /// An arbitrary dependency set (hand-built operation graphs).
+    Many(Vec<OpId>),
+}
+
+impl std::ops::Deref for Deps {
+    type Target = [OpId];
+
+    fn deref(&self) -> &[OpId] {
+        match self {
+            Deps::None => &[],
+            Deps::One(id) => std::slice::from_ref(id),
+            Deps::Many(ids) => ids,
+        }
+    }
+}
+
+impl From<Option<OpId>> for Deps {
+    fn from(dep: Option<OpId>) -> Self {
+        match dep {
+            None => Deps::None,
+            Some(id) => Deps::One(id),
+        }
+    }
+}
+
+impl From<OpId> for Deps {
+    fn from(dep: OpId) -> Self {
+        Deps::One(dep)
+    }
+}
+
+impl From<Vec<OpId>> for Deps {
+    fn from(deps: Vec<OpId>) -> Self {
+        match deps.len() {
+            0 => Deps::None,
+            1 => Deps::One(deps[0]),
+            _ => Deps::Many(deps),
+        }
+    }
+}
+
 /// An operation: unique id, causal dependencies, cursor, mutation
 /// (paper Algorithm 2, `NewOperation`).
 ///
@@ -189,7 +256,7 @@ pub struct Operation {
     /// Globally unique identifier.
     pub id: OpId,
     /// Ids that must be applied before this operation.
-    pub deps: Vec<OpId>,
+    pub deps: Deps,
     /// Path to the mutation site.
     pub cursor: Cursor,
     /// The modification.
@@ -197,11 +264,12 @@ pub struct Operation {
 }
 
 impl Operation {
-    /// Creates an operation.
-    pub fn new(id: OpId, deps: Vec<OpId>, cursor: Cursor, mutation: Mutation) -> Self {
+    /// Creates an operation. `deps` accepts a `Vec<OpId>`, an
+    /// `Option<OpId>`, a bare `OpId` or a [`Deps`].
+    pub fn new(id: OpId, deps: impl Into<Deps>, cursor: Cursor, mutation: Mutation) -> Self {
         Operation {
             id,
-            deps,
+            deps: deps.into(),
             cursor,
             mutation,
         }
@@ -255,6 +323,22 @@ mod tests {
         assert!(matches!(c.pop(), Some(CursorElement::ListItem(_))));
         assert_eq!(c.pop(), Some(CursorElement::Key("a".into())));
         assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn deps_inline_small_sets() {
+        let a = OpId::new(1, ReplicaId(1));
+        let b = OpId::new(2, ReplicaId(1));
+        assert_eq!(Deps::from(vec![]), Deps::None);
+        assert_eq!(Deps::from(vec![a]), Deps::One(a));
+        assert_eq!(Deps::from(vec![a, b]), Deps::Many(vec![a, b]));
+        assert_eq!(Deps::from(None), Deps::None);
+        assert_eq!(Deps::from(Some(a)), Deps::One(a));
+        // Deref: slice-identical views in every representation.
+        assert!(Deps::None.is_empty());
+        assert_eq!(&*Deps::One(a), &[a]);
+        assert_eq!(Deps::Many(vec![a, b]).len(), 2);
+        assert_eq!(Deps::default(), Deps::None);
     }
 
     #[test]

@@ -105,7 +105,7 @@ pub fn encode_op(op: &Operation) -> Vec<u8> {
     let mut buf = vec![FORMAT_VERSION];
     put_op_id(&mut buf, op.id);
     put_u64(&mut buf, op.deps.len() as u64);
-    for &dep in &op.deps {
+    for &dep in op.deps.iter() {
         put_op_id(&mut buf, dep);
     }
     put_u64(&mut buf, op.cursor.len() as u64);
@@ -156,7 +156,7 @@ pub fn decode_op(data: &[u8]) -> Result<Operation, DecodeOpError> {
     for _ in 0..element_count {
         let at = r.pos;
         match r.u8()? {
-            0 => elements.push(CursorElement::Key(r.str()?)),
+            0 => elements.push(CursorElement::Key(r.str()?.into())),
             1 => elements.push(CursorElement::ListItem(ItemKey {
                 index: r.u64()?,
                 hash: r.u64()?,

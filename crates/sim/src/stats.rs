@@ -96,11 +96,16 @@ impl Summary {
 
     /// The `p`-th percentile (0–100), nearest-rank method.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 100]`.
+    /// Returns `None` when the summary is empty, or when `p` is NaN or
+    /// outside `[0, 100]` — an out-of-range request is a caller bug,
+    /// but report code feeding user-supplied percentiles should get a
+    /// missing datum, not a panic mid-run.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=100.0).contains(&p), "percentile in [0, 100]");
+        // `!(contains)` rather than a negated range test so NaN (for
+        // which every comparison is false) also lands in the None arm.
+        if !(0.0..=100.0).contains(&p) {
+            return None;
+        }
         if self.sorted.is_empty() {
             return None;
         }
@@ -206,9 +211,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile")]
-    fn out_of_range_percentile_panics() {
-        Summary::from_samples(vec![1.0]).percentile(101.0);
+    fn out_of_range_percentile_is_none() {
+        let s = Summary::from_samples(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.percentile(101.0), None);
+        assert_eq!(s.percentile(-0.5), None);
+        assert_eq!(s.percentile(f64::NAN), None);
+        // Boundary values stay valid.
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(100.0), Some(3.0));
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! ```
 
 use crate::experiment::{ExperimentConfig, ExperimentResult};
-use crate::report::render_table;
+use crate::report::{latency_cell, render_table};
 
 /// One configured round.
 #[derive(Debug, Clone)]
@@ -129,7 +129,7 @@ impl BenchmarkReport {
                     r.config.system.label().to_owned(),
                     format!("{}", r.config.rate_tps as u64),
                     format!("{:.1}", r.throughput_tps),
-                    format!("{:.3}", r.avg_latency_secs),
+                    latency_cell(r.avg_latency_secs),
                     format!("{:.3}", r.p95_latency_secs),
                     r.successful.to_string(),
                     r.failed.to_string(),

@@ -202,8 +202,9 @@ pub struct ExperimentResult {
     pub failed: usize,
     /// Successful-transaction throughput, tx/s (panel a).
     pub throughput_tps: f64,
-    /// Average latency of successful transactions, seconds (panel b).
-    pub avg_latency_secs: f64,
+    /// Average latency of successful transactions, seconds (panel b);
+    /// `None` when the run committed nothing.
+    pub avg_latency_secs: Option<f64>,
     /// 95th-percentile latency, seconds.
     pub p95_latency_secs: f64,
     /// Blocks committed.

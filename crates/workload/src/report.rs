@@ -42,10 +42,19 @@ pub fn figure_row(x_label: &str, result: &ExperimentResult) -> Vec<String> {
         result.config.system.label().to_owned(),
         x_label.to_owned(),
         format!("{:.1}", result.throughput_tps),
-        format!("{:.3}", result.avg_latency_secs),
+        latency_cell(result.avg_latency_secs),
         result.successful.to_string(),
         result.failed.to_string(),
     ]
+}
+
+/// Formats an optional latency (seconds) as a table cell: three
+/// decimals, or `n/a` for runs that committed nothing.
+pub fn latency_cell(latency: Option<f64>) -> String {
+    match latency {
+        Some(secs) => format!("{secs:.3}"),
+        None => "n/a".to_owned(),
+    }
 }
 
 /// Header matching [`figure_row`].

@@ -146,7 +146,10 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     println!("successful  : {}", result.successful);
     println!("failed      : {}", result.failed);
     println!("throughput  : {:.1} tx/s", result.throughput_tps);
-    println!("avg latency : {:.3} s", result.avg_latency_secs);
+    match result.avg_latency_secs {
+        Some(secs) => println!("avg latency : {secs:.3} s"),
+        None => println!("avg latency : n/a (no successful transactions)"),
+    }
     println!("p95 latency : {:.3} s", result.p95_latency_secs);
     println!("blocks      : {}", result.blocks);
     println!("duration    : {:.1} s (simulated)", result.duration_secs);

@@ -190,7 +190,7 @@ fn experiment_runner_end_to_end() {
     assert_eq!(result.successful, 200);
     assert_eq!(result.failed, 0);
     assert!(result.throughput_tps > 50.0);
-    assert!(result.avg_latency_secs > 0.0);
+    assert!(result.avg_latency_secs.unwrap() > 0.0);
 
     let fabric = ExperimentConfig {
         total_txs: 200,

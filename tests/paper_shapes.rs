@@ -121,7 +121,7 @@ fn fig6_shape_saturation() {
     );
     assert!(high.throughput_tps < 320.0, "saturation cap");
     assert!(
-        high.avg_latency_secs > low.avg_latency_secs * 2.0,
+        high.avg_latency_secs.unwrap() > low.avg_latency_secs.unwrap() * 2.0,
         "queueing latency"
     );
     assert_eq!(high.failed, 0);
