@@ -39,5 +39,8 @@ test -s BENCH_commit_path.json
 grep -q '"bench": "commit_path"' BENCH_commit_path.json
 grep -q '"sequential_baseline_tps"' BENCH_commit_path.json
 grep -q '"speedup_at_4_workers"' BENCH_commit_path.json
+grep -q '"finalize_speedup_at_4_workers"' BENCH_commit_path.json
+grep -q '"pre_validate_secs"' BENCH_commit_path.json
+grep -q '"finalize_secs"' BENCH_commit_path.json
 
 echo "==> OK"

@@ -25,8 +25,10 @@
 use std::collections::BTreeMap;
 
 use fabriccrdt_fabric::cost::ValidationWork;
-use fabriccrdt_fabric::validator::BlockValidator;
-use fabriccrdt_jsoncrdt::cache::decode_cached;
+use fabriccrdt_fabric::metrics::DecodeCacheMetrics;
+use fabriccrdt_fabric::state::ShardedState;
+use fabriccrdt_fabric::validator::{BlockValidator, ChainOutcome};
+use fabriccrdt_jsoncrdt::cache::{self, decode_cached};
 use fabriccrdt_jsoncrdt::{JsonCrdt, ReplicaId};
 use fabriccrdt_ledger::block::{Block, ValidationCode};
 use fabriccrdt_ledger::mvcc;
@@ -82,35 +84,27 @@ impl CrdtValidator {
     pub fn with_replica(replica: ReplicaId) -> Self {
         CrdtValidator { replica }
     }
-}
 
-impl Default for CrdtValidator {
-    fn default() -> Self {
-        CrdtValidator::new()
-    }
-}
-
-impl BlockValidator for CrdtValidator {
-    fn validate_and_commit(
+    /// Algorithm 1's first pass (lines 3–14) over `txs` — `(block
+    /// index, transaction)` pairs in ascending block order: folds CRDT
+    /// write values into per-key mergers, recording the indices that
+    /// participated (only those are rewritten in pass 2, so values that
+    /// failed to parse or mismatched the key's established type commit
+    /// opaquely, in block order, instead of being clobbered).
+    ///
+    /// Each key's merger starts from a fresh [`JsonCrdt`]
+    /// (`InitEmptyCRDT`), so its operation-id sequence depends only on
+    /// that key's payload sequence — which is why folding one conflict
+    /// chain (all touchers of the chain's keys, in block order) yields
+    /// byte-identical converged values to folding the whole block.
+    fn merge_pass<'a>(
         &self,
-        block: &mut Block,
-        state: &mut WorldState,
-        pre_decided: &[Option<ValidationCode>],
-    ) -> ValidationWork {
-        let decided = |i: usize| pre_decided.get(i).copied().flatten().is_some();
-
-        // ----- First pass: collect and merge CRDT values (lines 3–14).
-        // Per key: the merge state plus the (tx, key) pairs that
-        // participated — only those are rewritten in pass 2, so values
-        // that failed to parse or mismatched the key's established type
-        // commit opaquely (in block order) instead of being clobbered.
+        txs: impl Iterator<Item = (usize, &'a Transaction)>,
+        merge_units: &mut u64,
+        merge_quad: &mut u64,
+    ) -> BTreeMap<String, (KeyMerger, Vec<usize>)> {
         let mut crdts: BTreeMap<String, (KeyMerger, Vec<usize>)> = BTreeMap::new();
-        let mut merge_units = 0u64;
-        let mut merge_quad = 0u64;
-        for (i, tx) in block.transactions.iter().enumerate() {
-            if decided(i) {
-                continue; // only endorsement-valid transactions merge
-            }
+        for (i, tx) in txs {
             for (key, entry) in tx.rwset.writes.iter() {
                 if !entry.is_crdt || entry.is_delete {
                     continue; // line 14: handled as a non-CRDT pair
@@ -133,14 +127,14 @@ impl BlockValidator for CrdtValidator {
                     Some(Ok(typed)) => {
                         match crdts.entry(key.clone()) {
                             std::collections::btree_map::Entry::Vacant(slot) => {
-                                merge_units += typed.work_units();
+                                *merge_units += typed.work_units();
                                 slot.insert((KeyMerger::Typed(typed), vec![i]));
                             }
                             std::collections::btree_map::Entry::Occupied(mut slot) => {
                                 let (merger, members) = slot.get_mut();
                                 if let KeyMerger::Typed(state) = merger {
                                     if state.merge(&typed).is_ok() {
-                                        merge_units += typed.work_units();
+                                        *merge_units += typed.work_units();
                                         members.push(i);
                                     }
                                 }
@@ -159,12 +153,12 @@ impl BlockValidator for CrdtValidator {
                         if let KeyMerger::Json(doc) = merger {
                             let ops_before = doc.applied_len() as u64;
                             if let Ok(work) = doc.merge_value(&value) {
-                                merge_units += work.units();
+                                *merge_units += work.units();
                                 // Superlinear apply-cost term: merging into
                                 // a document that already holds earlier
                                 // transactions' operations is proportionally
                                 // more expensive (see fabriccrdt-fabric::cost).
-                                merge_quad += work.units() * ops_before;
+                                *merge_quad += work.units() * ops_before;
                                 members.push(i);
                             }
                         }
@@ -172,6 +166,38 @@ impl BlockValidator for CrdtValidator {
                 }
             }
         }
+        crdts
+    }
+}
+
+impl Default for CrdtValidator {
+    fn default() -> Self {
+        CrdtValidator::new()
+    }
+}
+
+impl BlockValidator for CrdtValidator {
+    fn validate_and_commit(
+        &self,
+        block: &mut Block,
+        state: &mut WorldState,
+        pre_decided: &[Option<ValidationCode>],
+    ) -> ValidationWork {
+        let decided = |i: usize| pre_decided.get(i).copied().flatten().is_some();
+
+        // ----- First pass: collect and merge CRDT values (lines 3–14).
+        let mut merge_units = 0u64;
+        let mut merge_quad = 0u64;
+        let mut crdts = self.merge_pass(
+            block
+                .transactions
+                .iter()
+                .enumerate()
+                // Only endorsement-valid transactions merge.
+                .filter(|&(i, _)| !decided(i)),
+            &mut merge_units,
+            &mut merge_quad,
+        );
 
         // ----- Second pass: rewrite CRDT write values with the converged,
         // metadata-free state (lines 16–22).
@@ -209,6 +235,75 @@ impl BlockValidator for CrdtValidator {
                 let _ = decode_cached(&entry.value);
             }
         }
+    }
+
+    /// Algorithm 1 restricted to one conflict chain. The scheduler
+    /// guarantees every transaction touching any of the chain's keys is
+    /// *in* the chain (in block order), and `merge_pass` instantiates
+    /// each key's CRDT empty per block, so the per-key folds — and hence
+    /// operation ids, arbitration and converged bytes — are identical to
+    /// the whole-block sequential pass.
+    fn finalize_chain(
+        &self,
+        block_number: u64,
+        transactions: &[Transaction],
+        chain: &[usize],
+        state: &ShardedState,
+    ) -> ChainOutcome {
+        let mut merge_units = 0u64;
+        let mut merge_quad = 0u64;
+        let crdts = self.merge_pass(
+            chain.iter().map(|&i| (i, &transactions[i])),
+            &mut merge_units,
+            &mut merge_quad,
+        );
+
+        // ----- Second pass (lines 16–22), returned instead of applied:
+        // the peer owns the block, so rewrites travel in the outcome.
+        let mut converged: BTreeMap<String, (Vec<u8>, Vec<usize>)> = BTreeMap::new();
+        for (key, (mut merger, members)) in crdts {
+            let bytes = merger.converged_bytes(&mut merge_units);
+            converged.insert(key, (bytes, members));
+        }
+        let mut rewrites: Vec<(usize, String, Vec<u8>)> = Vec::new();
+        for (key, (bytes, members)) in &converged {
+            for &i in members {
+                rewrites.push((i, key.clone(), bytes.clone()));
+            }
+        }
+
+        // ----- MVCC on non-CRDT pairs, then commit. The sequential
+        // path validates against already-rewritten write sets; here the
+        // override closure substitutes the converged bytes for member
+        // pairs (members ascend, so binary search applies).
+        let commit =
+            mvcc::validate_chain(block_number, transactions, chain, state, true, |i, key| {
+                converged.get(key).and_then(|(bytes, members)| {
+                    members.binary_search(&i).is_ok().then(|| bytes.clone())
+                })
+            });
+
+        ChainOutcome {
+            codes: commit.codes,
+            rewrites,
+            work: ValidationWork {
+                sigs_verified: 0,
+                reads_checked: commit.stats.reads_checked,
+                writes_applied: commit.stats.writes_applied,
+                merge_units,
+                merge_quad,
+                successes: commit.stats.successes,
+            },
+        }
+    }
+
+    fn decode_cache_stats(&self) -> Option<DecodeCacheMetrics> {
+        let stats = cache::stats();
+        Some(DecodeCacheMetrics {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+        })
     }
 
     fn name(&self) -> &str {
@@ -452,6 +547,104 @@ mod tests {
     #[test]
     fn validator_name() {
         assert_eq!(CrdtValidator::new().name(), "fabriccrdt");
+    }
+
+    #[test]
+    fn finalize_chain_matches_sequential_merge_pass() {
+        // Hot-key CRDT block (one chain holding every transaction) plus
+        // a stale reader: the chain outcome must carry exactly the
+        // codes, converged rewrites, work and state of the sequential
+        // Algorithm 1 pass.
+        let txs: Vec<Transaction> = (0..6)
+            .map(|n| {
+                tx(n, |rw| {
+                    rw.reads.record("doc", Some(Height::new(0, 0))); // stale
+                    rw.writes
+                        .put_crdt("doc", format!(r#"{{"readings":["r{n}"]}}"#).into_bytes());
+                })
+            })
+            .collect();
+        let mut seed = WorldState::new();
+        seed.put(
+            "doc".into(),
+            br#"{"readings":[]}"#.to_vec(),
+            Height::new(1, 0),
+        );
+
+        let mut block = Block::assemble(2, [0; 32], txs.clone());
+        let mut seq_state = seed.clone();
+        let seq_work = CrdtValidator::new().validate_and_commit(&mut block, &mut seq_state, &[]);
+
+        let sharded = ShardedState::from_world(&seed);
+        let chain: Vec<usize> = (0..txs.len()).collect();
+        let outcome = CrdtValidator::new().finalize_chain(2, &txs, &chain, &sharded);
+
+        assert_eq!(outcome.work, seq_work);
+        assert_eq!(
+            outcome.codes.iter().map(|(_, c)| *c).collect::<Vec<_>>(),
+            block.validation_codes
+        );
+        assert_eq!(outcome.rewrites.len(), 6);
+        for (i, key, bytes) in &outcome.rewrites {
+            assert_eq!(
+                &block.transactions[*i].rwset.writes.get(key).unwrap().value,
+                bytes,
+                "rewrite bytes diverge at tx {i}"
+            );
+        }
+        assert_eq!(sharded.into_world(), seq_state);
+    }
+
+    #[test]
+    fn finalize_chain_handles_typed_and_mixed_writes() {
+        // One chain with a typed g-counter fold, one with a plain
+        // (non-CRDT) conflicting pair — summed outcomes must equal the
+        // sequential pass.
+        let mut txs: Vec<Transaction> = [("alice", 3u64), ("bob", 4)]
+            .iter()
+            .enumerate()
+            .map(|(n, (actor, count))| {
+                tx(n as u64, |rw| {
+                    rw.writes.put_crdt(
+                        "meter",
+                        format!(r#"{{"_crdt":"g-counter","counts":{{"{actor}":"{count}"}}}}"#)
+                            .into_bytes(),
+                    );
+                })
+            })
+            .collect();
+        txs.push(tx(7, |rw| {
+            rw.reads.record("plain", Some(Height::new(0, 0))); // stale
+            rw.writes.put("plain", b"x".to_vec());
+        }));
+        let mut seed = WorldState::new();
+        seed.put("plain".into(), b"0".to_vec(), Height::new(1, 0));
+
+        let mut block = Block::assemble(3, [0; 32], txs.clone());
+        let mut seq_state = seed.clone();
+        let seq_work = CrdtValidator::new().validate_and_commit(&mut block, &mut seq_state, &[]);
+
+        let sharded = ShardedState::from_world(&seed);
+        let a = CrdtValidator::new().finalize_chain(3, &txs, &[0, 1], &sharded);
+        let b = CrdtValidator::new().finalize_chain(3, &txs, &[2], &sharded);
+
+        let mut work = a.work;
+        work.absorb(b.work);
+        assert_eq!(work, seq_work);
+        let mut codes: Vec<(usize, ValidationCode)> = Vec::new();
+        codes.extend(a.codes);
+        codes.extend(b.codes);
+        codes.sort_by_key(|&(i, _)| i);
+        assert_eq!(
+            codes.into_iter().map(|(_, c)| c).collect::<Vec<_>>(),
+            block.validation_codes
+        );
+        assert_eq!(sharded.into_world(), seq_state);
+    }
+
+    #[test]
+    fn crdt_validator_reports_decode_cache() {
+        assert!(CrdtValidator::new().decode_cache_stats().is_some());
     }
 
     #[test]

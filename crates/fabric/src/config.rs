@@ -310,13 +310,14 @@ pub struct PipelineConfig {
     /// `fabriccrdt-ordering` crate) to replicate the orderer across a
     /// consensus cluster instead.
     pub ordering: Option<RaftConfig>,
-    /// Committing-peer pre-validation pipeline. The default,
+    /// Committing-peer validation pipeline. The default,
     /// [`ValidationPipeline::Sequential`], is byte-for-byte the seed
     /// commit path; `Parallel { workers }` fans endorsement/signature
-    /// checks over scoped threads with an order-preserving join —
-    /// value-identical results, less wall-clock time. Simulated time is
-    /// unaffected either way (costs come from work counters, which are
-    /// identical under every pipeline).
+    /// checks per transaction and MVCC/merge finalize per conflict
+    /// chain over a persistent worker pool with order-preserving joins
+    /// — value-identical results, less wall-clock time. Simulated time
+    /// is unaffected either way (costs come from work counters, which
+    /// are identical under every pipeline).
     pub validation: ValidationPipeline,
 }
 
@@ -340,16 +341,17 @@ impl PipelineConfig {
         }
     }
 
-    /// Fans committing-peer pre-validation out over `workers` scoped
-    /// threads (clamped to at least 1). Value-identical to the default
-    /// sequential pipeline — see `crates/fabric/src/pipeline.rs` for the
-    /// determinism argument.
+    /// Fans committing-peer validation out over a persistent pool of
+    /// `workers` threads (clamped to at least 1): pre-validation per
+    /// transaction, finalize per conflict chain. Value-identical to the
+    /// default sequential pipeline — see `crates/fabric/src/pipeline.rs`
+    /// for the determinism argument.
     pub fn with_parallel_validation(mut self, workers: usize) -> Self {
         self.validation = ValidationPipeline::parallel(workers);
         self
     }
 
-    /// Selects an explicit pre-validation pipeline.
+    /// Selects an explicit validation pipeline.
     pub fn with_validation(mut self, validation: ValidationPipeline) -> Self {
         self.validation = validation;
         self

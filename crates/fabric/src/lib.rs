@@ -24,8 +24,15 @@
 //!   [`validator::FabricValidator`] is vanilla Fabric MVCC. (FabricCRDT's
 //!   merging validator lives in the `fabriccrdt` core crate.)
 //! - [`pipeline`]: the commit-path validation pipeline seam —
-//!   sequential (seed-identical) or `std::thread::scope` parallel
-//!   pre-validation with an order-preserving join.
+//!   sequential (seed-identical) or pool-backed parallel execution with
+//!   an order-preserving join.
+//! - [`pool`]: the persistent worker pool behind parallel pipelines
+//!   (threads spawned once per peer, parked between blocks).
+//! - [`schedule`]: the conflict-graph scheduler bucketing a block's
+//!   transactions into key-disjoint chains for the parallel finalize
+//!   stage.
+//! - [`state`]: the key-hash sharded world state those chains commit
+//!   through.
 //! - [`peer`]: the committing peer: duplicate detection, endorsement
 //!   verification, validator dispatch, staged commits.
 //! - [`metrics`]: per-transaction lifecycle records and run metrics.
@@ -48,8 +55,11 @@ pub mod orderer;
 pub mod peer;
 pub mod pipeline;
 pub mod policy;
+pub mod pool;
 pub mod reorder;
+pub mod schedule;
 pub mod simulation;
+pub mod state;
 pub mod validator;
 
 pub use chaincode::{Chaincode, ChaincodeError, ChaincodeStub, ExecWork};
@@ -59,7 +69,9 @@ pub use latency::LatencyConfig;
 pub use metrics::{OrderingMetrics, RunMetrics, TxRecord};
 pub use orderer::Orderer;
 pub use peer::{Peer, StagedBlock};
-pub use pipeline::ValidationPipeline;
+pub use pipeline::{PipelineRunner, ValidationPipeline};
 pub use policy::EndorsementPolicy;
+pub use schedule::conflict_chains;
 pub use simulation::{OrderingBackend, OrderingOutcome, Simulation, SingleOrderer, TxRequest};
+pub use state::ShardedState;
 pub use validator::{BlockValidator, FabricValidator};

@@ -130,6 +130,35 @@ impl DisseminationMetrics {
     }
 }
 
+/// Decode-cache activity attributed to one run: the delta of the
+/// process-wide payload cache counters
+/// ([`fabriccrdt_jsoncrdt::cache::stats`]) over the run, captured by the
+/// simulation for validators that decode CRDT payloads. `None` in
+/// [`RunMetrics::decode_cache`] — rendered "n/a", like
+/// [`RunMetrics::avg_latency_secs`] — means the validator never touches
+/// the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheMetrics {
+    /// Lookups served from the cache during the run.
+    pub hits: u64,
+    /// Lookups that had to parse during the run.
+    pub misses: u64,
+    /// Capacity flushes (epoch evictions) during the run.
+    pub evictions: u64,
+}
+
+impl DecodeCacheMetrics {
+    /// Fraction of lookups served from the cache, or `None` when the
+    /// run performed no lookups at all.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            return None;
+        }
+        Some(self.hits as f64 / lookups as f64)
+    }
+}
+
 /// Metrics of the replicated (Raft) ordering service. Only populated
 /// when a run uses the Raft backend; the default single orderer
 /// reports `None` in [`RunMetrics::ordering`].
@@ -165,7 +194,7 @@ impl OrderingMetrics {
 }
 
 /// Metrics for one experiment run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
     /// One record per submitted transaction, in submission order.
     pub records: Vec<TxRecord>,
@@ -187,6 +216,27 @@ pub struct RunMetrics {
     /// Ordering-cluster metrics when the run used the Raft backend;
     /// `None` under the default single orderer.
     pub ordering: Option<OrderingMetrics>,
+    /// Decode-cache counter deltas over the run; `None` when the
+    /// validator never uses the payload cache.
+    pub decode_cache: Option<DecodeCacheMetrics>,
+}
+
+/// Equality deliberately ignores [`RunMetrics::decode_cache`]: the
+/// parallel pipeline races pre-validation decodes across pool threads,
+/// so hit/miss counters depend on thread scheduling even though every
+/// validation outcome stays byte-identical. The equivalence sweeps
+/// assert `sequential_metrics == parallel_metrics`, which must hold
+/// regardless of that scheduling noise.
+impl PartialEq for RunMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+            && self.end_time == other.end_time
+            && self.blocks_committed == other.blocks_committed
+            && self.resubmissions == other.resubmissions
+            && self.events == other.events
+            && self.dissemination == other.dissemination
+            && self.ordering == other.ordering
+    }
 }
 
 impl RunMetrics {
@@ -296,6 +346,7 @@ mod tests {
             events: Vec::new(),
             dissemination: None,
             ordering: None,
+            decode_cache: None,
         };
         assert_eq!(metrics.submitted(), 4);
         assert_eq!(metrics.successful(), 2);
@@ -321,6 +372,7 @@ mod tests {
             events: Vec::new(),
             dissemination: None,
             ordering: None,
+            decode_cache: None,
         };
         let series = metrics.throughput_series(SimTime::from_secs(1));
         assert_eq!(series.counts(), &[2, 1]);
@@ -393,6 +445,34 @@ mod tests {
             OrderingMetrics::default().commit_latency_summary().count(),
             0
         );
+    }
+
+    #[test]
+    fn decode_cache_hit_ratio() {
+        let stats = DecodeCacheMetrics {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((stats.hit_ratio().unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(DecodeCacheMetrics::default().hit_ratio(), None);
+    }
+
+    #[test]
+    fn run_metrics_equality_ignores_decode_cache() {
+        let mut a = RunMetrics::default();
+        let b = RunMetrics::default();
+        a.decode_cache = Some(DecodeCacheMetrics {
+            hits: 10,
+            misses: 2,
+            evictions: 1,
+        });
+        assert_eq!(
+            a, b,
+            "scheduling-dependent cache counters must not break equality"
+        );
+        a.blocks_committed = 1;
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //! the pre-block state.
 
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
 
 use fabriccrdt_crypto::KeyPair;
 use fabriccrdt_ledger::block::{Block, ValidationCode};
 use fabriccrdt_ledger::chain::{Blockchain, ChainError};
 use fabriccrdt_ledger::codec;
 use fabriccrdt_ledger::history::HistoryDb;
-use fabriccrdt_ledger::transaction::TxId;
+use fabriccrdt_ledger::transaction::{Transaction, TxId};
 use fabriccrdt_ledger::version::Height;
 use fabriccrdt_ledger::worldstate::WorldState;
 
@@ -35,9 +37,25 @@ pub struct PeerSnapshot {
 }
 
 use crate::cost::ValidationWork;
-use crate::pipeline::ValidationPipeline;
+use crate::pipeline::{PipelineRunner, ValidationPipeline};
 use crate::policy::EndorsementPolicy;
-use crate::validator::BlockValidator;
+use crate::schedule::conflict_chains;
+use crate::state::ShardedState;
+use crate::validator::{BlockValidator, ChainOutcome};
+
+/// Host wall-clock timings of the two `process_block` stages, used by
+/// the commit-path benchmark to attribute speedup per stage. Timings
+/// never feed the cost model or any validation outcome, so they cannot
+/// perturb simulation determinism.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Duplicate detection + endorsement verification (pipeline
+    /// fan-out stage).
+    pub pre_validate_secs: f64,
+    /// MVCC/merge validation, state commit and re-seal (conflict-chain
+    /// stage).
+    pub finalize_secs: f64,
+}
 
 /// A fully validated block plus the world state it produces, awaiting
 /// [`Peer::commit`].
@@ -49,6 +67,8 @@ pub struct StagedBlock {
     pub new_state: WorldState,
     /// Work performed (drives the cost model).
     pub work: ValidationWork,
+    /// Host wall-clock spent per processing stage.
+    pub timings: StageTimings,
 }
 
 /// A committing peer.
@@ -63,9 +83,11 @@ pub struct Peer<V> {
     chain: Blockchain,
     history: HistoryDb,
     committed_ids: HashSet<TxId>,
-    validator: V,
+    // Arc because parallel stages hand the validator to 'static pool
+    // workers; sequential peers never clone it.
+    validator: Arc<V>,
     policy: EndorsementPolicy,
-    pipeline: ValidationPipeline,
+    runner: PipelineRunner,
 }
 
 impl<V: BlockValidator> Peer<V> {
@@ -83,30 +105,32 @@ impl<V: BlockValidator> Peer<V> {
             chain,
             history: HistoryDb::new(),
             committed_ids: HashSet::new(),
-            validator,
+            validator: Arc::new(validator),
             policy,
-            pipeline: ValidationPipeline::Sequential,
+            runner: PipelineRunner::new(ValidationPipeline::Sequential),
         }
     }
 
-    /// Selects the pre-validation pipeline (builder style). The default,
+    /// Selects the validation pipeline (builder style). The default,
     /// [`ValidationPipeline::Sequential`], is byte-for-byte the seed
     /// commit path; `Parallel` is value-identical (see
     /// `crates/fabric/src/pipeline.rs` for the determinism argument) and
-    /// only changes wall-clock time.
+    /// only changes wall-clock time. Parallel runners spawn their
+    /// persistent worker pool here, once per peer.
     pub fn with_pipeline(mut self, pipeline: ValidationPipeline) -> Self {
-        self.pipeline = pipeline;
+        self.set_pipeline(pipeline);
         self
     }
 
-    /// Replaces the pre-validation pipeline in place.
+    /// Replaces the validation pipeline in place, re-binding the worker
+    /// pool (the old pool's threads join on drop).
     pub fn set_pipeline(&mut self, pipeline: ValidationPipeline) {
-        self.pipeline = pipeline;
+        self.runner = PipelineRunner::new(pipeline);
     }
 
-    /// The active pre-validation pipeline.
+    /// The active validation pipeline.
     pub fn pipeline(&self) -> ValidationPipeline {
-        self.pipeline
+        self.runner.mode()
     }
 
     /// The current world state (committed blocks only).
@@ -172,9 +196,9 @@ impl<V: BlockValidator> Peer<V> {
             chain,
             history,
             committed_ids,
-            validator,
+            validator: Arc::new(validator),
             policy,
-            pipeline: ValidationPipeline::Sequential,
+            runner: PipelineRunner::new(ValidationPipeline::Sequential),
         })
     }
 
@@ -244,8 +268,10 @@ impl<V: BlockValidator> Peer<V> {
                 block,
                 new_state: self.state.clone(),
                 work: ValidationWork::default(),
+                timings: StageTimings::default(),
             };
         }
+        let pre_start = Instant::now();
 
         // Stage 1 (sequential, cheap): duplicate-id detection. This is
         // the one cross-transaction dependency in pre-validation — a
@@ -267,15 +293,19 @@ impl<V: BlockValidator> Peer<V> {
         // back in block order. Duplicates short-circuit *before* any
         // signature is checked (exactly as the seed's early return did),
         // so `sigs_verified` — and with it the simulated block cost — is
-        // identical under every pipeline.
+        // identical under every pipeline. Pool workers are 'static, so
+        // shared context travels by `Arc`/clone rather than borrow.
+        let transactions = Arc::new(std::mem::take(&mut block.transactions));
+        let validator = Arc::clone(&self.validator);
+        let policy = self.policy.clone();
         let endorsed: Vec<(Option<ValidationCode>, u64)> =
-            self.pipeline.map_ordered(&block.transactions, |i, tx| {
+            self.runner.map_ordered(&transactions, move |i, tx| {
                 if duplicate[i] {
                     return (Some(ValidationCode::DuplicateTxId), 0);
                 }
                 // Warm validator-side caches (e.g. CRDT payload decode)
                 // off the sequential critical path; value-neutral.
-                self.validator.prepare(tx);
+                validator.prepare(tx);
                 let payload = tx.response_payload();
                 let mut sigs = 0u64;
                 let mut valid_orgs = Vec::new();
@@ -286,7 +316,7 @@ impl<V: BlockValidator> Peer<V> {
                         valid_orgs.push(endorsement.endorser.org.clone());
                     }
                 }
-                if !self.policy.is_satisfied_by(&valid_orgs) {
+                if !policy.is_satisfied_by(&valid_orgs) {
                     return (Some(ValidationCode::EndorsementPolicyFailure), sigs);
                 }
                 (None, sigs)
@@ -299,11 +329,10 @@ impl<V: BlockValidator> Peer<V> {
                 code
             })
             .collect();
+        let pre_validate_secs = pre_start.elapsed().as_secs_f64();
 
-        let mut new_state = self.state.clone();
-        let mut work = self
-            .validator
-            .validate_and_commit(&mut block, &mut new_state, &pre);
+        let finalize_start = Instant::now();
+        let (new_state, mut work) = self.finalize(&mut block, transactions, &pre);
         work.sigs_verified = sigs_verified;
 
         // Re-seal when needed. FabricCRDT's Algorithm 1 (line 22) rewrites
@@ -316,12 +345,104 @@ impl<V: BlockValidator> Peer<V> {
             block.header.previous_hash = self.chain.tip_hash();
             block.header.data_hash = Block::compute_data_hash(&block.transactions);
         }
+        let finalize_secs = finalize_start.elapsed().as_secs_f64();
 
         StagedBlock {
             block,
             new_state,
             work,
+            timings: StageTimings {
+                pre_validate_secs,
+                finalize_secs,
+            },
         }
+    }
+
+    /// The finalize stage: MVCC/merge validation and state commit.
+    ///
+    /// Sequential runners (and blocks whose conflict graph is a single
+    /// chain) take the reference path — the untouched seed
+    /// [`BlockValidator::validate_and_commit`] over a cloned
+    /// `WorldState`. Parallel runners instead bucket the block into
+    /// key-disjoint conflict chains ([`conflict_chains`]), finalize the
+    /// chains concurrently against a [`ShardedState`], and reassemble
+    /// codes, write-value rewrites and work counters in block order —
+    /// value-identical by construction (DESIGN.md §4.10), and asserted
+    /// against a sequential shadow run in debug builds.
+    fn finalize(
+        &self,
+        block: &mut Block,
+        transactions: Arc<Vec<Transaction>>,
+        pre: &[Option<ValidationCode>],
+    ) -> (WorldState, ValidationWork) {
+        let chains = conflict_chains(&transactions, pre);
+        if !self.runner.parallel_finalize() || chains.len() <= 1 {
+            block.transactions =
+                Arc::try_unwrap(transactions).expect("pre-validation released its clones");
+            let mut new_state = self.state.clone();
+            let work = self
+                .validator
+                .validate_and_commit(block, &mut new_state, pre);
+            return (new_state, work);
+        }
+
+        #[cfg(debug_assertions)]
+        let shadow_txs: Vec<Transaction> = transactions.as_ref().clone();
+
+        let number = block.header.number;
+        let sharded = Arc::new(ShardedState::from_world(&self.state));
+        let chains = Arc::new(chains);
+        let validator = Arc::clone(&self.validator);
+        let job_txs = Arc::clone(&transactions);
+        let job_state = Arc::clone(&sharded);
+        let outcomes: Vec<ChainOutcome> = self.runner.map_ordered(&chains, move |_, chain| {
+            validator.finalize_chain(number, &job_txs, chain, &job_state)
+        });
+
+        // Reassemble block order. Chains partition the undecided
+        // transactions, so exactly one outcome decides each of them.
+        let mut codes: Vec<Option<ValidationCode>> = pre.to_vec();
+        let mut transactions =
+            Arc::try_unwrap(transactions).expect("pool released its transaction clones");
+        let mut work = ValidationWork::default();
+        for outcome in outcomes {
+            for (index, code) in outcome.codes {
+                debug_assert!(codes[index].is_none(), "one code per transaction");
+                codes[index] = Some(code);
+            }
+            for (index, key, value) in outcome.rewrites {
+                let updated = transactions[index].rwset.writes.update_value(&key, value);
+                debug_assert!(updated, "rewrite targets an existing write entry");
+            }
+            work.absorb(outcome.work);
+        }
+        block.validation_codes = codes
+            .into_iter()
+            .map(|code| code.expect("chains partition the undecided transactions"))
+            .collect();
+        block.transactions = transactions;
+        let new_state = Arc::try_unwrap(sharded)
+            .expect("pool released its state clones")
+            .into_world();
+
+        // Debug-build shadow run: the parallel finalize must match the
+        // sequential reference on every block it processes.
+        #[cfg(debug_assertions)]
+        {
+            let mut shadow_block = block.clone();
+            shadow_block.transactions = shadow_txs;
+            shadow_block.validation_codes = Vec::new();
+            let mut shadow_state = self.state.clone();
+            let shadow_work =
+                self.validator
+                    .validate_and_commit(&mut shadow_block, &mut shadow_state, pre);
+            debug_assert_eq!(shadow_block.validation_codes, block.validation_codes);
+            debug_assert_eq!(shadow_block.transactions, block.transactions);
+            debug_assert_eq!(shadow_state, new_state);
+            debug_assert_eq!(shadow_work, work);
+        }
+
+        (new_state, work)
     }
 
     /// Installs a staged block: world state, blockchain, duplicate set.
@@ -576,6 +697,56 @@ mod tests {
         p.commit(staged).unwrap();
         // Nothing committed; the tampering is on the record.
         assert!(p.state().value("k").is_none());
+    }
+
+    #[test]
+    fn parallel_finalize_matches_sequential() {
+        // Mixed block: a hot-key chain, disjoint singleton chains, an
+        // in-block duplicate and a policy failure — exercising the
+        // conflict-graph path, pre-decided exclusion and reassembly.
+        let dup = tx(1, "a", &["org1", "org2"]);
+        let txs = vec![
+            dup.clone(),
+            tx(2, "hot", &["org1", "org2"]),
+            tx(3, "hot", &["org1", "org2"]),
+            dup,
+            tx(4, "b", &["org1"]),
+            tx(5, "c", &["org1", "org2"]),
+        ];
+        let mut seq = peer();
+        let mut par = peer().with_pipeline(ValidationPipeline::parallel(4));
+        for p in [&mut seq, &mut par] {
+            p.seed_state("hot", b"seed".to_vec());
+        }
+        let block = next_block(&seq, txs);
+        let staged_seq = seq.process_block(block.clone());
+        let staged_par = par.process_block(block);
+        assert_eq!(
+            staged_par.block.validation_codes,
+            staged_seq.block.validation_codes
+        );
+        assert_eq!(
+            staged_par.block.header.data_hash,
+            staged_seq.block.header.data_hash
+        );
+        assert_eq!(staged_par.new_state, staged_seq.new_state);
+        assert_eq!(staged_par.work, staged_seq.work);
+        seq.commit(staged_seq).unwrap();
+        par.commit(staged_par).unwrap();
+        assert_eq!(seq.snapshot(), par.snapshot(), "byte-identical ledgers");
+    }
+
+    #[test]
+    fn set_pipeline_swaps_the_runner() {
+        let mut p = peer();
+        assert_eq!(p.pipeline(), ValidationPipeline::Sequential);
+        p.set_pipeline(ValidationPipeline::parallel(2));
+        assert_eq!(p.pipeline(), ValidationPipeline::parallel(2));
+        let block = next_block(&p, vec![tx(1, "k", &["org1", "org2"])]);
+        let staged = p.process_block(block);
+        assert_eq!(staged.block.validation_codes, vec![ValidationCode::Valid]);
+        assert!(staged.timings.pre_validate_secs >= 0.0);
+        assert!(staged.timings.finalize_secs >= 0.0);
     }
 
     #[test]

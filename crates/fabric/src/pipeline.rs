@@ -7,15 +7,20 @@
 //! cross-transaction check, runs *before* this stage). That makes the
 //! stage embarrassingly parallel, and both Javaid et al. (*Optimizing
 //! Validation Phase of Hyperledger Fabric*) and Wang & Chu's bottleneck
-//! study identify it as the dominant commit-path cost.
+//! study identify it as a dominant commit-path cost. The finalize
+//! stage (MVCC + CRDT merge) is parallelized too, but by conflict
+//! chains rather than per transaction — see [`crate::schedule`].
 //!
-//! [`ValidationPipeline`] is the seam, mirroring the
+//! [`ValidationPipeline`] is the configuration seam, mirroring the
 //! [`DeliveryLayer`](crate::simulation::DeliveryLayer) /
 //! [`OrderingBackend`](crate::simulation::OrderingBackend) pattern:
 //! the default [`ValidationPipeline::Sequential`] reproduces the seed
 //! commit path instruction-for-instruction, while
-//! [`ValidationPipeline::Parallel`] fans the same per-transaction
-//! closure out over `std::thread::scope` workers.
+//! [`ValidationPipeline::Parallel`] fans the same per-item closure out
+//! over a persistent [`WorkerPool`] (threads spawned once per peer, not
+//! once per block — the per-block `std::thread::scope` of the first
+//! parallel pipeline cost 15–20% at small document sizes).
+//! [`PipelineRunner`] binds the configuration to its pool.
 //!
 //! # Determinism argument
 //!
@@ -23,24 +28,26 @@
 //! reproducibility. Two properties guarantee it:
 //!
 //! 1. **Purity** — the mapped closure is a pure function of the
-//!    transaction (plus shared read-only context); it never observes
+//!    item (plus shared read-only context); it never observes
 //!    scheduling order, so each per-index result is identical no matter
 //!    which worker computes it or when.
-//! 2. **Ordered join** — workers tag every result with its transaction
-//!    index and [`ValidationPipeline::map_ordered`] reassembles the
-//!    output vector in index order, so downstream consumers (the
-//!    sequential MVCC/merge stage, the work counters that drive the
-//!    cost model) see exactly the sequence a sequential map would have
-//!    produced.
+//! 2. **Ordered join** — every result lands in its index's slot and
+//!    [`PipelineRunner::map_ordered`] reassembles the output vector in
+//!    index order, so downstream consumers (the conflict-chain finalize
+//!    stage, the work counters that drive the cost model) see exactly
+//!    the sequence a sequential map would have produced.
 //!
 //! Hence `Parallel { workers }` is value-identical to `Sequential` for
-//! every `workers >= 1` — asserted by the 50-seed sweep in
-//! `crates/fabric/tests/parallel_validation.rs` — and only the
+//! every `workers >= 1` — asserted by the seed sweeps in
+//! `crates/fabric/tests/parallel_validation.rs` and
+//! `crates/fabric/tests/finalize_schedule.rs` — and only the
 //! *wall-clock* time of `process_block` changes.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// Strategy for the per-transaction pre-validation stage of
+use crate::pool::WorkerPool;
+
+/// Strategy for the parallelizable stages of
 /// [`Peer::process_block`](crate::peer::Peer::process_block).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum ValidationPipeline {
@@ -48,11 +55,12 @@ pub enum ValidationPipeline {
     /// byte-for-byte the seed behaviour.
     #[default]
     Sequential,
-    /// Fan transactions out over `workers` scoped threads; results are
-    /// joined in block order (see the module-level determinism
-    /// argument). `workers == 1` still runs on the calling thread.
+    /// Fan work out over a persistent pool of `workers` threads;
+    /// results are joined in item order (see the module-level
+    /// determinism argument). `workers == 1` still runs on the calling
+    /// thread.
     Parallel {
-        /// Number of worker threads to spawn (clamped to at least 1).
+        /// Total worker parallelism (clamped to at least 1).
         workers: usize,
     },
 }
@@ -80,57 +88,105 @@ impl ValidationPipeline {
             ValidationPipeline::Parallel { workers } => format!("parallel({workers})"),
         }
     }
+}
+
+/// A [`ValidationPipeline`] bound to its (lazily spawned) persistent
+/// [`WorkerPool`]. One runner lives per [`Peer`](crate::peer::Peer);
+/// `Sequential` and single-worker runners never spawn threads.
+#[derive(Debug)]
+pub struct PipelineRunner {
+    mode: ValidationPipeline,
+    pool: Option<WorkerPool>,
+}
+
+impl PipelineRunner {
+    /// Builds a runner for `mode`, spawning the worker pool up front
+    /// when `mode` asks for real parallelism. Spawned threads are
+    /// clamped to the machine's `available_parallelism`: threads beyond
+    /// the hardware can only add context-switch overhead, never
+    /// speedup, and results are thread-count-independent by the
+    /// determinism argument above — so on a single-core machine
+    /// `Parallel {{ workers: N }}` runs on the calling thread while
+    /// still taking the parallel (conflict-chain) code path.
+    pub fn new(mode: ValidationPipeline) -> Self {
+        let pool = match mode {
+            ValidationPipeline::Parallel { workers } if workers >= 2 => {
+                let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let spawn = workers.min(hardware);
+                (spawn >= 2).then(|| WorkerPool::new(spawn))
+            }
+            _ => None,
+        };
+        PipelineRunner { mode, pool }
+    }
+
+    /// The configuration this runner executes.
+    pub fn mode(&self) -> ValidationPipeline {
+        self.mode
+    }
+
+    /// Whether this runner actually executes work concurrently (a pool
+    /// was spawned — i.e. `mode` asked for ≥2 workers *and* the machine
+    /// has ≥2 hardware threads).
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Whether the finalize stage should use the conflict-chain
+    /// schedule. Keyed on the *configuration*, not the spawned pool, so
+    /// the chain-partitioned path (and its byte-identity machinery) is
+    /// exercised even on machines where the pool is clamped to the
+    /// calling thread.
+    pub fn parallel_finalize(&self) -> bool {
+        matches!(self.mode, ValidationPipeline::Parallel { workers } if workers >= 2)
+    }
 
     /// Maps `f` over `items`, returning results in item order.
     ///
     /// `f(i, &items[i])` must be pure per item — it may read shared
-    /// context but must not depend on evaluation order. `Sequential`
-    /// (and `Parallel` with one effective worker) evaluates left to
-    /// right on the calling thread, exactly like `iter().map()`;
-    /// `Parallel` spawns scoped workers that pull indices from a shared
-    /// atomic cursor and tags each result with its index, so the joined
-    /// vector is independent of thread scheduling.
+    /// context but must not depend on evaluation order. Sequential
+    /// runners evaluate left to right on the calling thread, exactly
+    /// like `iter().map()`; parallel runners dispatch to the pool,
+    /// workers pull indices from a shared cursor, and each result lands
+    /// in its index's slot, so the joined vector is independent of
+    /// thread scheduling.
+    ///
+    /// `items` is taken by `Arc` because pool workers are `'static`;
+    /// the caller keeps its reference and no item is ever cloned.
     ///
     /// # Panics
     ///
-    /// Propagates a panic from `f` (workers rejoin before the scope
-    /// exits, so a panicking closure aborts the whole map).
-    pub fn map_ordered<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    /// Propagates a panic from `f` (the batch drains first, so the pool
+    /// survives).
+    pub fn map_ordered<T, U, F>(&self, items: &Arc<Vec<T>>, f: F) -> Vec<U>
     where
-        T: Sync,
-        U: Send,
-        F: Fn(usize, &T) -> U + Sync,
+        T: Send + Sync + 'static,
+        U: Send + Sync + 'static,
+        F: Fn(usize, &T) -> U + Send + Sync + 'static,
     {
-        let workers = self.effective_workers(items.len());
-        if workers <= 1 {
+        let Some(pool) = &self.pool else {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        };
+        if items.len() <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
-        let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
-        slots.resize_with(items.len(), || None);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else { break };
-                            local.push((i, f(i, item)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, result) in handle.join().expect("validation worker panicked") {
-                    slots[i] = Some(result);
+        let slots: Arc<Vec<OnceLock<U>>> =
+            Arc::new((0..items.len()).map(|_| OnceLock::new()).collect());
+        let job_items = items.clone();
+        let job_slots = slots.clone();
+        pool.run(
+            items.len(),
+            Arc::new(move |i| {
+                let result = f(i, &job_items[i]);
+                if job_slots[i].set(result).is_err() {
+                    unreachable!("index {i} mapped twice");
                 }
-            }
-        });
-        slots
+            }),
+        );
+        Arc::try_unwrap(slots)
+            .unwrap_or_else(|_| unreachable!("pool released its job clones"))
             .into_iter()
-            .map(|slot| slot.expect("every index mapped exactly once"))
+            .map(|slot| slot.into_inner().expect("every index mapped exactly once"))
             .collect()
     }
 }
@@ -139,11 +195,20 @@ impl ValidationPipeline {
 mod tests {
     use super::*;
 
+    fn run<T, U, F>(mode: ValidationPipeline, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send + Sync + 'static,
+        U: Send + Sync + 'static,
+        F: Fn(usize, &T) -> U + Send + Sync + 'static,
+    {
+        PipelineRunner::new(mode).map_ordered(&Arc::new(items), f)
+    }
+
     #[test]
     fn sequential_matches_plain_map() {
         let items: Vec<u64> = (0..17).collect();
         let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
-        let got = ValidationPipeline::Sequential.map_ordered(&items, |_, x| x * x);
+        let got = run(ValidationPipeline::Sequential, items, |_, x| x * x);
         assert_eq!(got, expect);
     }
 
@@ -152,19 +217,23 @@ mod tests {
         let items: Vec<u64> = (0..101).collect();
         let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
         for workers in 1..=8 {
-            let got = ValidationPipeline::parallel(workers).map_ordered(&items, |_, x| x * 3 + 1);
+            let got = run(
+                ValidationPipeline::parallel(workers),
+                items.clone(),
+                |_, x| x * 3 + 1,
+            );
             assert_eq!(got, expect, "workers={workers}");
         }
     }
 
     #[test]
     fn parallel_handles_empty_and_single_item() {
-        let empty: Vec<u64> = Vec::new();
-        assert!(ValidationPipeline::parallel(4)
-            .map_ordered(&empty, |_, x| *x)
+        let runner = PipelineRunner::new(ValidationPipeline::parallel(4));
+        assert!(runner
+            .map_ordered(&Arc::new(Vec::<u64>::new()), |_, x| *x)
             .is_empty());
         assert_eq!(
-            ValidationPipeline::parallel(4).map_ordered(&[7u64], |_, x| *x),
+            runner.map_ordered(&Arc::new(vec![7u64]), |_, x| *x),
             vec![7]
         );
     }
@@ -172,17 +241,56 @@ mod tests {
     #[test]
     fn index_argument_matches_position() {
         let items = vec!["a", "b", "c", "d"];
-        let got = ValidationPipeline::parallel(3).map_ordered(&items, |i, s| format!("{i}{s}"));
+        let got = run(ValidationPipeline::parallel(3), items, |i, s| {
+            format!("{i}{s}")
+        });
         assert_eq!(got, vec!["0a", "1b", "2c", "3d"]);
     }
 
     #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(ValidationPipeline::parallel(0).effective_workers(10), 1);
+        let runner = PipelineRunner::new(ValidationPipeline::parallel(0));
+        assert!(!runner.is_parallel());
         assert_eq!(
-            ValidationPipeline::parallel(0).map_ordered(&[1u8, 2], |_, x| *x),
+            runner.map_ordered(&Arc::new(vec![1u8, 2]), |_, x| *x),
             vec![1, 2]
         );
+    }
+
+    #[test]
+    fn pool_threads_are_clamped_to_hardware() {
+        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let runner = PipelineRunner::new(ValidationPipeline::parallel(8));
+        assert_eq!(
+            runner.is_parallel(),
+            hardware >= 2,
+            "a pool is spawned exactly when the machine can run it"
+        );
+        assert!(runner.parallel_finalize());
+        assert!(!PipelineRunner::new(ValidationPipeline::parallel(1)).parallel_finalize());
+        assert!(!PipelineRunner::new(ValidationPipeline::Sequential).parallel_finalize());
+    }
+
+    #[test]
+    fn runner_reuses_one_pool_across_batches() {
+        let runner = PipelineRunner::new(ValidationPipeline::parallel(4));
+        assert!(runner.parallel_finalize());
+        for round in 0..20u64 {
+            let items: Vec<u64> = (0..50).collect();
+            let got = runner.map_ordered(&Arc::new(items), move |_, x| x + round);
+            assert_eq!(got.len(), 50);
+            assert_eq!(got[49], 49 + round);
+        }
+    }
+
+    #[test]
+    fn caller_keeps_its_items_reference() {
+        let items = Arc::new(vec![1u32, 2, 3]);
+        let runner = PipelineRunner::new(ValidationPipeline::parallel(2));
+        let got = runner.map_ordered(&items, |_, x| x * 2);
+        assert_eq!(got, vec![2, 4, 6]);
+        assert_eq!(Arc::strong_count(&items), 1, "job clone released");
     }
 
     #[test]
@@ -191,6 +299,10 @@ mod tests {
         assert_eq!(ValidationPipeline::parallel(4).label(), "parallel(4)");
         assert_eq!(
             ValidationPipeline::default(),
+            ValidationPipeline::Sequential
+        );
+        assert_eq!(
+            PipelineRunner::new(ValidationPipeline::Sequential).mode(),
             ValidationPipeline::Sequential
         );
     }

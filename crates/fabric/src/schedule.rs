@@ -1,0 +1,234 @@
+//! Conflict-graph scheduling of a block's finalize stage.
+//!
+//! The sequential MVCC/merge pass walks a block's transactions in
+//! order; the only ordering that actually matters is *per key*: a
+//! transaction's read checks must see exactly the writes of earlier
+//! in-block transactions on the same keys, and CRDT merges fold per-key
+//! payload sequences in block order (Algorithm 1). Transactions with
+//! disjoint key sets commute — the insight both Javaid et al.
+//! (*Optimizing Validation Phase of Hyperledger Fabric*, dependency
+//! analysis over rw-sets) and Meir et al. (*Lockless Transaction
+//! Isolation*) build on.
+//!
+//! [`conflict_chains`] makes that precise: it unions transactions that
+//! share any key (reads ∪ writes — CRDT merge keys are write-set
+//! entries) into connected components with a union-find, and returns
+//! each component as a *chain* of block indices in ascending block
+//! order. Properties the parallel finalize stage relies on:
+//!
+//! - **Partition**: every undecided transaction appears in exactly one
+//!   chain (key-less transactions form singleton chains).
+//! - **Key locality**: a key read or written by a chain member is
+//!   touched by no other chain.
+//! - **Order**: within a chain, indices ascend in block order; across
+//!   chains, the output is sorted by first member — fully deterministic
+//!   regardless of thread count.
+//!
+//! Pre-decided transactions (duplicates, endorsement failures) never
+//! touch the state, so they are excluded up front — exactly as the
+//! sequential pass skips them.
+
+use std::collections::HashMap;
+
+use fabriccrdt_ledger::block::ValidationCode;
+use fabriccrdt_ledger::Transaction;
+
+/// Disjoint-set forest over transaction indices (path halving +
+/// union by attaching the larger root to the smaller, which keeps the
+/// smallest block index representative — handy for deterministic
+/// grouping).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Smaller index wins the root, so a component's representative
+        // is its earliest transaction.
+        let (low, high) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[high] = low;
+    }
+}
+
+/// Buckets a block's undecided transactions into conflict chains (see
+/// module docs). `pre_decided` must be empty or transaction-count long,
+/// mirroring [`fabriccrdt_ledger::mvcc::validate_and_commit`].
+///
+/// # Panics
+///
+/// Panics if `pre_decided` is non-empty and its length differs from the
+/// transaction count.
+pub fn conflict_chains(
+    transactions: &[Transaction],
+    pre_decided: &[Option<ValidationCode>],
+) -> Vec<Vec<usize>> {
+    assert!(
+        pre_decided.is_empty() || pre_decided.len() == transactions.len(),
+        "pre_decided length must match transaction count"
+    );
+    let decided = |i: usize| -> bool { matches!(pre_decided.get(i), Some(Some(_))) };
+
+    let mut forest = UnionFind::new(transactions.len());
+    // First transaction seen touching each key; later toucher unions in.
+    let mut key_owner: HashMap<&str, usize> = HashMap::new();
+    for (i, tx) in transactions.iter().enumerate() {
+        if decided(i) {
+            continue;
+        }
+        let keys = tx
+            .rwset
+            .reads
+            .iter()
+            .map(|(key, _)| key.as_str())
+            .chain(tx.rwset.writes.iter().map(|(key, _)| key.as_str()));
+        for key in keys {
+            match key_owner.get(key) {
+                Some(&owner) => forest.union(owner, i),
+                None => {
+                    key_owner.insert(key, i);
+                }
+            }
+        }
+    }
+
+    // Group by root. Scanning indices in ascending order makes every
+    // chain ascend and orders chains by their first member.
+    let mut chain_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    for i in 0..transactions.len() {
+        if decided(i) {
+            continue;
+        }
+        let root = forest.find(i);
+        let slot = *chain_of_root.entry(root).or_insert_with(|| {
+            chains.push(Vec::new());
+            chains.len() - 1
+        });
+        chains[slot].push(i);
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabriccrdt_crypto::Identity;
+    use fabriccrdt_ledger::rwset::ReadWriteSet;
+    use fabriccrdt_ledger::transaction::TxId;
+    use fabriccrdt_ledger::Height;
+
+    fn tx(n: u64, rwset: ReadWriteSet) -> Transaction {
+        let client = Identity::new("client", "org1");
+        Transaction {
+            id: TxId::derive(&client, n, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        }
+    }
+
+    fn write_tx(n: u64, key: &str) -> Transaction {
+        let mut rw = ReadWriteSet::new();
+        rw.writes.put(key, vec![n as u8]);
+        tx(n, rw)
+    }
+
+    #[test]
+    fn hot_key_degenerates_to_one_chain() {
+        let txs: Vec<Transaction> = (0..6).map(|n| write_tx(n, "hot")).collect();
+        let chains = conflict_chains(&txs, &[]);
+        assert_eq!(chains, vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn disjoint_keys_give_one_chain_per_tx() {
+        let txs: Vec<Transaction> = (0..5).map(|n| write_tx(n, &format!("k{n}"))).collect();
+        let chains = conflict_chains(&txs, &[]);
+        assert_eq!(chains, (0..5).map(|n| vec![n]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reads_link_chains_too() {
+        // tx0 writes a, tx1 writes b, tx2 reads a and writes b:
+        // tx2 bridges both into one chain.
+        let mut rw = ReadWriteSet::new();
+        rw.reads.record("a", Some(Height::new(1, 0)));
+        rw.writes.put("b", b"x".to_vec());
+        let txs = vec![write_tx(0, "a"), write_tx(1, "b"), tx(2, rw)];
+        let chains = conflict_chains(&txs, &[]);
+        assert_eq!(chains, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn pre_decided_transactions_are_excluded() {
+        let txs: Vec<Transaction> = (0..4).map(|n| write_tx(n, "hot")).collect();
+        let pre = vec![
+            None,
+            Some(ValidationCode::DuplicateTxId),
+            None,
+            Some(ValidationCode::EndorsementPolicyFailure),
+        ];
+        let chains = conflict_chains(&txs, &pre);
+        assert_eq!(chains, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn key_less_transactions_form_singleton_chains() {
+        let txs = vec![
+            tx(0, ReadWriteSet::new()),
+            write_tx(1, "k"),
+            tx(2, ReadWriteSet::new()),
+        ];
+        let chains = conflict_chains(&txs, &[]);
+        assert_eq!(chains, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn chains_are_deterministic_and_partition_the_block() {
+        // Mixed workload: two hot keys, some disjoint, one bridge.
+        let mut txs: Vec<Transaction> = Vec::new();
+        for n in 0..4 {
+            txs.push(write_tx(n, "hot-a"));
+        }
+        for n in 4..8 {
+            txs.push(write_tx(n, "hot-b"));
+        }
+        for n in 8..12 {
+            txs.push(write_tx(n, &format!("solo-{n}")));
+        }
+        let chains = conflict_chains(&txs, &[]);
+        let again = conflict_chains(&txs, &[]);
+        assert_eq!(chains, again);
+        let mut all: Vec<usize> = chains.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>(), "partition");
+        for chain in &chains {
+            assert!(chain.windows(2).all(|w| w[0] < w[1]), "ascending order");
+        }
+        assert_eq!(chains.len(), 6);
+    }
+
+    #[test]
+    fn empty_block_yields_no_chains() {
+        assert!(conflict_chains(&[], &[]).is_empty());
+    }
+}

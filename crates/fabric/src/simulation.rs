@@ -33,7 +33,9 @@ use fabriccrdt_sim::time::SimTime;
 use crate::chaincode::{ChaincodeEvent, ChaincodeRegistry, ChaincodeStub};
 use crate::config::PipelineConfig;
 use crate::latency::LatencyConfig;
-use crate::metrics::{CommittedEvent, DisseminationMetrics, OrderingMetrics, RunMetrics, TxRecord};
+use crate::metrics::{
+    CommittedEvent, DecodeCacheMetrics, DisseminationMetrics, OrderingMetrics, RunMetrics, TxRecord,
+};
 use crate::orderer::{Orderer, TimeoutRequest};
 use crate::peer::{Peer, StagedBlock};
 use crate::validator::BlockValidator;
@@ -449,9 +451,23 @@ impl<V: BlockValidator> Simulation<V> {
             self.queue.schedule(at, Event::Submit(i));
         }
 
+        // The payload decode cache is process-wide, so this run's share
+        // is a counter delta (saturating: a concurrent test may clear
+        // the cache under us, which must not underflow).
+        let cache_before = self.peer.validator().decode_cache_stats();
+
         while let Some((now, event)) = self.queue.pop() {
             self.handle(now, event);
         }
+
+        let decode_cache = match (cache_before, self.peer.validator().decode_cache_stats()) {
+            (Some(before), Some(after)) => Some(DecodeCacheMetrics {
+                hits: after.hits.saturating_sub(before.hits),
+                misses: after.misses.saturating_sub(before.misses),
+                evictions: after.evictions.saturating_sub(before.evictions),
+            }),
+            _ => None,
+        };
 
         RunMetrics {
             records: std::mem::take(&mut self.records),
@@ -461,6 +477,7 @@ impl<V: BlockValidator> Simulation<V> {
             events: std::mem::take(&mut self.committed_events),
             dissemination: self.delivery.take_dissemination(),
             ordering: self.ordering.take_ordering_metrics(),
+            decode_cache,
         }
     }
 

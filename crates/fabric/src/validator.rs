@@ -11,6 +11,24 @@ use fabriccrdt_ledger::transaction::Transaction;
 use fabriccrdt_ledger::worldstate::WorldState;
 
 use crate::cost::ValidationWork;
+use crate::metrics::DecodeCacheMetrics;
+use crate::state::ShardedState;
+
+/// Outcome of finalizing one conflict chain (see
+/// [`BlockValidator::finalize_chain`]): everything the sequential pass
+/// would have produced for these transactions, tagged with block-global
+/// indices so the peer can reassemble block order.
+#[derive(Debug, Clone, Default)]
+pub struct ChainOutcome {
+    /// `(block index, code)` per chain transaction, in block order.
+    pub codes: Vec<(usize, ValidationCode)>,
+    /// `(block index, key, converged bytes)` write-value rewrites — the
+    /// second pass of Algorithm 1 applied to this chain's members
+    /// (empty for non-CRDT validators).
+    pub rewrites: Vec<(usize, String, Vec<u8>)>,
+    /// Work performed finalizing this chain.
+    pub work: ValidationWork,
+}
 
 /// Validates a block's transactions against the world state and commits
 /// the surviving write sets, filling `block.validation_codes`.
@@ -19,11 +37,12 @@ use crate::cost::ValidationWork;
 /// (duplicate ids, endorsement-policy failures); those transactions must
 /// be recorded as-is and must not touch the state.
 ///
-/// `Sync` is required because the peer's pre-validation stage may fan
-/// transactions out over scoped worker threads
-/// ([`crate::pipeline::ValidationPipeline`]), each of which calls
-/// [`BlockValidator::prepare`] through a shared reference.
-pub trait BlockValidator: Sync {
+/// `Send + Sync + 'static` is required because the peer's parallel
+/// stages fan work out over the persistent pool threads of
+/// [`crate::pipeline::PipelineRunner`], each of which calls
+/// [`BlockValidator::prepare`] and
+/// [`BlockValidator::finalize_chain`] through a shared `Arc`.
+pub trait BlockValidator: Send + Sync + 'static {
     /// Runs validation and commit, returning the work performed
     /// (excluding signature verification, which the peer accounts for).
     fn validate_and_commit(
@@ -46,6 +65,48 @@ pub trait BlockValidator: Sync {
     /// outcomes: it must not touch the world state or the block, so a
     /// no-op implementation (the default) is always value-equivalent.
     fn prepare(&self, _tx: &Transaction) {}
+
+    /// Finalizes one conflict chain of the block: the restriction of
+    /// [`validate_and_commit`](BlockValidator::validate_and_commit) to
+    /// the transactions in `chain` (ascending block-global indices from
+    /// [`crate::schedule::conflict_chains`]), committing through the
+    /// sharded state instead of mutating a `WorldState` and *returning*
+    /// write-value rewrites instead of mutating the block.
+    ///
+    /// The scheduler guarantees chain key sets are disjoint, so the
+    /// default implementation — plain MVCC, no merges — and any
+    /// override must be value-identical to the sequential pass when the
+    /// peer runs every chain and reassembles outcomes in block order
+    /// (asserted in debug builds and by the equivalence sweeps).
+    fn finalize_chain(
+        &self,
+        block_number: u64,
+        transactions: &[Transaction],
+        chain: &[usize],
+        state: &ShardedState,
+    ) -> ChainOutcome {
+        let commit =
+            mvcc::validate_chain(block_number, transactions, chain, state, false, |_, _| None);
+        ChainOutcome {
+            codes: commit.codes,
+            rewrites: Vec::new(),
+            work: ValidationWork {
+                sigs_verified: 0,
+                reads_checked: commit.stats.reads_checked,
+                writes_applied: commit.stats.writes_applied,
+                merge_units: 0,
+                merge_quad: 0,
+                successes: commit.stats.successes,
+            },
+        }
+    }
+
+    /// Decode-cache counters attributable to this validator, if it uses
+    /// the process-wide payload cache (`None` — rendered "n/a" — for
+    /// validators that never decode, like vanilla Fabric's).
+    fn decode_cache_stats(&self) -> Option<DecodeCacheMetrics> {
+        None
+    }
 
     /// Short name for reports ("fabric", "fabriccrdt").
     fn name(&self) -> &str;
@@ -122,5 +183,36 @@ mod tests {
     #[test]
     fn fabric_validator_name() {
         assert_eq!(FabricValidator::new().name(), "fabric");
+    }
+
+    #[test]
+    fn default_finalize_chain_matches_sequential_pass() {
+        let seed = {
+            let mut s = WorldState::new();
+            s.put("hot".into(), b"0".to_vec(), Height::new(1, 0));
+            s
+        };
+        let txs: Vec<Transaction> = (0..4).map(conflicting_tx).collect();
+
+        let mut seq_state = seed.clone();
+        let mut block = Block::assemble(2, [0; 32], txs.clone());
+        let seq_work = FabricValidator::new().validate_and_commit(&mut block, &mut seq_state, &[]);
+
+        let sharded = ShardedState::from_world(&seed);
+        let chain: Vec<usize> = (0..txs.len()).collect();
+        let outcome = FabricValidator::new().finalize_chain(2, &txs, &chain, &sharded);
+
+        assert_eq!(outcome.work, seq_work);
+        assert!(outcome.rewrites.is_empty());
+        assert_eq!(
+            outcome.codes.iter().map(|(_, c)| *c).collect::<Vec<_>>(),
+            block.validation_codes
+        );
+        assert_eq!(sharded.into_world(), seq_state);
+    }
+
+    #[test]
+    fn fabric_validator_reports_no_decode_cache() {
+        assert!(FabricValidator::new().decode_cache_stats().is_none());
     }
 }

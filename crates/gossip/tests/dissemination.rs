@@ -26,11 +26,16 @@ const SEED_DOC: &[u8] = br#"{"readings":[]}"#;
 
 /// A fully endorsed CRDT transaction on the shared hot key.
 fn endorsed_tx(nonce: u64) -> Transaction {
+    endorsed_tx_on("hot", nonce)
+}
+
+/// A fully endorsed CRDT transaction on an arbitrary key.
+fn endorsed_tx_on(key: &str, nonce: u64) -> Transaction {
     let client = Identity::new("client", "org1");
     let mut rwset = ReadWriteSet::new();
-    rwset.reads.record("hot", Some(Height::new(0, 0))); // stale on purpose
+    rwset.reads.record(key, Some(Height::new(0, 0))); // stale on purpose
     rwset.writes.put_crdt(
-        "hot",
+        key.to_string(),
         format!(r#"{{"readings":["r{nonce}"]}}"#).into_bytes(),
     );
     let mut tx = Transaction {
@@ -285,6 +290,52 @@ fn parallel_validation_matches_sequential_under_fault_schedules() {
         // The reference replay inside runs the sequential default.
         assert_all_match_reference(&network, &blocks);
     });
+}
+
+/// Conflict-graph finalize sweep (gossip half; the Raft half lives in
+/// `crates/ordering/tests/pipeline_equivalence.rs`): across 50 random
+/// fault schedules, a workload mixing hot-key CRDT contention (one
+/// multi-member chain per block) with disjoint-key documents (singleton
+/// chains) converges every gossip peer running parallel finalize to the
+/// byte-identical ledger of the sequential reference replay.
+#[test]
+fn parallel_finalize_matches_sequential_over_fault_sweep() {
+    gen::cases(50, |g| {
+        let block_count = g.size(3, 8);
+        let per_block = g.size(2, 6);
+        let blocks = mixed_block_stream(g, block_count, per_block);
+        let workers = g.size(2, 8);
+        let config = PipelineConfig::paper(25, g.u64())
+            .with_gossip()
+            .with_faults(arb_faults(g))
+            .with_parallel_validation(workers);
+        let mut network = seeded_network(&config);
+        run_stream(&mut network, &blocks);
+        // The reference replay inside runs the sequential default.
+        assert_all_match_reference(&network, &blocks);
+    });
+}
+
+/// A block stream mixing hot-key contention with per-transaction
+/// disjoint keys, so every block's conflict graph has both a
+/// multi-member chain and singletons.
+fn mixed_block_stream(g: &mut Gen, blocks: usize, per_block: usize) -> Vec<Block> {
+    let mut nonce = 0u64;
+    (1..=blocks as u64)
+        .map(|number| {
+            let txs = (0..per_block)
+                .map(|_| {
+                    nonce += 1;
+                    if g.prob(0.5) {
+                        endorsed_tx(nonce)
+                    } else {
+                        endorsed_tx_on(&format!("doc{nonce}"), nonce)
+                    }
+                })
+                .collect();
+            Block::assemble(number, [0; 32], txs)
+        })
+        .collect()
 }
 
 fn arb_faults(g: &mut Gen) -> FaultConfig {

@@ -39,18 +39,22 @@ pub const MAX_ENTRIES: usize = 8192;
 static CACHE: OnceLock<Mutex<HashMap<Vec<u8>, Arc<Value>>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 fn cache() -> &'static Mutex<HashMap<Vec<u8>, Arc<Value>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Hit/miss counters of the process-wide decode cache.
+/// Hit/miss/eviction counters of the process-wide decode cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that had to parse.
     pub misses: u64,
+    /// Capacity flushes (epoch evictions). An explicit [`clear`] is a
+    /// benchmark reset, not capacity pressure, so it does not count.
+    pub evictions: u64,
     /// Payloads currently cached.
     pub entries: usize,
 }
@@ -74,6 +78,7 @@ pub fn decode_cached(bytes: &[u8]) -> Result<Arc<Value>, ParseError> {
     let parsed = Arc::new(Value::from_bytes(bytes)?);
     let mut guard = cache().lock().expect("decode cache poisoned");
     if guard.len() >= MAX_ENTRIES {
+        EVICTIONS.fetch_add(1, Ordering::Relaxed);
         guard.clear();
     }
     guard.insert(bytes.to_vec(), parsed.clone());
@@ -85,6 +90,7 @@ pub fn stats() -> CacheStats {
     CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
         entries: cache().lock().expect("decode cache poisoned").len(),
     }
 }
@@ -99,8 +105,18 @@ pub fn clear() {
 mod tests {
     use super::*;
 
+    /// The cache is process-wide; tests that flush it (capacity or
+    /// explicit clear) would race the sharing assertions of their
+    /// neighbours, so every test in this module serializes on one lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn repeated_decodes_share_one_parse() {
+        let _guard = serial();
         let payload = br#"{"cache-test-key":"shared","readings":["1","2"]}"#;
         let first = decode_cached(payload).unwrap();
         let second = decode_cached(payload).unwrap();
@@ -111,6 +127,7 @@ mod tests {
 
     #[test]
     fn distinct_payloads_do_not_collide() {
+        let _guard = serial();
         let a = decode_cached(br#"{"k":"a"}"#).unwrap();
         let b = decode_cached(br#"{"k":"b"}"#).unwrap();
         assert_ne!(*a, *b);
@@ -118,6 +135,7 @@ mod tests {
 
     #[test]
     fn parse_failures_propagate_and_are_not_cached() {
+        let _guard = serial();
         let before = stats();
         assert!(decode_cached(b"not json").is_err());
         assert!(decode_cached(b"not json").is_err());
@@ -127,7 +145,37 @@ mod tests {
     }
 
     #[test]
+    fn capacity_flush_counts_as_eviction() {
+        let _guard = serial();
+        let before = stats();
+        // Insert enough distinct payloads to force at least one epoch
+        // flush regardless of what is already cached.
+        for i in 0..=MAX_ENTRIES {
+            let payload = format!(r#"{{"evict-probe":"{i}"}}"#);
+            decode_cached(payload.as_bytes()).unwrap();
+        }
+        let after = stats();
+        assert!(after.evictions > before.evictions);
+        // The flush emptied the map; it cannot exceed capacity.
+        assert!(after.entries <= MAX_ENTRIES);
+    }
+
+    #[test]
+    fn explicit_clear_is_not_an_eviction() {
+        let _guard = serial();
+        decode_cached(br#"{"clear-probe":"x"}"#).unwrap();
+        let before = stats();
+        clear();
+        let after = stats();
+        assert_eq!(after.entries, 0);
+        // Counters keep running; only capacity flushes count.
+        assert_eq!(after.evictions, before.evictions);
+        assert!(after.hits >= before.hits);
+    }
+
+    #[test]
     fn stats_move_on_hits() {
+        let _guard = serial();
         let payload = br#"{"stats-probe":"x"}"#;
         decode_cached(payload).unwrap();
         let before = stats();

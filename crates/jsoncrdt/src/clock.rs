@@ -4,7 +4,15 @@
 //! are globally unique by using an instance of a Lamport Clock for each
 //! JSON CRDT instantiation. The Lamport clock is incremented by one with
 //! every new operation to ensure the causal order of the operations."*
+//!
+//! [`VersionVector`] summarizes a document's applied-operation set as a
+//! per-replica high-water mark — its causal frontier. Because merge
+//! chains tick the clock by exactly one per operation, the frontier
+//! stays *exact* (covers precisely the applied set) on the hot path,
+//! turning per-op `BTreeSet` membership checks and doc-to-doc merge
+//! filtering into a couple of integer compares.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies the process (peer) that generated an operation. Ties between
@@ -103,6 +111,93 @@ impl LamportClock {
     }
 }
 
+/// A per-replica high-water mark over *contiguously* observed operation
+/// counters — the document's causal frontier.
+///
+/// The vector only advances a replica's entry when the observed counter
+/// is the direct successor of the current mark ([`VersionVector::observe`]
+/// returns `false` on a gap and records nothing). That conservative rule
+/// keeps `contains` sound as a lower bound in both directions: an id the
+/// vector contains has definitely been observed, so it can substitute
+/// for an exact applied-set membership test, while ids above the mark
+/// fall through to the caller's exact bookkeeping.
+///
+/// Counter `0` is reserved for [`OpId::root`] (state hydrated from the
+/// committed ledger, causally before everything) and is always
+/// contained.
+///
+/// # Examples
+///
+/// ```
+/// use fabriccrdt_jsoncrdt::{OpId, ReplicaId, VersionVector};
+///
+/// let mut frontier = VersionVector::new();
+/// assert!(frontier.observe(OpId::new(1, ReplicaId(3))));
+/// assert!(frontier.observe(OpId::new(2, ReplicaId(3))));
+/// assert!(frontier.contains(OpId::new(1, ReplicaId(3))));
+/// // A gap is reported, not recorded.
+/// assert!(!frontier.observe(OpId::new(9, ReplicaId(3))));
+/// assert!(!frontier.contains(OpId::new(9, ReplicaId(3))));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionVector {
+    seen: BTreeMap<ReplicaId, u64>,
+}
+
+impl VersionVector {
+    /// An empty frontier (contains only [`OpId::root`]).
+    pub fn new() -> Self {
+        VersionVector::default()
+    }
+
+    /// Whether `id` is at or below this frontier. Sound: `true` implies
+    /// the id was observed (contiguously), never the converse.
+    pub fn contains(&self, id: OpId) -> bool {
+        id.counter <= self.entry(id.replica)
+    }
+
+    /// Records `id` if it is at or directly above the replica's mark.
+    /// Returns `false` — recording nothing — when `id.counter` would
+    /// leave a gap; the caller should then fall back to exact tracking.
+    pub fn observe(&mut self, id: OpId) -> bool {
+        if id.counter == 0 {
+            return true;
+        }
+        let slot = self.seen.entry(id.replica).or_insert(0);
+        if id.counter <= *slot {
+            true
+        } else if id.counter == *slot + 1 {
+            *slot = id.counter;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Highest contiguously observed counter for `replica` (0 if none).
+    pub fn entry(&self, replica: ReplicaId) -> u64 {
+        self.seen.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// Whether every id contained in `other` is also contained here.
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        other
+            .seen
+            .iter()
+            .all(|(replica, counter)| self.entry(*replica) >= *counter)
+    }
+
+    /// Number of replicas with a non-zero mark.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no replica has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +252,51 @@ mod tests {
     fn display_forms() {
         assert_eq!(OpId::new(3, ReplicaId(4)).to_string(), "3@r4");
         assert_eq!(ReplicaId(9).to_string(), "r9");
+    }
+
+    #[test]
+    fn version_vector_contiguous_observation() {
+        let mut v = VersionVector::new();
+        assert!(v.observe(OpId::new(1, ReplicaId(1))));
+        assert!(v.observe(OpId::new(2, ReplicaId(1))));
+        assert!(v.observe(OpId::new(1, ReplicaId(2))));
+        assert!(v.contains(OpId::new(2, ReplicaId(1))));
+        assert!(!v.contains(OpId::new(3, ReplicaId(1))));
+        assert_eq!(v.entry(ReplicaId(1)), 2);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn version_vector_rejects_gaps_without_recording() {
+        let mut v = VersionVector::new();
+        assert!(v.observe(OpId::new(1, ReplicaId(1))));
+        assert!(!v.observe(OpId::new(5, ReplicaId(1))));
+        assert_eq!(v.entry(ReplicaId(1)), 1);
+        // Re-observing at or below the mark is idempotent.
+        assert!(v.observe(OpId::new(1, ReplicaId(1))));
+        assert_eq!(v.entry(ReplicaId(1)), 1);
+    }
+
+    #[test]
+    fn version_vector_root_always_contained() {
+        let mut v = VersionVector::new();
+        assert!(v.contains(OpId::root()));
+        assert!(v.observe(OpId::root()));
+        assert!(v.is_empty(), "root observation records nothing");
+    }
+
+    #[test]
+    fn version_vector_dominates_is_pointwise() {
+        let mut a = VersionVector::new();
+        let mut b = VersionVector::new();
+        for c in 1..=3 {
+            a.observe(OpId::new(c, ReplicaId(1)));
+        }
+        b.observe(OpId::new(1, ReplicaId(1)));
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        b.observe(OpId::new(1, ReplicaId(2)));
+        assert!(!a.dominates(&b));
+        assert!(a.dominates(&VersionVector::new()));
     }
 }

@@ -32,7 +32,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::clock::{LamportClock, OpId, ReplicaId};
+use crate::clock::{LamportClock, OpId, ReplicaId, VersionVector};
 use crate::json::Value;
 use crate::op::{Cursor, CursorElement, Deps, ItemKey, Mutation, Operation};
 use crate::work::WorkStats;
@@ -128,6 +128,9 @@ pub enum DocError {
     /// An `Assign`, `MakeList` or `Delete`-of-register mutation targeted
     /// the document head, which is always a map.
     MutationAtHead,
+    /// [`JsonCrdt::merge`] needs the source document's operation history,
+    /// but it was constructed without one (see [`JsonCrdt::with_history`]).
+    MissingHistory,
 }
 
 impl fmt::Display for DocError {
@@ -136,6 +139,9 @@ impl fmt::Display for DocError {
             DocError::RootNotMap => write!(f, "merge source must be a JSON map"),
             DocError::MutationAtHead => {
                 write!(f, "mutation with an empty cursor targets the document head")
+            }
+            DocError::MissingHistory => {
+                write!(f, "merge source keeps no operation history")
             }
         }
     }
@@ -189,6 +195,20 @@ pub struct JsonCrdt {
     /// merged, so repeated merges of the same schema ("readings",
     /// "deviceID", …) reuse the allocation across operations.
     interned: BTreeSet<Arc<str>>,
+    /// Causal frontier: per-replica high-water mark over the applied
+    /// set. Checked before the exact `applied` set on the apply hot
+    /// path, and used by [`JsonCrdt::merge`] to skip the prefix of the
+    /// source history this document has already applied.
+    frontier: VersionVector,
+    /// Whether `frontier` covers the applied set *exactly* (every
+    /// applied op was observed contiguously). A counter gap — possible
+    /// only for hand-fed foreign operations, never for merge chains —
+    /// clears this, and `merge` then falls back to full replay.
+    frontier_exact: bool,
+    /// Applied operations in application order, kept only for documents
+    /// built by [`JsonCrdt::with_history`] (it is what `merge` replays).
+    /// `None` avoids the per-op clone on the block-validation hot path.
+    history: Option<Vec<Operation>>,
 }
 
 impl JsonCrdt {
@@ -202,6 +222,19 @@ impl JsonCrdt {
             pending: Vec::new(),
             work: WorkStats::new(),
             interned: BTreeSet::new(),
+            frontier: VersionVector::new(),
+            frontier_exact: true,
+            history: None,
+        }
+    }
+
+    /// Like [`JsonCrdt::new`], but the document also records every
+    /// applied operation in application order, making it a valid source
+    /// for [`JsonCrdt::merge`].
+    pub fn with_history(replica: ReplicaId) -> Self {
+        JsonCrdt {
+            history: Some(Vec::new()),
+            ..JsonCrdt::new(replica)
         }
     }
 
@@ -237,6 +270,26 @@ impl JsonCrdt {
         self.work
     }
 
+    /// The document's causal frontier (per-replica high-water marks
+    /// over contiguously applied operation counters).
+    pub fn frontier(&self) -> &VersionVector {
+        &self.frontier
+    }
+
+    /// Whether the frontier covers the applied set exactly. While true,
+    /// [`JsonCrdt::merge`] can skip already-applied prefixes by frontier
+    /// comparison alone; once false it replays full histories (still
+    /// correct — application is idempotent).
+    pub fn frontier_is_exact(&self) -> bool {
+        self.frontier_exact
+    }
+
+    /// Applied operations in application order, if this document records
+    /// them (see [`JsonCrdt::with_history`]).
+    pub fn history(&self) -> Option<&[Operation]> {
+        self.history.as_deref()
+    }
+
     /// Returns and resets the accumulated work counters.
     pub fn take_work(&mut self) -> WorkStats {
         std::mem::take(&mut self.work)
@@ -250,16 +303,56 @@ impl JsonCrdt {
     /// Returns [`DocError::MutationAtHead`] for a non-`MakeMap`/`Delete`
     /// mutation with an empty cursor.
     pub fn apply(&mut self, op: Operation) -> Result<ApplyOutcome, DocError> {
-        if self.applied.contains(&op.id) {
+        // Frontier first: for the merge-chain hot path (one replica,
+        // contiguous counters) this replaces the `BTreeSet` probes with
+        // an O(1) integer compare. The frontier is a sound lower bound
+        // of the applied set, so falling through to the exact set is
+        // only ever needed above the high-water mark.
+        if self.seen(op.id) {
             return Ok(ApplyOutcome::AlreadyApplied);
         }
-        if !op.deps.iter().all(|d| self.applied.contains(d)) {
+        if !op.deps.iter().all(|d| self.seen(*d)) {
             self.pending.push(op);
             return Ok(ApplyOutcome::Buffered);
         }
         self.apply_ready(op)?;
         self.drain_pending()?;
         Ok(ApplyOutcome::Applied)
+    }
+
+    /// Whether `id` has been applied (frontier fast path, exact set as
+    /// fallback).
+    fn seen(&self, id: OpId) -> bool {
+        (id.counter > 0 && self.frontier.contains(id)) || self.applied.contains(&id)
+    }
+
+    /// Merges another document into this one by replaying its operation
+    /// history — incremental when possible: while this document's
+    /// frontier is exact, every operation at or below the frontier is
+    /// skipped outright instead of being re-applied and rejected as a
+    /// duplicate. On an inexact frontier the whole history is replayed
+    /// (idempotence makes that correct, just slower).
+    ///
+    /// Returns the work performed (skipped operations cost nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocError::MissingHistory`] if `other` was not built
+    /// with [`JsonCrdt::with_history`], or propagates the first
+    /// application error.
+    pub fn merge(&mut self, other: &JsonCrdt) -> Result<WorkStats, DocError> {
+        let log = other.history.as_deref().ok_or(DocError::MissingHistory)?;
+        let before = self.work;
+        for op in log {
+            if self.frontier_exact && self.frontier.contains(op.id) && op.id.counter > 0 {
+                continue;
+            }
+            self.apply(op.clone())?;
+        }
+        Ok(WorkStats {
+            ops_applied: self.work.ops_applied - before.ops_applied,
+            nodes_visited: self.work.nodes_visited - before.nodes_visited,
+        })
     }
 
     /// Merges a plain JSON object into the document — **Algorithm 2** of
@@ -371,22 +464,28 @@ impl JsonCrdt {
 
     /// Applies an operation whose dependencies are satisfied.
     fn apply_ready(&mut self, op: Operation) -> Result<(), DocError> {
+        if op.cursor.is_empty() && !matches!(op.mutation, Mutation::MakeMap | Mutation::Delete) {
+            return Err(DocError::MutationAtHead);
+        }
+        // Past the only failure point: the operation will take effect,
+        // so it belongs to the replayable history (if recorded).
+        if let Some(history) = &mut self.history {
+            history.push(op.clone());
+        }
         if op.cursor.is_empty() {
-            return match op.mutation {
+            match op.mutation {
                 Mutation::MakeMap => {
                     // The head is always a map; materializing it is a no-op.
-                    self.finish_apply(op.id);
-                    Ok(())
                 }
                 Mutation::Delete => {
                     for child in self.root.children.values_mut() {
                         child.tombstone_all();
                     }
-                    self.finish_apply(op.id);
-                    Ok(())
                 }
-                _ => Err(DocError::MutationAtHead),
-            };
+                _ => unreachable!("checked above"),
+            }
+            self.finish_apply(op.id);
+            return Ok(());
         }
 
         // Descend the cursor, creating intermediate nodes and recording
@@ -420,6 +519,11 @@ impl JsonCrdt {
 
     fn finish_apply(&mut self, id: OpId) {
         self.applied.insert(id);
+        if !self.frontier.observe(id) {
+            // A counter gap: the frontier no longer mirrors the applied
+            // set exactly, so merges fall back to full replay.
+            self.frontier_exact = false;
+        }
         self.clock.observe(id);
         self.work.ops_applied += 1;
     }
@@ -863,5 +967,112 @@ mod tests {
         // A subsequent local merge must stamp ids above 50.
         doc.merge_value(&v(r#"{"y":"1"}"#)).unwrap();
         assert!(doc.clock().current() > 50);
+    }
+
+    #[test]
+    fn frontier_tracks_merge_chains_exactly() {
+        let mut doc = JsonCrdt::new(ReplicaId(3));
+        doc.merge_value(&v(r#"{"a":"1","b":{"c":"2"}}"#)).unwrap();
+        assert!(doc.frontier_is_exact());
+        assert_eq!(
+            doc.frontier().entry(ReplicaId(3)),
+            doc.clock().current(),
+            "merge chains observe every counter contiguously"
+        );
+        assert_eq!(doc.frontier().len(), 1);
+    }
+
+    #[test]
+    fn frontier_gap_from_foreign_op_clears_exactness() {
+        let mut doc = JsonCrdt::new(ReplicaId(1));
+        let mut cursor = Cursor::new();
+        cursor.push_key("k");
+        doc.apply(Operation::new(
+            OpId::new(50, ReplicaId(7)),
+            vec![],
+            cursor,
+            Mutation::Assign("x".into()),
+        ))
+        .unwrap();
+        assert!(!doc.frontier_is_exact());
+        assert!(!doc.frontier().contains(OpId::new(50, ReplicaId(7))));
+    }
+
+    #[test]
+    fn merge_requires_history() {
+        let plain = JsonCrdt::new(ReplicaId(1));
+        let mut dst = JsonCrdt::new(ReplicaId(2));
+        assert_eq!(dst.merge(&plain), Err(DocError::MissingHistory));
+    }
+
+    #[test]
+    fn merge_replays_history_into_empty_doc() {
+        let mut src = JsonCrdt::with_history(ReplicaId(1));
+        src.merge_value(&v(r#"{"deviceID":"d1","readings":["51.0","49.5"]}"#))
+            .unwrap();
+        let mut dst = JsonCrdt::new(ReplicaId(2));
+        let work = dst.merge(&src).unwrap();
+        assert_eq!(dst.to_value(), src.to_value());
+        assert_eq!(work.ops_applied, src.applied_len() as u64);
+    }
+
+    #[test]
+    fn incremental_merge_applies_only_ops_beyond_frontier() {
+        let mut src = JsonCrdt::with_history(ReplicaId(1));
+        src.merge_value(&v(r#"{"readings":["1","2"]}"#)).unwrap();
+        // A replica that has seen everything so far…
+        let mut dst = src.clone();
+        let ops_shared = src.applied_len();
+        // …then the source advances.
+        src.merge_value(&v(r#"{"readings":["3"]}"#)).unwrap();
+        let work = dst.merge(&src).unwrap();
+        assert_eq!(dst.to_value(), src.to_value());
+        assert_eq!(
+            work.ops_applied,
+            (src.applied_len() - ops_shared) as u64,
+            "ops at or below the frontier are skipped, not re-applied"
+        );
+        // Re-merging an already-covered source is free.
+        assert_eq!(dst.merge(&src).unwrap().ops_applied, 0);
+    }
+
+    #[test]
+    fn inexact_frontier_falls_back_to_full_replay_correctly() {
+        let mut src = JsonCrdt::with_history(ReplicaId(1));
+        src.merge_value(&v(r#"{"a":"1"}"#)).unwrap();
+        let mut dst = JsonCrdt::new(ReplicaId(2));
+        // Punch a gap into dst's frontier first.
+        let mut cursor = Cursor::new();
+        cursor.push_key("foreign");
+        dst.apply(Operation::new(
+            OpId::new(40, ReplicaId(9)),
+            vec![],
+            cursor,
+            Mutation::Assign("x".into()),
+        ))
+        .unwrap();
+        assert!(!dst.frontier_is_exact());
+        dst.merge(&src).unwrap();
+        let merged = dst.to_value();
+        assert_eq!(merged.get("a").unwrap().as_str(), Some("1"));
+        assert_eq!(merged.get("foreign").unwrap().as_str(), Some("x"));
+        // Idempotent under replay even without the frontier fast path.
+        let before = dst.to_value();
+        dst.merge(&src).unwrap();
+        assert_eq!(dst.to_value(), before);
+    }
+
+    #[test]
+    fn history_records_application_order_and_survives_clone() {
+        let mut doc = JsonCrdt::with_history(ReplicaId(5));
+        doc.merge_value(&v(r#"{"a":"1","b":"2"}"#)).unwrap();
+        let history = doc.history().expect("history enabled");
+        assert_eq!(history.len(), doc.applied_len());
+        // Application order == counter order for a lone merge chain.
+        for (i, op) in history.iter().enumerate() {
+            assert_eq!(op.id.counter, (i + 1) as u64);
+            assert_eq!(op.replica(), ReplicaId(5));
+        }
+        assert!(JsonCrdt::new(ReplicaId(5)).history().is_none());
     }
 }

@@ -56,7 +56,7 @@ pub mod op_codec;
 pub mod text;
 pub mod work;
 
-pub use clock::{LamportClock, OpId, ReplicaId};
+pub use clock::{LamportClock, OpId, ReplicaId, VersionVector};
 pub use crdts::{GCounter, GSet, LwwRegister, OrSet, PnCounter};
 pub use doc::JsonCrdt;
 pub use editor::Editor;

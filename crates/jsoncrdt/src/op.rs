@@ -274,6 +274,12 @@ impl Operation {
             mutation,
         }
     }
+
+    /// The replica that generated this operation — the coordinate the
+    /// document's version-vector frontier is indexed by.
+    pub fn replica(&self) -> crate::clock::ReplicaId {
+        self.id.replica
+    }
 }
 
 impl fmt::Display for Operation {

@@ -18,6 +18,7 @@
 //! CRDT transaction goes unvalidated.
 
 use crate::block::{Block, ValidationCode};
+use crate::transaction::Transaction;
 use crate::version::Height;
 use crate::worldstate::WorldState;
 
@@ -117,6 +118,98 @@ pub fn validate_and_commit(
 
     block.validation_codes = codes;
     stats
+}
+
+/// World-state access for a conflict chain's validator, by shared
+/// reference: implementations use interior mutability (per-shard locks)
+/// so disjoint chains on different threads can commit concurrently.
+pub trait ChainState {
+    /// Current version of `key`, if present.
+    fn version(&self, key: &str) -> Option<Height>;
+    /// Stores `key = value` at `version`.
+    fn put(&self, key: String, value: Vec<u8>, version: Height);
+    /// Removes `key`.
+    fn delete(&self, key: &str);
+}
+
+/// Outcome of validating one conflict chain: per-transaction codes
+/// (tagged with the block-global transaction index) plus work counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChainCommit {
+    /// `(block index, code)` for every transaction in the chain, in
+    /// chain (= block) order.
+    pub codes: Vec<(usize, ValidationCode)>,
+    /// Work counters for this chain.
+    pub stats: CommitStats,
+}
+
+/// [`validate_and_commit`] restricted to one conflict chain.
+///
+/// `chain` holds block-global transaction indices in ascending block
+/// order; the scheduler guarantees every key any of them reads or
+/// writes is touched *only* by transactions of this chain, so the
+/// per-key version sequence this chain observes through `state` is
+/// exactly the one the sequential pass would produce. Write heights use
+/// the block-global index (`Height::new(block_number, i)`), read checks
+/// count-then-break on first mismatch, and CRDT transactions skip the
+/// comparison but pay the lookup — instruction-for-instruction the
+/// sequential loop above.
+///
+/// `value_for(i, key)` supplies an override for the written bytes
+/// (the converged CRDT value of Algorithm 1's second pass, which in the
+/// sequential path has already been rewritten into the transaction by
+/// the time MVCC runs); `None` commits the transaction's own bytes.
+pub fn validate_chain<S: ChainState>(
+    block_number: u64,
+    transactions: &[Transaction],
+    chain: &[usize],
+    state: &S,
+    crdt_aware: bool,
+    mut value_for: impl FnMut(usize, &str) -> Option<Vec<u8>>,
+) -> ChainCommit {
+    let mut commit = ChainCommit::default();
+    for &tx_num in chain {
+        let tx = &transactions[tx_num];
+        let is_crdt_tx = crdt_aware && tx.rwset.writes.has_crdt_writes();
+
+        let mut valid = true;
+        for (key, entry) in tx.rwset.reads.iter() {
+            commit.stats.reads_checked += 1;
+            let current = state.version(key);
+            if !is_crdt_tx && current != entry.version {
+                valid = false;
+                break;
+            }
+        }
+
+        if !valid {
+            commit.codes.push((tx_num, ValidationCode::MvccConflict));
+            continue;
+        }
+
+        let height = Height::new(block_number, tx_num as u64);
+        let mut wrote_crdt = false;
+        for (key, entry) in tx.rwset.writes.iter() {
+            commit.stats.writes_applied += 1;
+            if entry.is_delete {
+                state.delete(key);
+            } else {
+                let value = value_for(tx_num, key).unwrap_or_else(|| entry.value.clone());
+                state.put(key.clone(), value, height);
+            }
+            wrote_crdt |= entry.is_crdt;
+        }
+        commit.stats.successes += 1;
+        commit.codes.push((
+            tx_num,
+            if crdt_aware && wrote_crdt {
+                ValidationCode::ValidMerged
+            } else {
+                ValidationCode::Valid
+            },
+        ));
+    }
+    commit
 }
 
 #[cfg(test)]
@@ -347,5 +440,124 @@ mod tests {
         assert_eq!(stats.reads_checked, 2);
         assert_eq!(stats.writes_applied, 1);
         assert_eq!(stats.successes, 1);
+    }
+
+    /// Test-only [`ChainState`] over a plain [`WorldState`].
+    struct CellState(std::cell::RefCell<WorldState>);
+
+    impl CellState {
+        fn new(state: WorldState) -> Self {
+            CellState(std::cell::RefCell::new(state))
+        }
+    }
+
+    impl ChainState for CellState {
+        fn version(&self, key: &str) -> Option<Height> {
+            self.0.borrow().version(key)
+        }
+        fn put(&self, key: String, value: Vec<u8>, version: Height) {
+            self.0.borrow_mut().put(key, value, version);
+        }
+        fn delete(&self, key: &str) {
+            self.0.borrow_mut().delete(key);
+        }
+    }
+
+    /// A single chain spanning the whole block reproduces the
+    /// sequential pass exactly: same codes, stats, and end state.
+    #[test]
+    fn full_chain_matches_sequential_pass() {
+        let seed = {
+            let mut s = WorldState::new();
+            s.put("hot".into(), b"0".to_vec(), Height::new(1, 0));
+            s
+        };
+        let make = |n: u64| {
+            let mut rw = ReadWriteSet::new();
+            rw.reads.record("hot", Some(Height::new(1, 0)));
+            rw.writes.put("hot", vec![n as u8]);
+            tx(n, rw)
+        };
+        let txs: Vec<Transaction> = (0..5).map(make).collect();
+
+        let mut seq_state = seed.clone();
+        let mut block = Block::assemble(2, [0; 32], txs.clone());
+        let seq_stats = validate_and_commit(&mut block, &mut seq_state, &[], false);
+
+        let chain_state = CellState::new(seed);
+        let chain: Vec<usize> = (0..txs.len()).collect();
+        let commit = validate_chain(2, &txs, &chain, &chain_state, false, |_, _| None);
+
+        assert_eq!(commit.stats, seq_stats);
+        assert_eq!(
+            commit.codes.iter().map(|(_, c)| *c).collect::<Vec<_>>(),
+            block.validation_codes
+        );
+        assert_eq!(chain_state.0.into_inner(), seq_state);
+    }
+
+    /// Disjoint chains validated separately produce the sequential end
+    /// state, and heights keep the block-global transaction index.
+    #[test]
+    fn disjoint_chains_commit_at_global_heights() {
+        let make = |n: u64| {
+            let mut rw = ReadWriteSet::new();
+            rw.writes.put(format!("k{n}"), vec![n as u8]);
+            tx(n, rw)
+        };
+        let txs: Vec<Transaction> = (0..4).map(make).collect();
+        let state = CellState::new(WorldState::new());
+        // Chains {0, 2} and {1, 3} — interleaved on purpose.
+        let a = validate_chain(7, &txs, &[0, 2], &state, false, |_, _| None);
+        let b = validate_chain(7, &txs, &[1, 3], &state, false, |_, _| None);
+        assert_eq!(a.stats.successes + b.stats.successes, 4);
+        let final_state = state.0.into_inner();
+        for n in 0..4u64 {
+            assert_eq!(
+                final_state.version(&format!("k{n}")),
+                Some(Height::new(7, n)),
+                "height uses the block-global index"
+            );
+        }
+    }
+
+    /// `value_for` substitutes converged CRDT bytes for the raw payload
+    /// (the sequential pass sees rewritten transactions instead).
+    #[test]
+    fn value_override_replaces_written_bytes() {
+        let mut rw = ReadWriteSet::new();
+        rw.writes.put_crdt("doc", b"raw".to_vec());
+        let txs = vec![tx(1, rw)];
+        let state = CellState::new(WorldState::new());
+        let commit = validate_chain(3, &txs, &[0], &state, true, |i, key| {
+            assert_eq!((i, key), (0, "doc"));
+            Some(b"merged".to_vec())
+        });
+        assert_eq!(commit.codes, vec![(0, ValidationCode::ValidMerged)]);
+        assert_eq!(state.0.into_inner().value("doc"), Some(&b"merged"[..]));
+    }
+
+    /// Chain validation preserves count-then-break and the CRDT skip.
+    #[test]
+    fn chain_read_check_semantics_match_sequential() {
+        let mut seed = WorldState::new();
+        seed.put("a".into(), b"1".to_vec(), Height::new(1, 0));
+        seed.put("b".into(), b"2".to_vec(), Height::new(1, 1));
+        // Stale read of "a" (first in key order) then a read of "b":
+        // the break must stop counting after the first mismatch.
+        let mut rw = ReadWriteSet::new();
+        rw.reads.record("a", Some(Height::new(0, 0)));
+        rw.reads.record("b", Some(Height::new(1, 1)));
+        rw.writes.put("c", b"x".to_vec());
+        let txs = vec![tx(1, rw)];
+
+        let state = CellState::new(seed.clone());
+        let commit = validate_chain(2, &txs, &[0], &state, false, |_, _| None);
+        assert_eq!(commit.codes, vec![(0, ValidationCode::MvccConflict)]);
+        assert_eq!(commit.stats.reads_checked, 1);
+
+        let mut block = Block::assemble(2, [0; 32], txs);
+        let seq = validate_and_commit(&mut block, &mut seed.clone(), &[], false);
+        assert_eq!(commit.stats, seq);
     }
 }

@@ -26,7 +26,7 @@
 //! ```
 
 use crate::experiment::{ExperimentConfig, ExperimentResult};
-use crate::report::{latency_cell, render_table};
+use crate::report::{cache_cell, latency_cell, render_table};
 
 /// One configured round.
 #[derive(Debug, Clone)]
@@ -133,6 +133,7 @@ impl BenchmarkReport {
                     format!("{:.3}", r.p95_latency_secs),
                     r.successful.to_string(),
                     r.failed.to_string(),
+                    cache_cell(r.decode_cache),
                 ]
             })
             .collect();
@@ -149,6 +150,7 @@ impl BenchmarkReport {
                     "p95-lat(s)",
                     "ok",
                     "failed",
+                    "cache-hit%",
                 ],
                 &rows,
             )
