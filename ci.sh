@@ -43,4 +43,17 @@ grep -q '"finalize_speedup_at_4_workers"' BENCH_commit_path.json
 grep -q '"pre_validate_secs"' BENCH_commit_path.json
 grep -q '"finalize_secs"' BENCH_commit_path.json
 
+# The catch-up storage bench asserts snapshot transfers beat full
+# replay at the 100-block chain and that the append-only-file backend
+# is byte-identical to the in-memory one; the gate checks the artifact.
+echo "==> catchup_storage smoke run + artifact check"
+rm -f BENCH_catchup_storage.json
+cargo run --release -q -p fabriccrdt-bench --bin catchup_storage -- --txs 300
+test -s BENCH_catchup_storage.json
+grep -q '"bench": "catchup_storage"' BENCH_catchup_storage.json
+grep -q '"replay_bytes"' BENCH_catchup_storage.json
+grep -q '"snapshot_bytes"' BENCH_catchup_storage.json
+grep -q '"snapshot_saving_at_100_blocks"' BENCH_catchup_storage.json
+grep -q '"used_snapshot": true' BENCH_catchup_storage.json
+
 echo "==> OK"

@@ -103,12 +103,20 @@ fn report(label: &str, network: &GossipNetwork<CrdtValidator>, metrics: &Dissemi
         println!("  catch-up episodes: none");
     } else {
         for episode in &metrics.catch_up {
+            let end = if episode.is_abandoned() {
+                "abandoned (crash)"
+            } else if episode.used_snapshot() {
+                "caught up via snapshot"
+            } else {
+                "caught up via replay"
+            };
             println!(
-                "  catch-up: peer {} behind at {:.1} ms, caught up at {:.1} ms ({:.1} ms)",
+                "  catch-up: peer {} behind at {:.1} ms, {end} at {:.1} ms ({:.1} ms, {} bytes shipped)",
                 episode.peer,
                 episode.from.as_millis_f64(),
-                episode.caught_up_at.as_millis_f64(),
+                episode.ended_at().as_millis_f64(),
                 episode.duration().as_millis_f64(),
+                episode.bytes_shipped,
             );
         }
     }

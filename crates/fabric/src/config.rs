@@ -310,6 +310,14 @@ pub struct PipelineConfig {
     /// `fabriccrdt-ordering` crate) to replicate the orderer across a
     /// consensus cluster instead.
     pub ordering: Option<RaftConfig>,
+    /// Durable-storage configuration for gossip-layer peers. `None`
+    /// (the default everywhere) keeps ledgers purely in memory with no
+    /// snapshots — byte-for-byte the seed behaviour; `Some` attaches a
+    /// [`crate::storage::DurableLedger`] per peer (in-memory or
+    /// append-only-file backend), takes periodic snapshots, optionally
+    /// GCs history below the cluster-acknowledged frontier, and lets
+    /// anti-entropy ship snapshots to far-behind peers.
+    pub storage: Option<crate::storage::StorageConfig>,
     /// Committing-peer validation pipeline. The default,
     /// [`ValidationPipeline::Sequential`], is byte-for-byte the seed
     /// commit path; `Parallel { workers }` fans endorsement/signature
@@ -337,8 +345,16 @@ impl PipelineConfig {
             gossip: None,
             faults: FaultConfig::none(),
             ordering: None,
+            storage: None,
             validation: ValidationPipeline::Sequential,
         }
+    }
+
+    /// Attaches durable peer storage (takes effect only with gossip
+    /// delivery; see [`PipelineConfig::storage`]).
+    pub fn with_storage(mut self, storage: crate::storage::StorageConfig) -> Self {
+        self.storage = Some(storage);
+        self
     }
 
     /// Fans committing-peer validation out over a persistent pool of

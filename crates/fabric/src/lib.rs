@@ -35,6 +35,9 @@
 //!   through.
 //! - [`peer`]: the committing peer: duplicate detection, endorsement
 //!   verification, validator dispatch, staged commits.
+//! - [`storage`]: durable peer storage — backend selection, snapshot
+//!   cadence, frontier-driven GC coordination and crash recovery over
+//!   `fabriccrdt_ledger::store`.
 //! - [`metrics`]: per-transaction lifecycle records and run metrics.
 //! - [`simulation`]: the event-driven pipeline tying it all together.
 //!
@@ -60,6 +63,7 @@ pub mod reorder;
 pub mod schedule;
 pub mod simulation;
 pub mod state;
+pub mod storage;
 pub mod validator;
 
 pub use chaincode::{Chaincode, ChaincodeError, ChaincodeStub, ExecWork};

@@ -51,24 +51,84 @@ impl TxRecord {
     }
 }
 
+/// How a catch-up episode ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatchUpOutcome {
+    /// The peer replayed the missing block suffix block by block
+    /// (classic anti-entropy state transfer).
+    Replay {
+        /// When it reached the height the rest of the network had when
+        /// it fell behind (or later, if blocks kept arriving).
+        caught_up_at: SimTime,
+    },
+    /// The peer installed a donor snapshot, then replayed only the
+    /// post-snapshot suffix.
+    Snapshot {
+        /// When it reached the target height.
+        caught_up_at: SimTime,
+        /// Bytes of the installed snapshot (also included in the
+        /// episode's [`CatchUpEpisode::bytes_shipped`]).
+        snapshot_bytes: u64,
+    },
+    /// The peer crashed again before reaching the target height; the
+    /// episode ends at the crash without catching up. Counting these
+    /// keeps catch-up statistics honest under repeated crashes.
+    Abandoned {
+        /// When the peer crashed mid-catch-up.
+        at: SimTime,
+    },
+}
+
 /// One catch-up episode: a peer that fell behind (crash restart or
-/// healed partition) and the time it took gossip anti-entropy to bring
-/// it back to the network's committed height.
+/// healed partition) and what it took gossip anti-entropy to bring it
+/// back to the network's committed height — or the crash that cut the
+/// attempt short.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CatchUpEpisode {
     /// Flattened peer index.
     pub peer: usize,
     /// When the peer rejoined (restart or heal time).
     pub from: SimTime,
-    /// When it reached the height the rest of the network had at
-    /// `from` (or later, if blocks kept arriving).
-    pub caught_up_at: SimTime,
+    /// Total bytes shipped to the peer during the episode (snapshot +
+    /// block transfer payloads).
+    pub bytes_shipped: u64,
+    /// How the episode ended.
+    pub outcome: CatchUpOutcome,
 }
 
 impl CatchUpEpisode {
-    /// Rejoin-to-caught-up duration.
+    /// When the peer reached the target height, or `None` for an
+    /// abandoned episode.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        match self.outcome {
+            CatchUpOutcome::Replay { caught_up_at }
+            | CatchUpOutcome::Snapshot { caught_up_at, .. } => Some(caught_up_at),
+            CatchUpOutcome::Abandoned { .. } => None,
+        }
+    }
+
+    /// When the episode ended, whether by catching up or by crashing.
+    pub fn ended_at(&self) -> SimTime {
+        match self.outcome {
+            CatchUpOutcome::Replay { caught_up_at }
+            | CatchUpOutcome::Snapshot { caught_up_at, .. } => caught_up_at,
+            CatchUpOutcome::Abandoned { at } => at,
+        }
+    }
+
+    /// Rejoin-to-end duration (for abandoned episodes, rejoin-to-crash).
     pub fn duration(&self) -> SimTime {
-        self.caught_up_at.saturating_sub(self.from)
+        self.ended_at().saturating_sub(self.from)
+    }
+
+    /// Whether the episode was cut short by another crash.
+    pub fn is_abandoned(&self) -> bool {
+        matches!(self.outcome, CatchUpOutcome::Abandoned { .. })
+    }
+
+    /// Whether the episode installed a snapshot.
+    pub fn used_snapshot(&self) -> bool {
+        matches!(self.outcome, CatchUpOutcome::Snapshot { .. })
     }
 }
 
@@ -94,7 +154,15 @@ pub struct DisseminationMetrics {
     pub anti_entropy_transfers: u64,
     /// Blocks shipped by anti-entropy state transfer.
     pub anti_entropy_blocks: u64,
-    /// Catch-up episodes after crashes/partitions, in rejoin order.
+    /// Encoded bytes shipped by anti-entropy block transfers.
+    pub anti_entropy_bytes: u64,
+    /// Anti-entropy rounds that shipped a snapshot instead of (or in
+    /// addition to) a block suffix.
+    pub snapshot_transfers: u64,
+    /// Encoded bytes of shipped snapshots (and their frontier deltas).
+    pub snapshot_bytes: u64,
+    /// Catch-up episodes after crashes/partitions, in rejoin order
+    /// (abandoned ones included; see [`CatchUpOutcome::Abandoned`]).
     pub catch_up: Vec<CatchUpEpisode>,
 }
 
@@ -121,10 +189,13 @@ impl DisseminationMetrics {
         self.redundant_messages as f64 / received as f64
     }
 
-    /// The longest catch-up episode, if any peer had to catch up.
+    /// The longest *completed* catch-up episode, if any peer caught up.
+    /// Abandoned episodes are excluded: their duration measures time to
+    /// the next crash, not time to catch up.
     pub fn worst_catch_up(&self) -> Option<CatchUpEpisode> {
         self.catch_up
             .iter()
+            .filter(|e| !e.is_abandoned())
             .copied()
             .max_by_key(CatchUpEpisode::duration)
     }
@@ -392,20 +463,44 @@ mod tests {
                 CatchUpEpisode {
                     peer: 1,
                     from: SimTime::from_secs(1),
-                    caught_up_at: SimTime::from_secs(3),
+                    bytes_shipped: 4096,
+                    outcome: CatchUpOutcome::Replay {
+                        caught_up_at: SimTime::from_secs(3),
+                    },
                 },
                 CatchUpEpisode {
                     peer: 2,
                     from: SimTime::from_secs(1),
-                    caught_up_at: SimTime::from_secs(2),
+                    bytes_shipped: 1024,
+                    outcome: CatchUpOutcome::Snapshot {
+                        caught_up_at: SimTime::from_secs(2),
+                        snapshot_bytes: 900,
+                    },
+                },
+                // Abandoned long after the others started: must not win
+                // worst_catch_up even though its span is the longest.
+                CatchUpEpisode {
+                    peer: 3,
+                    from: SimTime::from_secs(1),
+                    bytes_shipped: 0,
+                    outcome: CatchUpOutcome::Abandoned {
+                        at: SimTime::from_secs(9),
+                    },
                 },
             ],
+            ..DisseminationMetrics::default()
         };
         // 10 sent − 2 dropped + 1 duplicate = 9 received, 3 redundant.
         assert!((d.redundancy_ratio() - 3.0 / 9.0).abs() < 1e-9);
         let worst = d.worst_catch_up().unwrap();
         assert_eq!(worst.peer, 1);
         assert_eq!(worst.duration(), SimTime::from_secs(2));
+        assert_eq!(worst.completed_at(), Some(SimTime::from_secs(3)));
+        assert!(!worst.used_snapshot());
+        assert!(d.catch_up[1].used_snapshot());
+        assert!(d.catch_up[2].is_abandoned());
+        assert_eq!(d.catch_up[2].completed_at(), None);
+        assert_eq!(d.catch_up[2].duration(), SimTime::from_secs(8));
         assert!((d.propagation_summary().mean().unwrap() - 0.003).abs() < 1e-9);
         assert_eq!(DisseminationMetrics::default().redundancy_ratio(), 0.0);
         assert!(DisseminationMetrics::default().worst_catch_up().is_none());

@@ -1,0 +1,896 @@
+//! Durable peer storage, snapshot cadence and frontier-driven GC.
+//!
+//! This is the fabric-layer orchestration above the raw
+//! [`LedgerStore`] backends of `fabriccrdt_ledger::store`:
+//!
+//! - [`StorageConfig`] / [`StorageBackend`] select a backend (in-memory
+//!   or append-only file) and set the snapshot cadence and whether
+//!   frontier-driven GC runs — attached to a pipeline via
+//!   [`PipelineConfig::with_storage`](crate::config::PipelineConfig::with_storage).
+//! - [`DurableLedger`] wraps one peer's store: it appends every
+//!   committed block, writes a [`LedgerSnapshot`] every
+//!   `snapshot_interval` blocks, compacts records the latest snapshot
+//!   covers, and [`DurableLedger::recover`]s a [`Peer`] after a crash.
+//! - [`AckFrontier`] is the cluster-wide GC coordination point: a
+//!   version vector mapping each peer to the block height it has
+//!   contiguously committed (acknowledged via gossip). History at or
+//!   below the *minimum* acknowledged height is merged everywhere, so
+//!   [`Peer::prune_up_to`] and [`DurableLedger::compact_up_to`] may
+//!   drop it without any replica ever needing those operations again.
+//! - [`encode_frontiers`] / [`decode_frontiers`] serialize the per-key
+//!   CRDT merge frontiers ([`Peer::merge_frontiers`]) into the opaque
+//!   `frontiers` component of a [`LedgerSnapshot`].
+//!
+//! Recovery prefers a **full replay** whenever the store retains a
+//! contiguous block run from 1: replaying every block reproduces a
+//! byte-identical ledger (same [`Peer::snapshot`] bytes as a peer that
+//! never crashed). Only when compaction has dropped the prefix does
+//! recovery install the latest snapshot and replay the suffix — then
+//! state, tip hash and frontiers still match, but the encoded chain
+//! resumes at the snapshot anchor instead of genesis.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+use fabriccrdt_jsoncrdt::clock::{OpId, ReplicaId, VersionVector};
+use fabriccrdt_ledger::block::Block;
+use fabriccrdt_ledger::chain::ChainError;
+use fabriccrdt_ledger::codec::DecodeError;
+use fabriccrdt_ledger::store::{
+    blocks_by_number, AofStore, LedgerSnapshot, LedgerStore, MemoryStore, StoreError,
+};
+
+use crate::peer::Peer;
+use crate::policy::EndorsementPolicy;
+use crate::validator::BlockValidator;
+
+/// Frontier-table layout version; bump on layout changes.
+const FRONTIER_FORMAT_VERSION: u8 = 1;
+
+// ------------------------------------------------------------- config
+
+/// Which [`LedgerStore`] backend a peer persists to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Encoded records held in memory — the trait-shaped status quo.
+    Memory,
+    /// One append-only file per peer, `peer-<index>.aof` under `dir`.
+    AppendOnlyFile {
+        /// Directory holding the per-peer files (created on open).
+        dir: PathBuf,
+    },
+}
+
+/// Durable-storage settings for a simulated network's peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// The backend every peer opens.
+    pub backend: StorageBackend,
+    /// Write a snapshot each time a peer's committed height reaches a
+    /// multiple of this; `0` disables snapshots (and therefore GC and
+    /// snapshot catch-up — the store only ever grows).
+    pub snapshot_interval: u64,
+    /// When true, peers prune operation history and compact their
+    /// stores up to the minimum height every replica has acknowledged
+    /// (the [`AckFrontier`] floor).
+    pub gc: bool,
+}
+
+impl StorageConfig {
+    /// In-memory storage, no snapshots, no GC.
+    pub fn memory() -> Self {
+        StorageConfig {
+            backend: StorageBackend::Memory,
+            snapshot_interval: 0,
+            gc: false,
+        }
+    }
+
+    /// Append-only-file storage under `dir`, no snapshots, no GC.
+    pub fn append_only(dir: impl Into<PathBuf>) -> Self {
+        StorageConfig {
+            backend: StorageBackend::AppendOnlyFile { dir: dir.into() },
+            snapshot_interval: 0,
+            gc: false,
+        }
+    }
+
+    /// Sets the snapshot cadence (builder style); see
+    /// [`StorageConfig::snapshot_interval`].
+    pub fn with_snapshot_interval(mut self, every: u64) -> Self {
+        self.snapshot_interval = every;
+        self
+    }
+
+    /// Enables frontier-driven GC (builder style); see
+    /// [`StorageConfig::gc`].
+    pub fn with_gc(mut self, gc: bool) -> Self {
+        self.gc = gc;
+        self
+    }
+}
+
+// ----------------------------------------------------- durable ledger
+
+/// One peer's durable ledger: a [`LedgerStore`] plus the snapshot
+/// cadence and GC switch from [`StorageConfig`], and a cache of the
+/// latest snapshot so catch-up helpers can serve it without re-reading
+/// the store.
+pub struct DurableLedger {
+    store: Box<dyn LedgerStore>,
+    snapshot_interval: u64,
+    gc: bool,
+    latest_snapshot: Option<LedgerSnapshot>,
+}
+
+impl fmt::Debug for DurableLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableLedger")
+            .field("snapshot_interval", &self.snapshot_interval)
+            .field("gc", &self.gc)
+            .field(
+                "latest_snapshot_block",
+                &self.latest_snapshot.as_ref().map(|s| s.last_block),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// A recovered peer plus how recovery got there — used by tests and
+/// the gossip layer's restart path to account for what was replayed.
+#[derive(Debug)]
+pub struct Recovery<V> {
+    /// The rebuilt peer, ready to commit the next block.
+    pub peer: Peer<V>,
+    /// Whether a snapshot was installed (false = full replay from
+    /// genesis, which is byte-identical to never having crashed).
+    pub used_snapshot: bool,
+    /// Block records replayed on top of the starting point.
+    pub replayed_blocks: u64,
+}
+
+/// Error from [`DurableLedger::recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The store could not be read back.
+    Store(StoreError),
+    /// A snapshot component failed to decode.
+    Decode(DecodeError),
+    /// A retained block did not extend the rebuilt chain.
+    Replay(ChainError),
+    /// The retained blocks have a gap the snapshot does not cover:
+    /// block `expected` is missing.
+    MissingBlocks {
+        /// The first block number recovery needed but could not find.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Store(e) => write!(f, "recovery load failed: {e}"),
+            RecoverError::Decode(e) => write!(f, "recovery snapshot corrupt: {e}"),
+            RecoverError::Replay(e) => write!(f, "recovery replay failed: {e:?}"),
+            RecoverError::MissingBlocks { expected } => {
+                write!(f, "recovery missing block {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<StoreError> for RecoverError {
+    fn from(e: StoreError) -> Self {
+        RecoverError::Store(e)
+    }
+}
+
+impl From<DecodeError> for RecoverError {
+    fn from(e: DecodeError) -> Self {
+        RecoverError::Decode(e)
+    }
+}
+
+impl From<ChainError> for RecoverError {
+    fn from(e: ChainError) -> Self {
+        RecoverError::Replay(e)
+    }
+}
+
+impl DurableLedger {
+    /// Opens peer `peer_index`'s store per `config` (creating the AOF
+    /// directory and file as needed) and caches its latest snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the backend cannot be opened or
+    /// its existing records cannot be read back.
+    pub fn open(config: &StorageConfig, peer_index: usize) -> Result<Self, StoreError> {
+        let store: Box<dyn LedgerStore> = match &config.backend {
+            StorageBackend::Memory => Box::new(MemoryStore::new()),
+            StorageBackend::AppendOnlyFile { dir } => {
+                fs::create_dir_all(dir).map_err(|e| StoreError::Io {
+                    op: "create-dir",
+                    message: e.to_string(),
+                })?;
+                Box::new(AofStore::open(dir.join(format!("peer-{peer_index}.aof")))?)
+            }
+        };
+        let latest_snapshot = store.load()?.snapshot;
+        Ok(DurableLedger {
+            store,
+            snapshot_interval: config.snapshot_interval,
+            gc: config.gc,
+            latest_snapshot,
+        })
+    }
+
+    /// Appends a committed block record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the backend cannot persist it.
+    pub fn append_block(&mut self, block: &Block) -> Result<(), StoreError> {
+        self.store.append_block(block)
+    }
+
+    /// Whether a snapshot is due at committed height `last_block`:
+    /// the cadence is enabled, the height is a positive multiple of
+    /// it, and no snapshot at or past that height exists yet.
+    pub fn snapshot_due(&self, last_block: u64) -> bool {
+        self.snapshot_interval > 0
+            && last_block > 0
+            && last_block.is_multiple_of(self.snapshot_interval)
+            && self
+                .latest_snapshot
+                .as_ref()
+                .is_none_or(|s| s.last_block < last_block)
+    }
+
+    /// Stores a snapshot record and caches it as the latest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the backend cannot persist it.
+    pub fn put_snapshot(&mut self, snapshot: LedgerSnapshot) -> Result<(), StoreError> {
+        self.store.put_snapshot(&snapshot)?;
+        if self
+            .latest_snapshot
+            .as_ref()
+            .is_none_or(|s| s.last_block <= snapshot.last_block)
+        {
+            self.latest_snapshot = Some(snapshot);
+        }
+        Ok(())
+    }
+
+    /// The most recent snapshot written to (or recovered from) this
+    /// store, if any — what snapshot catch-up ships to a lagging peer.
+    pub fn latest_snapshot(&self) -> Option<&LedgerSnapshot> {
+        self.latest_snapshot.as_ref()
+    }
+
+    /// Whether frontier-driven GC is switched on for this peer.
+    pub fn gc_enabled(&self) -> bool {
+        self.gc
+    }
+
+    /// Compacts block records at or below `block_num` (clamped to the
+    /// latest snapshot; see [`LedgerStore::compact_up_to`]). Returns
+    /// the number of block records dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the backend cannot rewrite itself.
+    pub fn compact_up_to(&mut self, block_num: u64) -> Result<u64, StoreError> {
+        self.store.compact_up_to(block_num)
+    }
+
+    /// Rebuilds a peer from this store after a crash; see
+    /// [`DurableLedger::recover_seeded`] (this is the no-seeds form).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoverError`] when the store cannot be read, a
+    /// snapshot component is corrupt, a block fails to replay, or the
+    /// retained blocks have a gap the snapshot does not cover.
+    pub fn recover<V: BlockValidator>(
+        &self,
+        validator: V,
+        policy: EndorsementPolicy,
+    ) -> Result<Recovery<V>, RecoverError> {
+        self.recover_seeded(validator, policy, |_| {})
+    }
+
+    /// Rebuilds a peer from this store after a crash.
+    ///
+    /// If the retained block records form a contiguous run `1..=n`
+    /// reaching at least as far as the latest snapshot, recovery
+    /// replays them all onto a fresh peer — byte-identical to a peer
+    /// that never crashed. Otherwise it installs the latest snapshot
+    /// and replays the retained suffix above it.
+    ///
+    /// `seed` runs on the fresh peer *before* replay (only on the
+    /// full-replay path) to re-apply genesis-height seeded state,
+    /// which lives in no block; a snapshot's encoded state already
+    /// includes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoverError`] when the store cannot be read, a
+    /// snapshot component is corrupt, a block fails to replay, or the
+    /// retained blocks have a gap the snapshot does not cover.
+    pub fn recover_seeded<V: BlockValidator>(
+        &self,
+        validator: V,
+        policy: EndorsementPolicy,
+        seed: impl FnOnce(&mut Peer<V>),
+    ) -> Result<Recovery<V>, RecoverError> {
+        let stored = self.store.load()?;
+        let blocks = blocks_by_number(stored.blocks);
+        let contiguous_from_one = blocks.keys().next() == Some(&1)
+            && blocks
+                .keys()
+                .zip(1u64..)
+                .all(|(&number, expected)| number == expected);
+        let replay_reaches = blocks.keys().next_back().copied().unwrap_or(0);
+        let replay_wins = (contiguous_from_one
+            && stored
+                .snapshot
+                .as_ref()
+                .is_none_or(|s| replay_reaches >= s.last_block))
+            || (blocks.is_empty() && stored.snapshot.is_none());
+        if replay_wins {
+            let mut peer = Peer::new(validator, policy);
+            seed(&mut peer);
+            let replayed_blocks = blocks.len() as u64;
+            for (_, block) in blocks {
+                peer.replay_block(block)?;
+            }
+            return Ok(Recovery {
+                peer,
+                used_snapshot: false,
+                replayed_blocks,
+            });
+        }
+        let Some(snapshot) = stored.snapshot else {
+            return Err(RecoverError::MissingBlocks { expected: 1 });
+        };
+        let mut peer = Peer::restore_from_snapshot(validator, policy, &snapshot)?;
+        let mut expected = snapshot.last_block + 1;
+        let mut replayed_blocks = 0u64;
+        for (number, block) in blocks {
+            if number <= snapshot.last_block {
+                continue;
+            }
+            if number != expected {
+                return Err(RecoverError::MissingBlocks { expected });
+            }
+            peer.replay_block(block)?;
+            expected += 1;
+            replayed_blocks += 1;
+        }
+        Ok(Recovery {
+            peer,
+            used_snapshot: true,
+            replayed_blocks,
+        })
+    }
+}
+
+// -------------------------------------------------------- ack frontier
+
+/// The cluster-wide GC coordination point: maps each peer (by index)
+/// to the block height it has contiguously committed and acknowledged
+/// over gossip. The *minimum* across all peers is the GC floor — every
+/// replica has merged history up to it, so operations at or below it
+/// can be pruned ([`Peer::prune_up_to`]) and their block records
+/// compacted ([`DurableLedger::compact_up_to`]) without any replica
+/// ever needing them again.
+///
+/// Internally a [`VersionVector`] whose "replica" is the peer index
+/// and whose counter is the acknowledged height, so joins are the
+/// CRDT pointwise max and acknowledgements commute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AckFrontier {
+    acked: VersionVector,
+}
+
+impl AckFrontier {
+    /// An empty frontier: nothing acknowledged by anyone.
+    pub fn new() -> Self {
+        AckFrontier::default()
+    }
+
+    /// Records that `peer` has contiguously committed through block
+    /// `height`. Lower (stale) acknowledgements are no-ops.
+    pub fn ack(&mut self, peer: usize, height: u64) {
+        let replica = ReplicaId(peer as u64);
+        for h in self.acked.entry(replica) + 1..=height {
+            self.acked.observe(OpId::new(h, replica));
+        }
+    }
+
+    /// The height `peer` has acknowledged (0 if never heard from).
+    pub fn acked(&self, peer: usize) -> u64 {
+        self.acked.entry(ReplicaId(peer as u64))
+    }
+
+    /// The GC floor across a cluster of `peers` peers: the minimum
+    /// acknowledged height (0 if any peer has never acknowledged).
+    pub fn min_acked(&self, peers: usize) -> u64 {
+        (0..peers).map(|p| self.acked(p)).min().unwrap_or(0)
+    }
+
+    /// Merges another frontier in (pointwise max) — how gossiped
+    /// acknowledgement deltas combine.
+    pub fn join(&mut self, other: &AckFrontier) {
+        self.acked.join(&other.acked);
+    }
+
+    /// Serializes the frontier (the version-vector byte layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.acked.to_bytes()
+    }
+
+    /// Parses a frontier serialized by [`AckFrontier::to_bytes`];
+    /// `None` for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<AckFrontier> {
+        VersionVector::from_bytes(bytes).map(|acked| AckFrontier { acked })
+    }
+}
+
+// ---------------------------------------------------- frontier codecs
+
+/// Encodes a per-key merge-frontier table
+/// ([`Peer::merge_frontiers`]) as the opaque `frontiers` component of
+/// a [`LedgerSnapshot`]: a version byte, a `u64` entry count, then per
+/// key a length-prefixed UTF-8 key and a length-prefixed
+/// [`VersionVector::to_bytes`] payload. Keys iterate in sorted order,
+/// so the encoding is deterministic.
+pub fn encode_frontiers(frontiers: &BTreeMap<String, VersionVector>) -> Vec<u8> {
+    let mut out = vec![FRONTIER_FORMAT_VERSION];
+    out.extend_from_slice(&(frontiers.len() as u64).to_be_bytes());
+    for (key, frontier) in frontiers {
+        out.extend_from_slice(&(key.len() as u64).to_be_bytes());
+        out.extend_from_slice(key.as_bytes());
+        let vv = frontier.to_bytes();
+        out.extend_from_slice(&(vv.len() as u64).to_be_bytes());
+        out.extend_from_slice(&vv);
+    }
+    out
+}
+
+fn take<'a>(
+    data: &'a [u8],
+    pos: &mut usize,
+    n: usize,
+    what: &'static str,
+) -> Result<&'a [u8], DecodeError> {
+    let end = pos.checked_add(n).ok_or(DecodeError::new(what, *pos))?;
+    let slice = data.get(*pos..end).ok_or(DecodeError::new(what, *pos))?;
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u64(data: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, DecodeError> {
+    let slice = take(data, pos, 8, what)?;
+    Ok(u64::from_be_bytes(slice.try_into().expect("8 bytes")))
+}
+
+/// Decodes a frontier table written by [`encode_frontiers`]. Total on
+/// arbitrary input: truncated, oversized, non-UTF-8, duplicate-keyed
+/// or malformed-vector tables all yield a structured error.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] with byte-offset context for any
+/// malformed input.
+pub fn decode_frontiers(data: &[u8]) -> Result<BTreeMap<String, VersionVector>, DecodeError> {
+    let mut pos = 0;
+    let version = take(data, &mut pos, 1, "truncated frontier table")?[0];
+    if version != FRONTIER_FORMAT_VERSION {
+        return Err(DecodeError::new("unsupported frontier format version", 0));
+    }
+    let count = take_u64(data, &mut pos, "truncated frontier table")?;
+    // Each entry takes at least two length prefixes; reject counts no
+    // input of this size could hold before allocating.
+    if count > (data.len() / 16 + 1) as u64 {
+        return Err(DecodeError::new("implausible frontier count", pos - 8));
+    }
+    let mut out = BTreeMap::new();
+    for _ in 0..count {
+        let key_len = take_u64(data, &mut pos, "truncated frontier key")? as usize;
+        let key_at = pos;
+        let key_bytes = take(data, &mut pos, key_len, "frontier key exceeds input")?;
+        let key = std::str::from_utf8(key_bytes)
+            .map_err(|_| DecodeError::new("frontier key not UTF-8", key_at))?
+            .to_string();
+        let vv_len = take_u64(data, &mut pos, "truncated frontier vector")? as usize;
+        let vv_at = pos;
+        let vv_bytes = take(data, &mut pos, vv_len, "frontier vector exceeds input")?;
+        let frontier = VersionVector::from_bytes(vv_bytes)
+            .ok_or(DecodeError::new("malformed frontier vector", vv_at))?;
+        if out.insert(key, frontier).is_some() {
+            return Err(DecodeError::new("duplicate frontier key", key_at));
+        }
+    }
+    if pos != data.len() {
+        return Err(DecodeError::new("trailing bytes after frontier table", pos));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::FabricValidator;
+    use fabriccrdt_crypto::{Identity, KeyPair};
+    use fabriccrdt_ledger::block::ValidationCode;
+    use fabriccrdt_ledger::rwset::ReadWriteSet;
+    use fabriccrdt_ledger::transaction::{Endorsement, Transaction, TxId};
+    use fabriccrdt_sim::gen;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "fabriccrdt-storage-{}-{tag}-{unique}",
+            std::process::id()
+        ))
+    }
+
+    fn endorsed_tx(nonce: u64, crdt_keys: &[String]) -> Transaction {
+        let client = Identity::new("client", "org1");
+        let mut rwset = ReadWriteSet::new();
+        if crdt_keys.is_empty() {
+            rwset.writes.put(format!("plain{nonce}"), vec![nonce as u8]);
+        }
+        for key in crdt_keys {
+            rwset
+                .writes
+                .put_crdt(key.clone(), format!("{{\"n\":\"{nonce}\"}}").into_bytes());
+        }
+        let mut tx = Transaction {
+            id: TxId::derive(&client, nonce, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        };
+        let payload = tx.response_payload();
+        for (i, org) in ["org1", "org2"].iter().enumerate() {
+            let kp = KeyPair::derive(Identity::new(format!("peer{i}"), *org));
+            tx.endorsements.push(Endorsement {
+                endorser: kp.identity().clone(),
+                signature: kp.sign(&payload),
+            });
+        }
+        tx
+    }
+
+    fn test_peer() -> Peer<FabricValidator> {
+        Peer::new(
+            FabricValidator::new(),
+            EndorsementPolicy::all_of(["org1", "org2"]),
+        )
+    }
+
+    /// Commits a block of `txs` on `peer` and mirrors it into `store`,
+    /// writing a snapshot when one is due. Returns the new tip number.
+    fn commit_and_persist(
+        peer: &mut Peer<FabricValidator>,
+        store: &mut DurableLedger,
+        txs: Vec<Transaction>,
+    ) -> u64 {
+        let block = Block::assemble(peer.chain().height(), peer.chain().tip_hash(), txs);
+        let staged = peer.process_block(block);
+        assert!(staged
+            .block
+            .validation_codes
+            .iter()
+            .all(|c| *c == ValidationCode::Valid));
+        let tip = peer.commit(staged).unwrap().clone();
+        store.append_block(&tip).unwrap();
+        let tip_number = tip.header.number;
+        if store.snapshot_due(tip_number) {
+            store.put_snapshot(peer.ledger_snapshot()).unwrap();
+        }
+        tip_number
+    }
+
+    #[test]
+    fn frontier_table_roundtrip_is_total() {
+        let mut frontiers = BTreeMap::new();
+        let mut vv = VersionVector::new();
+        for counter in 1..=3 {
+            vv.observe(OpId::new(counter, ReplicaId(7)));
+        }
+        vv.observe(OpId::new(1, ReplicaId(9)));
+        frontiers.insert("doc".to_string(), vv);
+        frontiers.insert("k2".to_string(), {
+            let mut vv = VersionVector::new();
+            vv.observe(OpId::new(1, ReplicaId(1)));
+            vv
+        });
+
+        let bytes = encode_frontiers(&frontiers);
+        assert_eq!(decode_frontiers(&bytes).unwrap(), frontiers);
+        assert_eq!(
+            decode_frontiers(&encode_frontiers(&BTreeMap::new())).unwrap(),
+            BTreeMap::new()
+        );
+        for cut in 0..bytes.len() {
+            assert!(decode_frontiers(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_frontiers(&trailing).is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 99;
+        assert!(decode_frontiers(&wrong_version).is_err());
+        let mut huge_count = bytes;
+        huge_count[1..9].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert!(decode_frontiers(&huge_count).is_err());
+    }
+
+    #[test]
+    fn ack_frontier_floor_join_and_bytes() {
+        let mut a = AckFrontier::new();
+        a.ack(0, 5);
+        a.ack(1, 3);
+        a.ack(1, 2); // stale: no-op
+        assert_eq!(a.acked(0), 5);
+        assert_eq!(a.acked(1), 3);
+        assert_eq!(a.min_acked(2), 3);
+        assert_eq!(a.min_acked(3), 0, "silent peer pins the floor");
+
+        let mut b = AckFrontier::new();
+        b.ack(1, 7);
+        b.ack(2, 4);
+        a.join(&b);
+        assert_eq!(a.acked(1), 7);
+        assert_eq!(a.min_acked(3), 4);
+
+        let restored = AckFrontier::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(restored, a);
+        assert!(AckFrontier::from_bytes(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn full_replay_recovery_is_byte_identical() {
+        let config = StorageConfig::memory();
+        let mut store = DurableLedger::open(&config, 0).unwrap();
+        let mut live = test_peer();
+        for n in 1..=5 {
+            commit_and_persist(&mut live, &mut store, vec![endorsed_tx(n, &[])]);
+        }
+        let recovery = store
+            .recover(
+                FabricValidator::new(),
+                EndorsementPolicy::all_of(["org1", "org2"]),
+            )
+            .unwrap();
+        assert!(!recovery.used_snapshot);
+        assert_eq!(recovery.replayed_blocks, 5);
+        assert_eq!(recovery.peer.snapshot(), live.snapshot(), "byte-identical");
+        assert_eq!(recovery.peer.merge_frontiers(), live.merge_frontiers());
+    }
+
+    #[test]
+    fn empty_store_recovers_to_fresh_peer() {
+        let store = DurableLedger::open(&StorageConfig::memory(), 0).unwrap();
+        let recovery = store
+            .recover(
+                FabricValidator::new(),
+                EndorsementPolicy::all_of(["org1", "org2"]),
+            )
+            .unwrap();
+        assert!(!recovery.used_snapshot);
+        assert_eq!(recovery.replayed_blocks, 0);
+        assert_eq!(recovery.peer.chain().height(), 1, "genesis only");
+    }
+
+    #[test]
+    fn snapshot_recovery_matches_live_state_after_compaction() {
+        let config = StorageConfig::memory()
+            .with_snapshot_interval(3)
+            .with_gc(true);
+        let mut store = DurableLedger::open(&config, 0).unwrap();
+        let mut live = test_peer();
+        let keys = ["doc".to_string()];
+        for n in 1..=7 {
+            commit_and_persist(&mut live, &mut store, vec![endorsed_tx(n, &keys)]);
+        }
+        assert_eq!(store.latest_snapshot().unwrap().last_block, 6);
+        // Compact away the covered prefix; recovery must now install
+        // the snapshot and replay only block 7.
+        assert!(store.compact_up_to(u64::MAX).unwrap() > 0);
+        let recovery = store
+            .recover(
+                FabricValidator::new(),
+                EndorsementPolicy::all_of(["org1", "org2"]),
+            )
+            .unwrap();
+        assert!(recovery.used_snapshot);
+        assert_eq!(recovery.replayed_blocks, 1);
+        let mut recovered = recovery.peer;
+        assert_eq!(recovered.state(), live.state());
+        assert_eq!(recovered.chain().tip_hash(), live.chain().tip_hash());
+        assert_eq!(recovered.chain().height(), live.chain().height());
+        assert_eq!(recovered.merge_frontiers(), live.merge_frontiers());
+        assert_eq!(
+            recovered.history().history("doc"),
+            live.history().history("doc")
+        );
+
+        // Both peers process the next block identically, including
+        // duplicate detection from the restored id set.
+        let dup = live.chain().block(3).unwrap().transactions[0].clone();
+        let txs = vec![endorsed_tx(99, &keys), dup];
+        let block = Block::assemble(live.chain().height(), live.chain().tip_hash(), txs);
+        let staged_live = live.process_block(block.clone());
+        let staged_rec = recovered.process_block(block);
+        assert_eq!(
+            staged_live.block.validation_codes,
+            vec![ValidationCode::Valid, ValidationCode::DuplicateTxId]
+        );
+        assert_eq!(
+            staged_rec.block.validation_codes,
+            staged_live.block.validation_codes
+        );
+        live.commit(staged_live).unwrap();
+        recovered.commit(staged_rec).unwrap();
+        assert_eq!(recovered.state(), live.state());
+        assert_eq!(recovered.chain().tip_hash(), live.chain().tip_hash());
+    }
+
+    #[test]
+    fn full_replay_preferred_over_snapshot_when_blocks_complete() {
+        let config = StorageConfig::memory().with_snapshot_interval(2);
+        let mut store = DurableLedger::open(&config, 0).unwrap();
+        let mut live = test_peer();
+        for n in 1..=4 {
+            commit_and_persist(&mut live, &mut store, vec![endorsed_tx(n, &[])]);
+        }
+        assert!(store.latest_snapshot().is_some());
+        // No compaction: blocks 1..=4 all retained, so replay wins and
+        // the recovered ledger is byte-identical (full genesis chain).
+        let recovery = store
+            .recover(
+                FabricValidator::new(),
+                EndorsementPolicy::all_of(["org1", "org2"]),
+            )
+            .unwrap();
+        assert!(!recovery.used_snapshot);
+        assert_eq!(recovery.peer.snapshot(), live.snapshot());
+    }
+
+    #[test]
+    fn aof_and_memory_recovery_agree_across_reopen() {
+        let dir = temp_dir("agree");
+        let aof_config = StorageConfig::append_only(&dir).with_snapshot_interval(4);
+        let mem_config = StorageConfig::memory().with_snapshot_interval(4);
+        let mut live = test_peer();
+        let keys = ["doc".to_string(), "cart".to_string()];
+        {
+            let mut aof = DurableLedger::open(&aof_config, 3).unwrap();
+            let mut mem = DurableLedger::open(&mem_config, 3).unwrap();
+            for n in 1..=6 {
+                let block = Block::assemble(
+                    live.chain().height(),
+                    live.chain().tip_hash(),
+                    vec![endorsed_tx(n, &keys[..(n as usize % 2 + 1)])],
+                );
+                let staged = live.process_block(block);
+                let tip = live.commit(staged).unwrap().clone();
+                aof.append_block(&tip).unwrap();
+                mem.append_block(&tip).unwrap();
+                if aof.snapshot_due(tip.header.number) {
+                    aof.put_snapshot(live.ledger_snapshot()).unwrap();
+                }
+                if mem.snapshot_due(tip.header.number) {
+                    mem.put_snapshot(live.ledger_snapshot()).unwrap();
+                }
+            }
+            let policy = EndorsementPolicy::all_of(["org1", "org2"]);
+            let from_mem = mem.recover(FabricValidator::new(), policy.clone()).unwrap();
+            assert_eq!(from_mem.peer.snapshot(), live.snapshot());
+            // Drop the AOF handle; recovery below re-opens from disk.
+        }
+        let reopened = DurableLedger::open(&aof_config, 3).unwrap();
+        assert_eq!(reopened.latest_snapshot().unwrap().last_block, 4);
+        let recovery = reopened
+            .recover(
+                FabricValidator::new(),
+                EndorsementPolicy::all_of(["org1", "org2"]),
+            )
+            .unwrap();
+        assert!(!recovery.used_snapshot, "full run retained: replay wins");
+        assert_eq!(recovery.peer.snapshot(), live.snapshot(), "byte-identical");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Property: over randomized CRDT write schedules, snapshot points
+    /// and per-peer acknowledgement heights, pruning at the
+    /// [`AckFrontier`] floor never touches state, tip, or any history
+    /// entry above the floor — and a store compacted at the same floor
+    /// still recovers a peer with identical state and tip.
+    #[test]
+    fn gc_at_ack_floor_preserves_everything_above_it() {
+        let key_pool: Vec<String> = (0..4).map(|k| format!("key{k}")).collect();
+        gen::cases(12, |g| {
+            let block_count = g.size(2, 8) as u64;
+            let interval = g.size(1, 4) as u64;
+            let config = StorageConfig::memory()
+                .with_snapshot_interval(interval)
+                .with_gc(true);
+            let mut store = DurableLedger::open(&config, 0).unwrap();
+            let mut live = test_peer();
+            let mut nonce = 0u64;
+            for _ in 0..block_count {
+                let txs = (0..g.size(1, 3))
+                    .map(|_| {
+                        nonce += 1;
+                        let picks = g.size(0, 2);
+                        let keys: Vec<String> =
+                            (0..picks).map(|_| g.pick(&key_pool).clone()).collect();
+                        endorsed_tx(nonce, &keys)
+                    })
+                    .collect();
+                commit_and_persist(&mut live, &mut store, txs);
+            }
+
+            // Random acknowledgements from a 3-peer cluster, each at
+            // most the committed height.
+            let mut frontier = AckFrontier::new();
+            for peer in 0..3 {
+                frontier.ack(peer, g.range(0, block_count + 1));
+            }
+            let floor = frontier.min_acked(3);
+            assert!(floor <= block_count);
+
+            let before_state = live.state().clone();
+            let before_tip = live.chain().tip_hash();
+            let full_history: BTreeMap<String, Vec<_>> = live
+                .history()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_vec()))
+                .collect();
+
+            live.prune_up_to(floor);
+            assert_eq!(live.state(), &before_state, "GC never touches state");
+            assert_eq!(live.chain().tip_hash(), before_tip);
+            for (key, entries) in &full_history {
+                let kept = live.history().history(key);
+                let expected: Vec<_> = entries
+                    .iter()
+                    .filter(|e| e.height.block_num > floor)
+                    .cloned()
+                    .collect();
+                assert_eq!(kept, expected, "entries above the floor survive GC");
+            }
+            for frontier_vv in live.merge_frontiers().values() {
+                assert!(frontier_vv.iter().all(|(replica, _)| replica.0 > floor));
+            }
+
+            // The durable store compacts at the same floor (clamped to
+            // its snapshot) and still recovers to the live ledger.
+            store.compact_up_to(floor).unwrap();
+            let recovery = store
+                .recover(
+                    FabricValidator::new(),
+                    EndorsementPolicy::all_of(["org1", "org2"]),
+                )
+                .unwrap();
+            assert_eq!(recovery.peer.state(), live.state());
+            assert_eq!(recovery.peer.chain().tip_hash(), live.chain().tip_hash());
+            assert_eq!(recovery.peer.chain().height(), live.chain().height());
+        });
+    }
+}

@@ -12,15 +12,42 @@
 //! reachable peer, or — when no peer can help — re-request the raw
 //! blocks from the ordering service (Fabric's deliver-service
 //! reconnect).
+//!
+//! # Durable storage and snapshot catch-up
+//!
+//! With [`PipelineConfig::storage`] set, every peer mirrors its commits
+//! into a [`DurableLedger`] (in-memory or append-only file), writes a
+//! [`LedgerSnapshot`] every `snapshot_interval` blocks, and restarts by
+//! recovering from that store instead of from an in-memory saved
+//! ledger. Anti-entropy then negotiates by byte cost: when a helper's
+//! latest snapshot plus the post-snapshot block suffix is cheaper to
+//! ship than replaying the full missing suffix, the lagging peer
+//! installs the snapshot (plus the helper's acknowledgement-frontier
+//! delta) and replays only the suffix — recorded as a
+//! [`CatchUpOutcome::Snapshot`] episode with bytes accounted. Ties go
+//! to replay, which keeps the recovered ledger byte-identical to one
+//! that never fell behind.
+//!
+//! Acknowledgements (`peer i has contiguously committed through block
+//! h`) are modelled as an instantly convergent [`AckFrontier`]: ack
+//! payloads are a few bytes and their propagation latency is
+//! irrelevant next to block dissemination, so the network keeps one
+//! shared frontier rather than simulating its gossip. When GC is
+//! enabled, each peer prunes operation history and compacts its store
+//! up to the frontier's minimum — a height every replica has already
+//! merged past.
 
 use std::collections::BTreeMap;
 
 use fabriccrdt_fabric::config::{FaultConfig, GossipConfig, PipelineConfig, Topology};
-use fabriccrdt_fabric::metrics::{CatchUpEpisode, DisseminationMetrics};
+use fabriccrdt_fabric::metrics::{CatchUpEpisode, CatchUpOutcome, DisseminationMetrics};
 use fabriccrdt_fabric::peer::{Peer, PeerSnapshot};
 use fabriccrdt_fabric::policy::EndorsementPolicy;
+use fabriccrdt_fabric::storage::{AckFrontier, DurableLedger};
 use fabriccrdt_fabric::validator::BlockValidator;
 use fabriccrdt_ledger::block::Block;
+use fabriccrdt_ledger::codec;
+use fabriccrdt_ledger::store::LedgerSnapshot;
 use fabriccrdt_sim::latency::LatencyModel;
 use fabriccrdt_sim::queue::EventQueue;
 use fabriccrdt_sim::rng::SimRng;
@@ -37,6 +64,14 @@ enum GossipEvent {
     },
     /// Committed blocks arrive at a pulling peer (anti-entropy).
     Transfer { to: usize, blocks: Vec<Block> },
+    /// A snapshot, the helper's acknowledgement frontier, and the
+    /// post-snapshot block suffix arrive at a catching-up peer.
+    SnapshotTransfer {
+        to: usize,
+        snapshot: LedgerSnapshot,
+        frontier: AckFrontier,
+        suffix: Vec<Block>,
+    },
     /// Per-peer anti-entropy timer.
     Tick { peer: usize },
     /// Scheduled fault: the peer goes down.
@@ -47,18 +82,36 @@ enum GossipEvent {
     Heal { partition: usize },
 }
 
+/// A catch-up episode in progress: when the peer rejoined, the height
+/// it must reach, and the bytes shipped to it so far.
+struct ActiveCatchUp {
+    from: SimTime,
+    target: u64,
+    bytes: u64,
+    /// Bytes of installed snapshots (plus frontier deltas), `None`
+    /// while the episode has only used block replay.
+    snapshot_bytes: Option<u64>,
+}
+
 /// Per-peer bookkeeping around the replica itself.
 struct Slot<V> {
     /// The live replica; `None` while crashed.
     peer: Option<Peer<V>>,
-    /// Ledger persisted at crash time, consumed by restart.
+    /// Ledger persisted at crash time, consumed by restart. Only used
+    /// without durable storage; with a store, restarts recover from it.
     saved: Option<PeerSnapshot>,
     /// Raw blocks received but not yet committable (gaps below them).
     buffer: BTreeMap<u64, Block>,
     /// Outstanding `Tick` events for this peer.
     ticks_pending: u32,
-    /// Active catch-up episode: (rejoin time, target committed height).
-    catch_up: Option<(SimTime, u64)>,
+    /// Active catch-up episode, if any.
+    catch_up: Option<ActiveCatchUp>,
+    /// The peer's durable store, when storage is configured.
+    store: Option<DurableLedger>,
+    /// Highest block number appended to `store`.
+    persisted: u64,
+    /// Highest frontier floor this peer has GC'd up to.
+    gc_floor: u64,
 }
 
 /// A deterministic, event-driven model of Fabric's gossip
@@ -78,6 +131,11 @@ pub struct GossipNetwork<V> {
     slots: Vec<Slot<V>>,
     /// The ordering service's log: `(cut time, block)`, numbers `1..`.
     published: Vec<(SimTime, Block)>,
+    /// Seeded genesis-height state, replayed on durable recovery (it
+    /// lives in no block).
+    seeds: Vec<(String, Vec<u8>)>,
+    /// The cluster acknowledgement frontier (see the module docs).
+    acked: AckFrontier,
     metrics: DisseminationMetrics,
     /// Time of the last processed event.
     clock: SimTime,
@@ -86,7 +144,8 @@ pub struct GossipNetwork<V> {
 impl<V: BlockValidator> GossipNetwork<V> {
     /// Builds the network for a pipeline configuration. Uses
     /// `config.gossip` (or [`GossipConfig::calibrated`] when unset),
-    /// applies `config.faults`, and forks its PRNG from `config.seed`,
+    /// applies `config.faults`, opens per-peer durable stores when
+    /// `config.storage` is set, and forks its PRNG from `config.seed`,
     /// so identical configs replay identical runs. `make_validator`
     /// constructs one validator per replica (and per restart).
     ///
@@ -96,6 +155,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
     /// indices, a restart before its crash, a heal before its
     /// partition, a partition isolating every peer, or a link drop
     /// probability of 1.0 (which would disconnect the mesh for good).
+    /// Also panics if a configured storage backend cannot be opened.
     pub fn new(config: &PipelineConfig, make_validator: impl Fn() -> V + 'static) -> Self {
         let topology = config.topology.clone();
         let n_peers = topology.orgs * topology.peers_per_org;
@@ -132,8 +192,9 @@ impl<V: BlockValidator> GossipNetwork<V> {
 
         let mut root = SimRng::seed_from(config.seed);
         let rng = root.fork(0x676f_7373_6970); // "gossip"
+        let storage = config.storage.clone();
         let slots = (0..n_peers)
-            .map(|_| Slot {
+            .map(|i| Slot {
                 peer: Some(
                     Peer::new(make_validator(), config.policy.clone())
                         .with_pipeline(config.validation),
@@ -142,6 +203,11 @@ impl<V: BlockValidator> GossipNetwork<V> {
                 buffer: BTreeMap::new(),
                 ticks_pending: 0,
                 catch_up: None,
+                store: storage
+                    .as_ref()
+                    .map(|cfg| DurableLedger::open(cfg, i).expect("peer storage opens")),
+                persisted: 0,
+                gc_floor: 0,
             })
             .collect();
         let mut queue = EventQueue::new();
@@ -164,6 +230,8 @@ impl<V: BlockValidator> GossipNetwork<V> {
             queue,
             slots,
             published: Vec::new(),
+            seeds: Vec::new(),
+            acked: AckFrontier::new(),
             metrics: DisseminationMetrics::default(),
             clock: SimTime::ZERO,
         }
@@ -172,6 +240,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
     /// Seeds a key into every replica's world state (mirror of
     /// `Simulation::seed_state`). Call before any event is processed.
     pub fn seed_state(&mut self, key: &str, value: &[u8]) {
+        self.seeds.push((key.to_string(), value.to_vec()));
         for slot in &mut self.slots {
             if let Some(peer) = slot.peer.as_mut() {
                 peer.seed_state(key.to_string(), value.to_vec());
@@ -219,6 +288,22 @@ impl<V: BlockValidator> GossipNetwork<V> {
     /// Takes (and resets) the accumulated dissemination metrics.
     pub fn take_metrics(&mut self) -> DisseminationMetrics {
         std::mem::take(&mut self.metrics)
+    }
+
+    /// The cluster-wide GC floor: the minimum block height every peer
+    /// has acknowledged committing (0 without durable storage, or
+    /// before every peer has acknowledged anything).
+    pub fn acked_floor(&self) -> u64 {
+        self.acked.min_acked(self.slots.len())
+    }
+
+    /// The latest snapshot in the replica's durable store, or `None`
+    /// while crashed / without storage / before the first snapshot.
+    pub fn durable_snapshot(&self, index: usize) -> Option<&LedgerSnapshot> {
+        self.slots[index]
+            .store
+            .as_ref()
+            .and_then(DurableLedger::latest_snapshot)
     }
 
     /// Serialized ledger of the replica at `index` (state + chain
@@ -331,8 +416,14 @@ impl<V: BlockValidator> GossipNetwork<V> {
         match event {
             GossipEvent::RawBlock { to, from, block } => self.raw_block(now, to, from, block),
             GossipEvent::Transfer { to, blocks } => self.transfer(now, to, blocks),
+            GossipEvent::SnapshotTransfer {
+                to,
+                snapshot,
+                frontier,
+                suffix,
+            } => self.snapshot_transfer(now, to, snapshot, frontier, suffix),
             GossipEvent::Tick { peer } => self.tick(now, peer),
-            GossipEvent::Crash { peer } => self.crash(peer),
+            GossipEvent::Crash { peer } => self.crash(now, peer),
             GossipEvent::Restart { peer } => self.restart(now, peer),
             GossipEvent::Heal { partition } => self.heal(now, partition),
         }
@@ -405,9 +496,42 @@ impl<V: BlockValidator> GossipNetwork<V> {
         self.gossip.link.sample(&mut self.rng) + self.faults.link.extra_delay.sample(&mut self.rng)
     }
 
-    /// Anti-entropy tick: pull missing committed blocks from a random
-    /// better-off reachable peer, falling back to re-requesting raw
-    /// blocks from the ordering service; re-arms while still behind.
+    /// Whether helper `j` can replay-serve a peer whose committed
+    /// height is `above`: its in-memory chain must still hold block
+    /// `above + 1` (a snapshot-installed helper's chain may not).
+    fn can_replay_from(&self, j: usize, above: u64) -> bool {
+        self.slots[j]
+            .peer
+            .as_ref()
+            .is_some_and(|p| p.chain().block(above + 1).is_some())
+    }
+
+    /// Encoded bytes of helper `j`'s blocks above `above` — the wire
+    /// cost of a replay transfer.
+    fn suffix_bytes(&self, j: usize, above: u64) -> u64 {
+        self.slots[j]
+            .peer
+            .as_ref()
+            .expect("helper is up")
+            .chain()
+            .iter()
+            .filter(|b| b.header.number > above)
+            .map(|b| codec::encode_block(b).len() as u64)
+            .sum()
+    }
+
+    /// Helper `j`'s latest durable snapshot, if it would advance a peer
+    /// whose committed height is `above`.
+    fn snapshot_offer(&self, j: usize, above: u64) -> Option<&LedgerSnapshot> {
+        let snapshot = self.slots[j].store.as_ref()?.latest_snapshot()?;
+        (snapshot.last_block > above).then_some(snapshot)
+    }
+
+    /// Anti-entropy tick: pull missing state from a random better-off
+    /// reachable peer — as a block-suffix replay or, when cheaper in
+    /// bytes, a snapshot install plus suffix — falling back to
+    /// re-requesting raw blocks from the ordering service; re-arms
+    /// while still behind.
     fn tick(&mut self, now: SimTime, i: usize) {
         self.slots[i].ticks_pending -= 1;
         if self.slots[i].peer.is_none() {
@@ -416,24 +540,90 @@ impl<V: BlockValidator> GossipNetwork<V> {
         let mine = self.committed(i);
         let published = self.published_count();
         let candidates: Vec<usize> = (0..self.slots.len())
-            .filter(|&j| j != i && !self.partitioned(now, i, j) && self.committed(j) > mine)
+            .filter(|&j| {
+                j != i
+                    && !self.partitioned(now, i, j)
+                    && self.committed(j) > mine
+                    && (self.can_replay_from(j, mine) || self.snapshot_offer(j, mine).is_some())
+            })
             .collect();
         if !candidates.is_empty() {
             let j = candidates[self.rng.gen_range(0, candidates.len() as u64) as usize];
-            let blocks: Vec<Block> = self.slots[j]
-                .peer
-                .as_ref()
-                .expect("candidates are up")
-                .chain()
-                .iter()
-                .filter(|b| b.header.number > mine)
-                .cloned()
-                .collect();
-            self.metrics.anti_entropy_transfers += 1;
-            self.metrics.anti_entropy_blocks += blocks.len() as u64;
+            let replay_bytes = self
+                .can_replay_from(j, mine)
+                .then(|| self.suffix_bytes(j, mine));
+            // Snapshot cost: the encoded snapshot, the frontier delta,
+            // and the post-snapshot block suffix.
+            let snapshot_plan = self.snapshot_offer(j, mine).map(|snapshot| {
+                let snapshot_bytes =
+                    snapshot.encoded_len() as u64 + self.acked.to_bytes().len() as u64;
+                let total = snapshot_bytes + self.suffix_bytes(j, snapshot.last_block);
+                (snapshot.last_block, snapshot_bytes, total)
+            });
+            // Pure byte-cost negotiation, no PRNG draws: ties go to
+            // replay, which preserves full-chain byte identity.
+            let use_snapshot = match (replay_bytes, &snapshot_plan) {
+                (Some(replay), Some((_, _, total))) => *total < replay,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => unreachable!("candidate filter guarantees one option"),
+            };
             let delay = self.gossip.link.sample(&mut self.rng);
-            self.queue
-                .schedule(now + delay, GossipEvent::Transfer { to: i, blocks });
+            if use_snapshot {
+                let (snapshot_block, snapshot_bytes, total) =
+                    snapshot_plan.expect("use_snapshot implies a plan");
+                let snapshot = self
+                    .snapshot_offer(j, mine)
+                    .expect("plan came from this offer")
+                    .clone();
+                let suffix: Vec<Block> = self.slots[j]
+                    .peer
+                    .as_ref()
+                    .expect("helper is up")
+                    .chain()
+                    .iter()
+                    .filter(|b| b.header.number > snapshot_block)
+                    .cloned()
+                    .collect();
+                self.metrics.anti_entropy_transfers += 1;
+                self.metrics.anti_entropy_blocks += suffix.len() as u64;
+                self.metrics.anti_entropy_bytes += total;
+                self.metrics.snapshot_transfers += 1;
+                self.metrics.snapshot_bytes += snapshot_bytes;
+                if let Some(active) = self.slots[i].catch_up.as_mut() {
+                    active.bytes += total;
+                    active.snapshot_bytes =
+                        Some(active.snapshot_bytes.unwrap_or(0) + snapshot_bytes);
+                }
+                self.queue.schedule(
+                    now + delay,
+                    GossipEvent::SnapshotTransfer {
+                        to: i,
+                        snapshot,
+                        frontier: self.acked.clone(),
+                        suffix,
+                    },
+                );
+            } else {
+                let blocks: Vec<Block> = self.slots[j]
+                    .peer
+                    .as_ref()
+                    .expect("helper is up")
+                    .chain()
+                    .iter()
+                    .filter(|b| b.header.number > mine)
+                    .cloned()
+                    .collect();
+                let bytes = replay_bytes.expect("replay branch implies replay is possible");
+                self.metrics.anti_entropy_transfers += 1;
+                self.metrics.anti_entropy_blocks += blocks.len() as u64;
+                self.metrics.anti_entropy_bytes += bytes;
+                if let Some(active) = self.slots[i].catch_up.as_mut() {
+                    active.bytes += bytes;
+                }
+                self.queue
+                    .schedule(now + delay, GossipEvent::Transfer { to: i, blocks });
+            }
         } else if mine < published && self.orderer_reachable(now, i) {
             // No peer can help (all behind or unreachable): reconnect to
             // the deliver service and re-request what's missing.
@@ -483,7 +673,51 @@ impl<V: BlockValidator> GossipNetwork<V> {
         self.check_catch_up(now, to);
     }
 
-    /// Commits buffered raw blocks as long as the next one is present.
+    /// Installs a donor snapshot on a catching-up peer (unless it
+    /// raced ahead on its own), merges the shipped frontier delta, and
+    /// replays the post-snapshot suffix.
+    fn snapshot_transfer(
+        &mut self,
+        now: SimTime,
+        to: usize,
+        snapshot: LedgerSnapshot,
+        frontier: AckFrontier,
+        suffix: Vec<Block>,
+    ) {
+        if self.slots[to].peer.is_none() {
+            return;
+        }
+        self.acked.join(&frontier);
+        if self.committed(to) < snapshot.last_block {
+            let mut peer = Peer::restore_from_snapshot(
+                (self.make_validator)(),
+                self.policy.clone(),
+                &snapshot,
+            )
+            .expect("a donor snapshot restores cleanly");
+            peer.set_pipeline(self.validation);
+            let slot = &mut self.slots[to];
+            slot.peer = Some(peer);
+            slot.buffer
+                .retain(|number, _| *number > snapshot.last_block);
+            if let Some(store) = slot.store.as_mut() {
+                // Adopt the snapshot locally so this peer's own crash
+                // recovery starts from it; the stale block prefix it
+                // covers is compacted away.
+                store
+                    .put_snapshot(snapshot.clone())
+                    .expect("local store accepts the snapshot");
+                store
+                    .compact_up_to(snapshot.last_block)
+                    .expect("local store compacts");
+            }
+            slot.persisted = slot.persisted.max(snapshot.last_block);
+        }
+        self.transfer(now, to, suffix);
+    }
+
+    /// Commits buffered raw blocks as long as the next one is present,
+    /// then persists, acknowledges, and GCs (see [`Self::note_commit`]).
     fn commit_buffered(&mut self, i: usize) {
         loop {
             let next = self.committed(i) + 1;
@@ -495,27 +729,97 @@ impl<V: BlockValidator> GossipNetwork<V> {
             peer.commit(staged)
                 .expect("buffered blocks extend the chain in order");
         }
+        self.note_commit(i);
     }
 
-    fn crash(&mut self, p: usize) {
+    /// Post-commit bookkeeping for peer `i`: mirror newly committed
+    /// blocks into its durable store, write a snapshot when one is
+    /// due, acknowledge the committed height on the cluster frontier,
+    /// and — with GC enabled — prune history and compact the store up
+    /// to the frontier's minimum.
+    fn note_commit(&mut self, i: usize) {
+        let n_peers = self.slots.len();
+        let slot = &mut self.slots[i];
+        let Some(peer) = slot.peer.as_ref() else {
+            return;
+        };
+        let height = peer.chain().height() - 1;
+        if let Some(store) = slot.store.as_mut() {
+            for number in slot.persisted + 1..=height {
+                let block = peer
+                    .chain()
+                    .block(number)
+                    .expect("committed blocks above the persisted mark are in the chain");
+                store.append_block(block).expect("store append succeeds");
+            }
+            slot.persisted = height;
+            if store.snapshot_due(height) {
+                store
+                    .put_snapshot(peer.ledger_snapshot())
+                    .expect("store snapshot succeeds");
+            }
+        }
+        self.acked.ack(i, height);
+        let floor = self.acked.min_acked(n_peers);
+        let slot = &mut self.slots[i];
+        if floor > slot.gc_floor && slot.store.as_ref().is_some_and(DurableLedger::gc_enabled) {
+            if let (Some(peer), Some(store)) = (slot.peer.as_mut(), slot.store.as_mut()) {
+                peer.prune_up_to(floor);
+                store
+                    .compact_up_to(floor)
+                    .expect("store compaction succeeds");
+                slot.gc_floor = floor;
+            }
+        }
+    }
+
+    fn crash(&mut self, now: SimTime, p: usize) {
         let slot = &mut self.slots[p];
         let Some(peer) = slot.peer.take() else {
             return;
         };
-        // The ledger persists across the crash; volatile receive state
-        // does not.
-        slot.saved = Some(peer.snapshot());
+        // Without a durable store the ledger "persists" as an in-memory
+        // snapshot; with one, the store itself survives the crash.
+        if slot.store.is_none() {
+            slot.saved = Some(peer.snapshot());
+        }
         slot.buffer.clear();
-        slot.catch_up = None;
+        // A crash mid-catch-up ends the episode without reaching the
+        // target; record it as abandoned rather than dropping it, so
+        // catch-up statistics stay honest under repeated crashes.
+        if let Some(active) = slot.catch_up.take() {
+            self.metrics.catch_up.push(CatchUpEpisode {
+                peer: p,
+                from: active.from,
+                bytes_shipped: active.bytes,
+                outcome: CatchUpOutcome::Abandoned { at: now },
+            });
+        }
     }
 
     fn restart(&mut self, now: SimTime, p: usize) {
-        let snapshot = self.slots[p]
-            .saved
-            .take()
-            .expect("restart follows a crash with a saved ledger");
-        let mut peer = Peer::restore((self.make_validator)(), self.policy.clone(), &snapshot)
-            .expect("a peer's own snapshot restores cleanly");
+        let mut peer = if self.slots[p].store.is_some() {
+            let seeds = self.seeds.clone();
+            let recovery = self.slots[p]
+                .store
+                .as_ref()
+                .expect("checked above")
+                .recover_seeded((self.make_validator)(), self.policy.clone(), move |peer| {
+                    for (key, value) in seeds {
+                        peer.seed_state(key, value);
+                    }
+                })
+                .expect("a peer's own durable store recovers cleanly");
+            self.slots[p].persisted = recovery.peer.chain().height() - 1;
+            recovery.peer
+        } else {
+            let snapshot = self.slots[p]
+                .saved
+                .take()
+                .expect("restart follows a crash with a saved ledger");
+            Peer::restore((self.make_validator)(), self.policy.clone(), &snapshot)
+                .expect("a peer's own snapshot restores cleanly")
+        };
         peer.set_pipeline(self.validation);
         self.slots[p].peer = Some(peer);
         self.begin_catch_up(now, p);
@@ -540,22 +844,37 @@ impl<V: BlockValidator> GossipNetwork<V> {
             .max()
             .unwrap_or(0);
         if target > self.committed(p) && self.slots[p].catch_up.is_none() {
-            self.slots[p].catch_up = Some((now, target));
+            self.slots[p].catch_up = Some(ActiveCatchUp {
+                from: now,
+                target,
+                bytes: 0,
+                snapshot_bytes: None,
+            });
         }
         self.slots[p].ticks_pending += 1;
         self.queue.schedule(now, GossipEvent::Tick { peer: p });
     }
 
     fn check_catch_up(&mut self, now: SimTime, i: usize) {
-        if let Some((from, target)) = self.slots[i].catch_up {
-            if self.committed(i) >= target {
-                self.slots[i].catch_up = None;
-                self.metrics.catch_up.push(CatchUpEpisode {
-                    peer: i,
-                    from,
+        let done = self.slots[i]
+            .catch_up
+            .as_ref()
+            .is_some_and(|active| self.committed(i) >= active.target);
+        if done {
+            let active = self.slots[i].catch_up.take().expect("checked above");
+            let outcome = match active.snapshot_bytes {
+                Some(snapshot_bytes) => CatchUpOutcome::Snapshot {
                     caught_up_at: now,
-                });
-            }
+                    snapshot_bytes,
+                },
+                None => CatchUpOutcome::Replay { caught_up_at: now },
+            };
+            self.metrics.catch_up.push(CatchUpEpisode {
+                peer: i,
+                from: active.from,
+                bytes_shipped: active.bytes,
+                outcome,
+            });
         }
     }
 
@@ -573,6 +892,8 @@ impl<V: BlockValidator> GossipNetwork<V> {
 
     /// First time this block's content reaches any given peer: one
     /// propagation-latency sample (relative to the orderer cut).
+    /// Snapshot-covered blocks never arrive individually and record no
+    /// sample.
     fn record_arrival(&mut self, now: SimTime, number: u64) {
         let cut_at = self.published[number as usize - 1].0;
         self.metrics.propagation.push(now.saturating_sub(cut_at));

@@ -213,7 +213,8 @@ fn crashed_peer_restores_ledger_and_catches_up() {
         .find(|e| e.peer == 3)
         .expect("restarted peer records a catch-up episode");
     assert!(episode.from >= SimTime::from_millis(450));
-    assert!(episode.caught_up_at >= episode.from);
+    let caught_up_at = episode.completed_at().expect("episode completed");
+    assert!(caught_up_at >= episode.from);
     assert!(
         metrics.anti_entropy_blocks > 0,
         "catch-up uses state transfer"

@@ -97,7 +97,7 @@ fn dissemination_metrics_reflect_the_fault_schedule() {
     assert!(d.anti_entropy_blocks > 0);
     for episode in &d.catch_up {
         assert!(
-            episode.caught_up_at >= episode.from,
+            episode.ended_at() >= episode.from,
             "catch-up episode ends before it starts"
         );
     }

@@ -74,9 +74,26 @@ pub fn decode_cached(bytes: &[u8]) -> Result<Arc<Value>, ParseError> {
         HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(hit.clone());
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    let parsed = Arc::new(Value::from_bytes(bytes)?);
+    // Parse outside the lock (it can be expensive), then re-check under
+    // the lock: two threads missing on the same payload both parse, and
+    // the loser must return the winner's entry — replacing it would
+    // silently break cross-thread `Arc::ptr_eq` sharing. The loser's
+    // lookup counts as a hit (it was served from the cache); a lookup is
+    // a miss only if its own parse result got inserted, so
+    // `hits + misses` still equals total lookups.
+    let parsed = match Value::from_bytes(bytes) {
+        Ok(value) => Arc::new(value),
+        Err(error) => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            return Err(error);
+        }
+    };
     let mut guard = cache().lock().expect("decode cache poisoned");
+    if let Some(existing) = guard.get(bytes) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(existing.clone());
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
     if guard.len() >= MAX_ENTRIES {
         EVICTIONS.fetch_add(1, Ordering::Relaxed);
         guard.clear();
@@ -131,6 +148,47 @@ mod tests {
         let a = decode_cached(br#"{"k":"a"}"#).unwrap();
         let b = decode_cached(br#"{"k":"b"}"#).unwrap();
         assert_ne!(*a, *b);
+    }
+
+    #[test]
+    fn racing_threads_share_one_entry() {
+        // Regression: two threads missing on the same payload both
+        // parsed, and the second insert replaced the first `Arc` —
+        // callers that had already received the first one no longer
+        // shared an allocation with later callers (`Arc::ptr_eq`
+        // false), and the race overcounted misses.
+        use std::sync::Barrier;
+        let _guard = serial();
+        let payload = br#"{"race-probe":"threads should share one allocation"}"#;
+        clear(); // every thread starts from a guaranteed miss
+        let before = stats();
+        const THREADS: usize = 8;
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    decode_cached(payload).unwrap()
+                })
+            })
+            .collect();
+        let values: Vec<Arc<Value>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for value in &values {
+            assert!(
+                Arc::ptr_eq(&values[0], value),
+                "all racing threads must receive the same allocation"
+            );
+        }
+        let after = stats();
+        // Every lookup is counted exactly once, as a hit or a miss.
+        assert_eq!(
+            (after.hits + after.misses) - (before.hits + before.misses),
+            THREADS as u64
+        );
+        // Exactly one parse result was inserted (the winner's); the
+        // losers' lookups were served from the cache.
+        assert_eq!(after.misses, before.misses + 1);
     }
 
     #[test]

@@ -196,6 +196,61 @@ impl VersionVector {
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
     }
+
+    /// Iterates `(replica, mark)` entries in replica order.
+    pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
+        self.seen.iter().map(|(r, c)| (*r, *c))
+    }
+
+    /// Pointwise maximum with `other` (frontier join). Sound because
+    /// both inputs are contiguous frontiers: every counter at or below
+    /// either mark was observed, so the join is contiguous too.
+    pub fn join(&mut self, other: &VersionVector) {
+        for (replica, counter) in &other.seen {
+            let slot = self.seen.entry(*replica).or_insert(0);
+            *slot = (*slot).max(*counter);
+        }
+    }
+
+    /// Keeps only the entries for which the predicate holds — used by
+    /// snapshot GC to drop marks for already-compacted history.
+    pub fn retain(&mut self, mut keep: impl FnMut(ReplicaId, u64) -> bool) {
+        self.seen
+            .retain(|replica, counter| keep(*replica, *counter));
+    }
+
+    /// Serializes the frontier: entry count then `(replica, counter)`
+    /// pairs, all u64 big-endian, in replica order (deterministic).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 16 * self.seen.len());
+        out.extend_from_slice(&(self.seen.len() as u64).to_be_bytes());
+        for (replica, counter) in &self.seen {
+            out.extend_from_slice(&replica.0.to_be_bytes());
+            out.extend_from_slice(&counter.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a frontier serialized by [`VersionVector::to_bytes`].
+    /// Returns `None` on any length mismatch or zero counter (zero
+    /// marks are never stored, so round-trips stay canonical).
+    pub fn from_bytes(bytes: &[u8]) -> Option<VersionVector> {
+        let count_bytes: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        let count = u64::from_be_bytes(count_bytes) as usize;
+        if bytes.len() != 8 + count.checked_mul(16)? {
+            return None;
+        }
+        let mut seen = BTreeMap::new();
+        for entry in bytes[8..].chunks_exact(16) {
+            let replica = u64::from_be_bytes(entry[..8].try_into().ok()?);
+            let counter = u64::from_be_bytes(entry[8..].try_into().ok()?);
+            if counter == 0 {
+                return None;
+            }
+            seen.insert(ReplicaId(replica), counter);
+        }
+        (seen.len() == count).then_some(VersionVector { seen })
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +338,62 @@ mod tests {
         assert!(v.contains(OpId::root()));
         assert!(v.observe(OpId::root()));
         assert!(v.is_empty(), "root observation records nothing");
+    }
+
+    #[test]
+    fn version_vector_join_is_pointwise_max() {
+        let mut a = VersionVector::new();
+        let mut b = VersionVector::new();
+        for c in 1..=3 {
+            a.observe(OpId::new(c, ReplicaId(1)));
+        }
+        b.observe(OpId::new(1, ReplicaId(1)));
+        b.observe(OpId::new(1, ReplicaId(2)));
+        a.join(&b);
+        assert_eq!(a.entry(ReplicaId(1)), 3);
+        assert_eq!(a.entry(ReplicaId(2)), 1);
+        assert!(a.dominates(&b));
+        // Joining the empty frontier is the identity.
+        let snapshot = a.clone();
+        a.join(&VersionVector::new());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn version_vector_retain_drops_entries() {
+        let mut v = VersionVector::new();
+        v.observe(OpId::new(1, ReplicaId(1)));
+        v.observe(OpId::new(1, ReplicaId(7)));
+        v.retain(|replica, _| replica.0 > 3);
+        assert_eq!(v.entry(ReplicaId(1)), 0);
+        assert_eq!(v.entry(ReplicaId(7)), 1);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn version_vector_byte_roundtrip() {
+        let mut v = VersionVector::new();
+        for c in 1..=4 {
+            v.observe(OpId::new(c, ReplicaId(2)));
+        }
+        v.observe(OpId::new(1, ReplicaId(u64::MAX)));
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 8 + 16 * 2);
+        assert_eq!(VersionVector::from_bytes(&bytes), Some(v));
+        assert_eq!(
+            VersionVector::from_bytes(&VersionVector::new().to_bytes()),
+            Some(VersionVector::new())
+        );
+        // Truncated, padded, and zero-counter inputs are rejected.
+        assert_eq!(VersionVector::from_bytes(&bytes[..bytes.len() - 1]), None);
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(VersionVector::from_bytes(&padded), None);
+        let mut zeroed = VersionVector::new().to_bytes();
+        zeroed[7] = 1;
+        zeroed.extend_from_slice(&[0; 16]);
+        assert_eq!(VersionVector::from_bytes(&zeroed), None);
+        assert_eq!(VersionVector::from_bytes(b"short"), None);
     }
 
     #[test]

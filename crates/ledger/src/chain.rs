@@ -44,6 +44,11 @@ impl Error for ChainError {}
 
 /// An append-only chain of blocks with hash-chain integrity.
 ///
+/// A chain normally starts at genesis (block 0). A chain restored from
+/// a snapshot instead *resumes* at a base point ([`Blockchain::resume`]):
+/// blocks below `base_number` are not held in memory, but the hash they
+/// chained to is, so appends and integrity checks stay anchored.
+///
 /// # Examples
 ///
 /// ```
@@ -58,6 +63,13 @@ impl Error for ChainError {}
 #[derive(Debug, Clone, Default)]
 pub struct Blockchain {
     blocks: Vec<Block>,
+    /// Number of the first block this chain will hold; blocks below it
+    /// were compacted away (0 for a from-genesis chain).
+    base_number: u64,
+    /// Hash of block `base_number - 1`, i.e. the hash block
+    /// `base_number` must chain to ([`Blockchain::GENESIS_PREVIOUS_HASH`]
+    /// when `base_number` is 0).
+    base_hash: Digest,
 }
 
 impl Blockchain {
@@ -69,14 +81,39 @@ impl Blockchain {
         Self::default()
     }
 
-    /// Number of blocks.
-    pub fn height(&self) -> u64 {
-        self.blocks.len() as u64
+    /// An empty chain resuming at `base_number`, whose first appended
+    /// block must chain to `base_hash` — the tip hash at the snapshot
+    /// point a restored peer continues from.
+    pub fn resume(base_number: u64, base_hash: Digest) -> Self {
+        Blockchain {
+            blocks: Vec::new(),
+            base_number,
+            base_hash,
+        }
     }
 
-    /// Whether the chain has no blocks yet.
+    /// Number of blocks committed to the chain, including compacted
+    /// ones no longer held in memory.
+    pub fn height(&self) -> u64 {
+        self.base_number + self.blocks.len() as u64
+    }
+
+    /// Whether the chain holds no blocks in memory.
     pub fn is_empty(&self) -> bool {
         self.blocks.is_empty()
+    }
+
+    /// Number of the first block held in memory (0 unless resumed or
+    /// front-truncated).
+    pub fn base_number(&self) -> u64 {
+        self.base_number
+    }
+
+    /// Hash the first in-memory block chains to — the hash of block
+    /// `base_number - 1`, or [`Blockchain::GENESIS_PREVIOUS_HASH`] for
+    /// a from-genesis chain.
+    pub fn anchor_hash(&self) -> Digest {
+        self.base_hash
     }
 
     /// The latest block.
@@ -86,19 +123,37 @@ impl Blockchain {
 
     /// Hash the next block must chain to.
     pub fn tip_hash(&self) -> Digest {
-        self.tip()
-            .map(Block::hash)
-            .unwrap_or(Self::GENESIS_PREVIOUS_HASH)
+        self.tip().map(Block::hash).unwrap_or(self.base_hash)
     }
 
-    /// The block at `number`.
+    /// The block at `number` (`None` when compacted away or not yet
+    /// appended).
     pub fn block(&self, number: u64) -> Option<&Block> {
-        self.blocks.get(number as usize)
+        let index = number.checked_sub(self.base_number)?;
+        self.blocks.get(index as usize)
     }
 
-    /// Iterates blocks from genesis.
+    /// Iterates the blocks held in memory, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &Block> {
         self.blocks.iter()
+    }
+
+    /// Drops in-memory blocks numbered below `keep_from`, re-anchoring
+    /// the chain at the last dropped block's hash. Returns how many
+    /// blocks were dropped. Appends, `tip_hash` and `verify_integrity`
+    /// are unaffected; `block(n)` for dropped numbers returns `None`.
+    pub fn truncate_front(&mut self, keep_from: u64) -> usize {
+        if keep_from <= self.base_number {
+            return 0;
+        }
+        let drop = ((keep_from - self.base_number) as usize).min(self.blocks.len());
+        if drop == 0 {
+            return 0;
+        }
+        self.base_hash = self.blocks[drop - 1].hash();
+        self.base_number = self.blocks[drop - 1].header.number + 1;
+        self.blocks.drain(..drop);
+        drop
     }
 
     /// Appends a block after verifying number, hash chain and data hash.
@@ -125,13 +180,15 @@ impl Blockchain {
         Ok(())
     }
 
-    /// Verifies the whole chain's integrity from genesis.
+    /// Verifies the integrity of all in-memory blocks, anchored at the
+    /// base hash (the genesis anchor for a from-genesis chain).
     pub fn verify_integrity(&self) -> Result<(), ChainError> {
-        let mut previous = Self::GENESIS_PREVIOUS_HASH;
+        let mut previous = self.base_hash;
         for (i, block) in self.blocks.iter().enumerate() {
-            if block.header.number != i as u64 {
+            let expected = self.base_number + i as u64;
+            if block.header.number != expected {
                 return Err(ChainError::WrongNumber {
-                    expected: i as u64,
+                    expected,
                     got: block.header.number,
                 });
             }
@@ -146,7 +203,7 @@ impl Blockchain {
         Ok(())
     }
 
-    /// Total transactions across all blocks.
+    /// Total transactions across the in-memory blocks.
     pub fn total_transactions(&self) -> usize {
         self.blocks.iter().map(Block::len).sum()
     }
@@ -248,5 +305,57 @@ mod tests {
         extend(&mut chain, vec![tx(1)]);
         assert_eq!(chain.block(0).unwrap().len(), 1);
         assert!(chain.block(1).is_none());
+    }
+
+    #[test]
+    fn resumed_chain_anchors_at_base() {
+        let mut full = Blockchain::new();
+        extend(&mut full, vec![tx(1)]);
+        extend(&mut full, vec![tx(2)]);
+        let base_hash = full.tip_hash();
+
+        let mut resumed = Blockchain::resume(2, base_hash);
+        assert_eq!(resumed.height(), 2);
+        assert_eq!(resumed.base_number(), 2);
+        assert_eq!(resumed.tip_hash(), base_hash);
+        assert!(resumed.block(1).is_none(), "compacted blocks are gone");
+
+        // The next block must chain to the snapshot-point hash.
+        let block = Block::assemble(2, base_hash, vec![tx(3)]);
+        resumed.append(block).unwrap();
+        assert_eq!(resumed.height(), 3);
+        assert_eq!(resumed.block(2).unwrap().len(), 1);
+        resumed.verify_integrity().unwrap();
+
+        // A wrong anchor is still rejected.
+        let bad = Block::assemble(3, [9; 32], vec![]);
+        assert_eq!(
+            resumed.append(bad).unwrap_err(),
+            ChainError::BrokenHashChain
+        );
+    }
+
+    #[test]
+    fn truncate_front_preserves_tip_and_appends() {
+        let mut chain = Blockchain::new();
+        for n in 1..=5 {
+            extend(&mut chain, vec![tx(n)]);
+        }
+        let tip = chain.tip_hash();
+        assert_eq!(chain.truncate_front(3), 3);
+        assert_eq!(chain.base_number(), 3);
+        assert_eq!(chain.height(), 5);
+        assert_eq!(chain.tip_hash(), tip);
+        assert!(chain.block(2).is_none());
+        assert_eq!(chain.block(3).unwrap().header.number, 3);
+        chain.verify_integrity().unwrap();
+        // Idempotent at or below the base; capped at the tip.
+        assert_eq!(chain.truncate_front(3), 0);
+        assert_eq!(chain.truncate_front(100), 2);
+        assert_eq!(chain.height(), 5);
+        assert_eq!(chain.tip_hash(), tip);
+        extend(&mut chain, vec![tx(6)]);
+        chain.verify_integrity().unwrap();
+        assert_eq!(chain.height(), 6);
     }
 }

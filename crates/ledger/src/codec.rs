@@ -22,6 +22,12 @@ use crate::version::Height;
 /// Codec format version; bump on layout changes.
 const FORMAT_VERSION: u8 = 1;
 
+/// Chain-layout format version. Bumped to 2 when chains gained a
+/// resume anchor (`base_number` + `base_hash`) so snapshot-restored
+/// peers can export their retained suffix; block and state layouts are
+/// unchanged and keep [`FORMAT_VERSION`].
+const CHAIN_FORMAT_VERSION: u8 = 2;
+
 /// Decoding error with byte-offset context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {
@@ -31,7 +37,10 @@ pub struct DecodeError {
 }
 
 impl DecodeError {
-    fn new(message: &'static str, offset: usize) -> Self {
+    /// Creates a decode error at the given byte offset. Public so
+    /// codecs layered on top of ledger byte strings (e.g. snapshot
+    /// frontier tables) can report failures in the same shape.
+    pub fn new(message: &'static str, offset: usize) -> Self {
         DecodeError { message, offset }
     }
 }
@@ -46,50 +55,50 @@ impl Error for DecodeError {}
 
 // ---------------------------------------------------------------- writer
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Writer { buf: Vec::new() }
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
-    fn bytes(&mut self, v: &[u8]) {
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
         self.u64(v.len() as u64);
         self.buf.extend_from_slice(v);
     }
 
-    fn str(&mut self, v: &str) {
+    pub(crate) fn str(&mut self, v: &str) {
         self.bytes(v.as_bytes());
     }
 
-    fn digest(&mut self, v: &[u8; 32]) {
+    pub(crate) fn digest(&mut self, v: &[u8; 32]) {
         self.buf.extend_from_slice(v);
     }
 }
 
 // ---------------------------------------------------------------- reader
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     data: &'a [u8],
-    pos: usize,
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
         Reader { data, pos: 0 }
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
         let b = *self
             .data
             .get(self.pos)
@@ -98,7 +107,7 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    fn u64(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
         let end = self.pos + 8;
         let slice = self
             .data
@@ -110,7 +119,7 @@ impl<'a> Reader<'a> {
 
     /// Length read for a collection; bounded by remaining input so a
     /// corrupt length cannot trigger huge allocations.
-    fn len(&mut self, min_item_size: usize) -> Result<usize, DecodeError> {
+    pub(crate) fn len(&mut self, min_item_size: usize) -> Result<usize, DecodeError> {
         let at = self.pos;
         let n = self.u64()? as usize;
         let remaining = self.data.len() - self.pos;
@@ -120,7 +129,7 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
         let at = self.pos;
         let n = self.u64()? as usize;
         let end = self.pos + n;
@@ -132,12 +141,12 @@ impl<'a> Reader<'a> {
         Ok(slice.to_vec())
     }
 
-    fn str(&mut self) -> Result<String, DecodeError> {
+    pub(crate) fn str(&mut self) -> Result<String, DecodeError> {
         let at = self.pos;
         String::from_utf8(self.bytes()?).map_err(|_| DecodeError::new("invalid UTF-8", at))
     }
 
-    fn digest(&mut self) -> Result<[u8; 32], DecodeError> {
+    pub(crate) fn digest(&mut self) -> Result<[u8; 32], DecodeError> {
         let end = self.pos + 32;
         let slice = self
             .data
@@ -147,7 +156,7 @@ impl<'a> Reader<'a> {
         Ok(slice.try_into().expect("32 bytes"))
     }
 
-    fn finish(&self) -> Result<(), DecodeError> {
+    pub(crate) fn finish(&self) -> Result<(), DecodeError> {
         if self.pos != self.data.len() {
             return Err(DecodeError::new("trailing bytes after value", self.pos));
         }
@@ -238,11 +247,14 @@ pub fn encode_block(block: &Block) -> Vec<u8> {
     w.buf
 }
 
-/// Encodes a whole chain (genesis first).
+/// Encodes a chain: its resume anchor followed by the in-memory blocks,
+/// oldest first (the anchor is the genesis anchor for a full chain).
 pub fn encode_chain(chain: &Blockchain) -> Vec<u8> {
     let mut w = Writer::new();
-    w.u8(FORMAT_VERSION);
-    w.u64(chain.height());
+    w.u8(CHAIN_FORMAT_VERSION);
+    w.u64(chain.base_number());
+    w.digest(&chain.anchor_hash());
+    w.u64(chain.height() - chain.base_number());
     for block in chain.iter() {
         w.bytes(&encode_block(block));
     }
@@ -405,11 +417,19 @@ pub fn decode_state(data: &[u8]) -> Result<crate::worldstate::WorldState, Decode
 pub fn decode_chain(data: &[u8]) -> Result<Blockchain, DecodeError> {
     let mut r = Reader::new(data);
     let version = r.u8()?;
-    if version != FORMAT_VERSION {
+    if version != CHAIN_FORMAT_VERSION {
         return Err(DecodeError::new("unsupported format version", r.pos - 1));
     }
+    let base_number = r.u64()?;
+    let base_hash = r.digest()?;
+    if base_number == 0 && base_hash != Blockchain::GENESIS_PREVIOUS_HASH {
+        return Err(DecodeError::new(
+            "non-genesis anchor at height 0",
+            r.pos - 32,
+        ));
+    }
     let count = r.len(80)?;
-    let mut chain = Blockchain::new();
+    let mut chain = Blockchain::resume(base_number, base_hash);
     for _ in 0..count {
         let at = r.pos;
         let block_bytes = r.bytes()?;
@@ -420,6 +440,98 @@ pub fn decode_chain(data: &[u8]) -> Result<Blockchain, DecodeError> {
     }
     r.finish()?;
     Ok(chain)
+}
+
+/// Encodes a history database (keys in sorted order).
+pub fn encode_history(history: &crate::history::HistoryDb) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(FORMAT_VERSION);
+    w.u64(history.keys() as u64);
+    for (key, entries) in history.iter() {
+        w.str(key);
+        w.u64(entries.len() as u64);
+        for entry in entries {
+            w.u64(entry.height.block_num);
+            w.u64(entry.height.tx_num);
+            match &entry.value {
+                Some(value) => {
+                    w.u8(1);
+                    w.bytes(value);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+    w.buf
+}
+
+/// Decodes a history database.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated, malformed or
+/// wrong-version input.
+pub fn decode_history(data: &[u8]) -> Result<crate::history::HistoryDb, DecodeError> {
+    let mut r = Reader::new(data);
+    let version = r.u8()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::new("unsupported format version", r.pos - 1));
+    }
+    let key_count = r.len(25)?;
+    let mut history = crate::history::HistoryDb::new();
+    for _ in 0..key_count {
+        let key = r.str()?;
+        let entry_count = r.len(17)?;
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let height = Height::new(r.u64()?, r.u64()?);
+            let value = match r.u8()? {
+                0 => None,
+                1 => Some(r.bytes()?),
+                _ => return Err(DecodeError::new("invalid value marker", r.pos - 1)),
+            };
+            entries.push(crate::history::HistoryEntry { height, value });
+        }
+        if entries.is_empty() {
+            return Err(DecodeError::new("history key without entries", r.pos));
+        }
+        history.insert_entries(key, entries);
+    }
+    r.finish()?;
+    Ok(history)
+}
+
+/// Encodes a set of transaction ids (callers pass them sorted so the
+/// encoding is deterministic).
+pub fn encode_txids(ids: &[TxId]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(FORMAT_VERSION);
+    w.u64(ids.len() as u64);
+    for id in ids {
+        w.digest(&id.0);
+    }
+    w.buf
+}
+
+/// Decodes a set of transaction ids.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated, malformed or
+/// wrong-version input.
+pub fn decode_txids(data: &[u8]) -> Result<Vec<TxId>, DecodeError> {
+    let mut r = Reader::new(data);
+    let version = r.u8()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::new("unsupported format version", r.pos - 1));
+    }
+    let count = r.len(32)?;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(TxId(r.digest()?));
+    }
+    r.finish()?;
+    Ok(ids)
 }
 
 #[cfg(test)]

@@ -91,6 +91,35 @@ impl HistoryDb {
     pub fn total_entries(&self) -> usize {
         self.entries.values().map(Vec::len).sum()
     }
+
+    /// Iterates `(key, entries)` in key order (for snapshot encoding).
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &[HistoryEntry])> {
+        self.entries.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Drops every entry committed at block `block_num` or below
+    /// (snapshot GC: those modifications are covered by a snapshot all
+    /// replicas acknowledged). Keys left without entries are removed.
+    /// Returns how many entries were dropped.
+    pub fn prune_up_to(&mut self, block_num: u64) -> usize {
+        let mut dropped = 0;
+        self.entries.retain(|_, entries| {
+            let before = entries.len();
+            entries.retain(|e| e.height.block_num > block_num);
+            dropped += before - entries.len();
+            !entries.is_empty()
+        });
+        dropped
+    }
+
+    /// Restores a key's history verbatim (snapshot decoding). Entries
+    /// must already be in commit order; empty vectors are ignored so
+    /// round-trips stay canonical.
+    pub(crate) fn insert_entries(&mut self, key: String, entries: Vec<HistoryEntry>) {
+        if !entries.is_empty() {
+            self.entries.insert(key, entries);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +219,25 @@ mod tests {
     fn unvalidated_block_panics() {
         let block = Block::assemble(1, [0; 32], vec![tx(1, "k", b"v", false)]);
         HistoryDb::new().record_block(&block);
+    }
+
+    #[test]
+    fn prune_drops_only_covered_blocks() {
+        let mut db = HistoryDb::new();
+        for n in 1..=4u64 {
+            let key = if n % 2 == 0 { "even" } else { "odd" };
+            let mut block = Block::assemble(n, [0; 32], vec![tx(n, key, &[n as u8], false)]);
+            block.validation_codes = vec![ValidationCode::Valid];
+            db.record_block(&block);
+        }
+        assert_eq!(db.prune_up_to(2), 2);
+        assert_eq!(db.keys(), 2);
+        assert_eq!(db.history("odd").len(), 1);
+        assert_eq!(db.history("odd")[0].height, Height::new(3, 0));
+        assert_eq!(db.history("even")[0].height, Height::new(4, 0));
+        // Pruning everything removes emptied keys.
+        assert_eq!(db.prune_up_to(10), 2);
+        assert_eq!(db.keys(), 0);
+        assert_eq!(db.prune_up_to(10), 0);
     }
 }

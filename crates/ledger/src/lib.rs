@@ -14,6 +14,9 @@
 //! - [`chain`]: the append-only blockchain with integrity verification.
 //! - [`mvcc`]: the multi-version concurrency control validator of §3,
 //!   including the worked T1…T5 example as a test.
+//! - [`store`]: pluggable durable storage — a [`store::LedgerStore`]
+//!   trait with in-memory and append-only-file backends, snapshots and
+//!   compaction (Fabric's block file store).
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ pub mod codec;
 pub mod history;
 pub mod mvcc;
 pub mod rwset;
+pub mod store;
 pub mod transaction;
 pub mod version;
 pub mod worldstate;

@@ -56,16 +56,27 @@ impl OnlineStats {
 pub struct Summary {
     sorted: Vec<f64>,
     sum: f64,
+    nan_dropped: usize,
 }
 
 impl Summary {
     /// Builds a summary from samples (any order).
+    ///
+    /// NaN samples are dropped (and counted in
+    /// [`Summary::nan_dropped`]) rather than panicking: a single NaN
+    /// from a metrics path is a missing datum, not a reason to abort a
+    /// run mid-flight — the same convention [`Summary::percentile`]
+    /// applies to out-of-range requests.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let before = samples.len();
+        samples.retain(|s| !s.is_nan());
+        let nan_dropped = before - samples.len();
+        samples.sort_by(f64::total_cmp);
         let sum = samples.iter().sum();
         Summary {
             sorted: samples,
             sum,
+            nan_dropped,
         }
     }
 
@@ -77,6 +88,11 @@ impl Summary {
     /// Number of samples.
     pub fn count(&self) -> usize {
         self.sorted.len()
+    }
+
+    /// NaN samples dropped while building the summary.
+    pub fn nan_dropped(&self) -> usize {
+        self.nan_dropped
     }
 
     /// Mean, or `None` when empty.
@@ -121,13 +137,24 @@ impl Summary {
 
 /// Fixed-width time-bucketed counter, e.g. committed transactions per
 /// second over the run — the series behind throughput plots.
+///
+/// The dense bucket vector is capped at [`TimeBuckets::MAX_BUCKETS`]
+/// entries: one stray event at a huge `SimTime` must not allocate a
+/// bucket per intervening width (which could exhaust memory on long
+/// runs). Events past the cap land in a single overflow counter
+/// ([`TimeBuckets::overflow`]) instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimeBuckets {
     width: SimTime,
     counts: Vec<u64>,
+    overflow: u64,
 }
 
 impl TimeBuckets {
+    /// Maximum number of dense buckets (64 Ki); later events count into
+    /// the overflow bucket.
+    pub const MAX_BUCKETS: usize = 1 << 16;
+
     /// Creates buckets of the given width.
     ///
     /// # Panics
@@ -138,24 +165,37 @@ impl TimeBuckets {
         TimeBuckets {
             width,
             counts: Vec::new(),
+            overflow: 0,
         }
     }
 
-    /// Records one occurrence at time `at`.
+    /// Records one occurrence at time `at`. Events beyond
+    /// [`TimeBuckets::MAX_BUCKETS`] widths go to the overflow bucket.
     pub fn record(&mut self, at: SimTime) {
         let idx = (at.as_micros() / self.width.as_micros()) as usize;
+        if idx >= Self::MAX_BUCKETS {
+            self.overflow += 1;
+            return;
+        }
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
         self.counts[idx] += 1;
     }
 
-    /// The per-bucket counts.
+    /// The per-bucket counts (dense region only; see
+    /// [`TimeBuckets::overflow`]).
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
 
-    /// Peak bucket count.
+    /// Events recorded past the dense bucket cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Peak bucket count (dense region; the overflow bucket aggregates
+    /// an unbounded time span, so it is not a comparable bucket).
     pub fn peak(&self) -> u64 {
         self.counts.iter().copied().max().unwrap_or(0)
     }
@@ -222,6 +262,24 @@ mod tests {
     }
 
     #[test]
+    fn nan_samples_are_dropped_not_fatal() {
+        // Regression: a single NaN from a metrics path used to panic
+        // mid-run via `partial_cmp(..).expect(..)`.
+        let s = Summary::from_samples(vec![3.0, f64::NAN, 1.0, f64::NAN, 2.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.nan_dropped(), 2);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.median(), Some(2.0));
+        assert_eq!(s.mean(), Some(2.0));
+        // All-NaN input degenerates to the empty summary.
+        let empty = Summary::from_samples(vec![f64::NAN]);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.nan_dropped(), 1);
+        assert_eq!(empty.percentile(50.0), None);
+    }
+
+    #[test]
     fn time_buckets() {
         let mut b = TimeBuckets::new(SimTime::from_secs(1));
         b.record(SimTime::from_millis(100));
@@ -229,6 +287,23 @@ mod tests {
         b.record(SimTime::from_millis(1500));
         assert_eq!(b.counts(), &[2, 1]);
         assert_eq!(b.peak(), 2);
+    }
+
+    #[test]
+    fn sparse_late_event_does_not_exhaust_memory() {
+        // Regression: one event ~10^9 bucket widths out used to resize
+        // the dense vector to `idx + 1` entries (gigabytes of zeros).
+        let mut b = TimeBuckets::new(SimTime::from_millis(1));
+        b.record(SimTime::from_millis(5));
+        b.record(SimTime::from_secs(1_000_000));
+        assert!(b.counts().len() <= TimeBuckets::MAX_BUCKETS);
+        assert_eq!(b.overflow(), 1);
+        assert_eq!(b.peak(), 1);
+        // The last dense bucket still records normally.
+        b.record(SimTime::from_millis(TimeBuckets::MAX_BUCKETS as u64 - 1));
+        assert_eq!(b.counts().len(), TimeBuckets::MAX_BUCKETS);
+        assert_eq!(b.counts()[TimeBuckets::MAX_BUCKETS - 1], 1);
+        assert_eq!(b.overflow(), 1);
     }
 
     #[test]
