@@ -56,4 +56,21 @@ grep -q '"snapshot_bytes"' BENCH_catchup_storage.json
 grep -q '"snapshot_saving_at_100_blocks"' BENCH_catchup_storage.json
 grep -q '"used_snapshot": true' BENCH_catchup_storage.json
 
+# The multi-channel bench asserts 1-channel bit-identity to the seed
+# gossip pipeline, per-channel replica convergence, aggregate-TPS
+# scaling and transfer exactly-once internally; the gate checks the
+# artifact landed with the aggregate-TPS and channel-count fields.
+echo "==> multi_channel smoke run + artifact check"
+rm -f BENCH_multi_channel.json
+cargo run --release -q -p fabriccrdt-bench --bin multi_channel -- --txs 2000
+test -s BENCH_multi_channel.json
+grep -q '"bench": "multi_channel"' BENCH_multi_channel.json
+grep -q '"aggregate_tps"' BENCH_multi_channel.json
+grep -q '"aggregate_tps_speedup_4ch"' BENCH_multi_channel.json
+grep -q '"channels": 1' BENCH_multi_channel.json
+grep -q '"channels": 4' BENCH_multi_channel.json
+grep -q '"clients_per_channel"' BENCH_multi_channel.json
+grep -q '"single_channel_identity": true' BENCH_multi_channel.json
+grep -q '"transfers_committed"' BENCH_multi_channel.json
+
 echo "==> OK"

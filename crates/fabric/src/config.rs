@@ -3,6 +3,7 @@
 use fabriccrdt_sim::latency::LatencyModel;
 use fabriccrdt_sim::time::SimTime;
 
+use crate::channel::ChannelId;
 use crate::latency::LatencyConfig;
 use crate::pipeline::ValidationPipeline;
 use crate::policy::EndorsementPolicy;
@@ -33,6 +34,12 @@ impl Topology {
     /// Organization names: `org1`, `org2`, …
     pub fn org_names(&self) -> Vec<String> {
         (1..=self.orgs).map(|i| format!("org{i}")).collect()
+    }
+
+    /// Total peers across all organizations — the range of the global
+    /// peer numbering (`org * peers_per_org + peer`).
+    pub fn total_peers(&self) -> usize {
+        self.orgs * self.peers_per_org
     }
 
     /// The default endorsement policy: one endorsement from every
@@ -318,6 +325,12 @@ pub struct PipelineConfig {
     /// GCs history below the cluster-acknowledged frontier, and lets
     /// anti-entropy ship snapshots to far-behind peers.
     pub storage: Option<crate::storage::StorageConfig>,
+    /// Which channel this pipeline runs on. [`ChannelId::DEFAULT`] for
+    /// every single-channel run; multi-channel deployments
+    /// ([`crate::channel::MultiChannelConfig`]) derive one config per
+    /// channel with this set to the channel's id, which flows into the
+    /// peer, the run metrics and the per-channel ledger file names.
+    pub channel: ChannelId,
     /// Committing-peer validation pipeline. The default,
     /// [`ValidationPipeline::Sequential`], is byte-for-byte the seed
     /// commit path; `Parallel { workers }` fans endorsement/signature
@@ -346,8 +359,16 @@ impl PipelineConfig {
             faults: FaultConfig::none(),
             ordering: None,
             storage: None,
+            channel: ChannelId::DEFAULT,
             validation: ValidationPipeline::Sequential,
         }
+    }
+
+    /// Assigns this pipeline to a channel (builder style); see
+    /// [`PipelineConfig::channel`].
+    pub fn with_channel(mut self, channel: ChannelId) -> Self {
+        self.channel = channel;
+        self
     }
 
     /// Attaches durable peer storage (takes effect only with gossip

@@ -12,6 +12,9 @@
 //! Modules:
 //!
 //! - [`config`]: network topology and block-cutting parameters.
+//! - [`channel`]: multi-channel sharding — channel identities,
+//!   per-channel pipeline derivation, cross-channel transfer records
+//!   and per-channel metric rollups.
 //! - [`policy`]: endorsement policies (N-of over organizations).
 //! - [`chaincode`]: the chaincode trait and shim (`get_state`,
 //!   `put_state`, and FabricCRDT's `put_crdt`).
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod chaincode;
+pub mod channel;
 pub mod config;
 pub mod cost;
 pub mod latency;
@@ -67,6 +71,10 @@ pub mod storage;
 pub mod validator;
 
 pub use chaincode::{Chaincode, ChaincodeError, ChaincodeStub, ExecWork};
+pub use channel::{
+    ChannelId, ChannelRunMetrics, ChannelSpec, MultiChannelConfig, MultiChannelMetrics, TransferId,
+    TransferOutcome, TransferReport, TransferSpec,
+};
 pub use config::{BlockCutConfig, PipelineConfig, RaftConfig, Topology};
 pub use cost::{CostModel, ValidationWork};
 pub use latency::LatencyConfig;

@@ -9,6 +9,8 @@ use fabriccrdt_ledger::block::ValidationCode;
 use fabriccrdt_sim::stats::{Summary, TimeBuckets};
 use fabriccrdt_sim::time::SimTime;
 
+use crate::channel::ChannelId;
+
 /// A chaincode event from a successfully committed transaction
 /// (Fabric's event service delivers events only on commit).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,6 +269,11 @@ impl OrderingMetrics {
 /// Metrics for one experiment run.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
+    /// The channel the run executed on ([`ChannelId::DEFAULT`] for
+    /// single-channel runs). Multi-channel rollups
+    /// ([`crate::channel::MultiChannelMetrics`]) group per-channel
+    /// metrics by this.
+    pub channel: ChannelId,
     /// One record per submitted transaction, in submission order.
     pub records: Vec<TxRecord>,
     /// Simulated time when the last block committed.
@@ -300,7 +307,8 @@ pub struct RunMetrics {
 /// regardless of that scheduling noise.
 impl PartialEq for RunMetrics {
     fn eq(&self, other: &Self) -> bool {
-        self.records == other.records
+        self.channel == other.channel
+            && self.records == other.records
             && self.end_time == other.end_time
             && self.blocks_committed == other.blocks_committed
             && self.resubmissions == other.resubmissions
@@ -405,6 +413,7 @@ mod tests {
     #[test]
     fn run_metrics_aggregation() {
         let metrics = RunMetrics {
+            channel: ChannelId::DEFAULT,
             records: vec![
                 record(0, Some(100), Some(ValidationCode::Valid)),
                 record(10, Some(100), Some(ValidationCode::MvccConflict)),
@@ -431,6 +440,7 @@ mod tests {
     #[test]
     fn throughput_series_buckets_successes() {
         let metrics = RunMetrics {
+            channel: ChannelId::DEFAULT,
             records: vec![
                 record(0, Some(500), Some(ValidationCode::Valid)),
                 record(0, Some(800), Some(ValidationCode::ValidMerged)),

@@ -38,6 +38,7 @@ pub struct PeerSnapshot {
     pub chain: Vec<u8>,
 }
 
+use crate::channel::ChannelId;
 use crate::cost::ValidationWork;
 use crate::pipeline::{PipelineRunner, ValidationPipeline};
 use crate::policy::EndorsementPolicy;
@@ -95,6 +96,11 @@ pub struct Peer<V> {
     validator: Arc<V>,
     policy: EndorsementPolicy,
     runner: PipelineRunner,
+    /// Which channel this replica serves; [`ChannelId::DEFAULT`] for
+    /// single-channel runs. Purely a label — validation logic is
+    /// channel-agnostic — but it keeps multi-channel replicas
+    /// attributable in debug output and assertions.
+    channel: ChannelId,
 }
 
 /// Folds a committed, validated block into the per-key merge
@@ -143,7 +149,25 @@ impl<V: BlockValidator> Peer<V> {
             validator: Arc::new(validator),
             policy,
             runner: PipelineRunner::new(ValidationPipeline::Sequential),
+            channel: ChannelId::DEFAULT,
         }
+    }
+
+    /// The channel this replica serves.
+    pub fn channel(&self) -> ChannelId {
+        self.channel
+    }
+
+    /// Labels this replica with its channel (builder style).
+    pub fn with_channel(mut self, channel: ChannelId) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Re-labels this replica's channel in place (used when a restored
+    /// or recovered peer re-joins its channel).
+    pub fn set_channel(&mut self, channel: ChannelId) {
+        self.channel = channel;
     }
 
     /// Selects the validation pipeline (builder style). The default,
@@ -237,6 +261,7 @@ impl<V: BlockValidator> Peer<V> {
             validator: Arc::new(validator),
             policy,
             runner: PipelineRunner::new(ValidationPipeline::Sequential),
+            channel: ChannelId::DEFAULT,
         })
     }
 
@@ -295,6 +320,7 @@ impl<V: BlockValidator> Peer<V> {
             validator: Arc::new(validator),
             policy,
             runner: PipelineRunner::new(ValidationPipeline::Sequential),
+            channel: ChannelId::DEFAULT,
         })
     }
 

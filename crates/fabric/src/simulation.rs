@@ -364,7 +364,9 @@ impl<V: BlockValidator> Simulation<V> {
         ordering: Box<dyn OrderingBackend>,
     ) -> Self {
         let rng = SimRng::seed_from(config.seed);
-        let peer = Peer::new(validator, config.policy.clone()).with_pipeline(config.validation);
+        let peer = Peer::new(validator, config.policy.clone())
+            .with_pipeline(config.validation)
+            .with_channel(config.channel);
         Simulation {
             config,
             registry,
@@ -470,6 +472,7 @@ impl<V: BlockValidator> Simulation<V> {
         };
 
         RunMetrics {
+            channel: self.config.channel,
             records: std::mem::take(&mut self.records),
             end_time: self.end_time,
             blocks_committed: self.blocks_committed,

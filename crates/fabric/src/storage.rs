@@ -42,6 +42,7 @@ use fabriccrdt_ledger::store::{
     blocks_by_number, AofStore, LedgerSnapshot, LedgerStore, MemoryStore, StoreError,
 };
 
+use crate::channel::ChannelId;
 use crate::peer::Peer;
 use crate::policy::EndorsementPolicy;
 use crate::validator::BlockValidator;
@@ -76,6 +77,10 @@ pub struct StorageConfig {
     /// stores up to the minimum height every replica has acknowledged
     /// (the [`AckFrontier`] floor).
     pub gc: bool,
+    /// When true, append-only-file stores `fsync` every appended
+    /// record, upgrading the crash model from process loss to power
+    /// loss. Ignored by the in-memory backend.
+    pub fsync: bool,
 }
 
 impl StorageConfig {
@@ -85,15 +90,18 @@ impl StorageConfig {
             backend: StorageBackend::Memory,
             snapshot_interval: 0,
             gc: false,
+            fsync: false,
         }
     }
 
-    /// Append-only-file storage under `dir`, no snapshots, no GC.
+    /// Append-only-file storage under `dir`, no snapshots, no GC, no
+    /// fsync.
     pub fn append_only(dir: impl Into<PathBuf>) -> Self {
         StorageConfig {
             backend: StorageBackend::AppendOnlyFile { dir: dir.into() },
             snapshot_interval: 0,
             gc: false,
+            fsync: false,
         }
     }
 
@@ -108,6 +116,13 @@ impl StorageConfig {
     /// [`StorageConfig::gc`].
     pub fn with_gc(mut self, gc: bool) -> Self {
         self.gc = gc;
+        self
+    }
+
+    /// Enables fsync-on-append durability (builder style); see
+    /// [`StorageConfig::fsync`].
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
         self
     }
 }
@@ -210,6 +225,24 @@ impl DurableLedger {
     /// Returns a [`StoreError`] when the backend cannot be opened or
     /// its existing records cannot be read back.
     pub fn open(config: &StorageConfig, peer_index: usize) -> Result<Self, StoreError> {
+        Self::open_channel(config, ChannelId::DEFAULT, peer_index)
+    }
+
+    /// Opens peer `peer_index`'s store for `channel`. The default
+    /// channel keeps the historical `peer-<index>.aof` file name;
+    /// other channels get `ch<channel>-peer-<index>.aof`, so every
+    /// (channel, peer) pair has its own ledger file under one
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the backend cannot be opened or
+    /// its existing records cannot be read back.
+    pub fn open_channel(
+        config: &StorageConfig,
+        channel: ChannelId,
+        peer_index: usize,
+    ) -> Result<Self, StoreError> {
         let store: Box<dyn LedgerStore> = match &config.backend {
             StorageBackend::Memory => Box::new(MemoryStore::new()),
             StorageBackend::AppendOnlyFile { dir } => {
@@ -217,7 +250,12 @@ impl DurableLedger {
                     op: "create-dir",
                     message: e.to_string(),
                 })?;
-                Box::new(AofStore::open(dir.join(format!("peer-{peer_index}.aof")))?)
+                let file = if channel == ChannelId::DEFAULT {
+                    format!("peer-{peer_index}.aof")
+                } else {
+                    format!("ch{}-peer-{peer_index}.aof", channel.0)
+                };
+                Box::new(AofStore::open_with_fsync(dir.join(file), config.fsync)?)
             }
         };
         let latest_snapshot = store.load()?.snapshot;
@@ -227,6 +265,24 @@ impl DurableLedger {
             gc: config.gc,
             latest_snapshot,
         })
+    }
+
+    /// Whether the store retains a block record numbered `number` —
+    /// how gossip anti-entropy probes whether a helper can serve a
+    /// block its in-memory chain has already pruned.
+    pub fn has_block(&self, number: u64) -> bool {
+        self.store.has_block(number)
+    }
+
+    /// All retained block records, in append order. Gossip anti-entropy
+    /// reads these to serve replay suffixes that start below a helper's
+    /// in-memory chain base.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when records cannot be read back.
+    pub fn retained_blocks(&self) -> Result<Vec<Block>, StoreError> {
+        Ok(self.store.load()?.blocks)
     }
 
     /// Appends a committed block record.
@@ -813,6 +869,61 @@ mod tests {
             .unwrap();
         assert!(!recovery.used_snapshot, "full run retained: replay wins");
         assert_eq!(recovery.peer.snapshot(), live.snapshot(), "byte-identical");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_config_recovers_after_simulated_crash() {
+        let dir = temp_dir("fsync");
+        let config = StorageConfig::append_only(&dir)
+            .with_fsync(true)
+            .with_snapshot_interval(3);
+        let mut live = test_peer();
+        {
+            let mut store = DurableLedger::open(&config, 0).unwrap();
+            for n in 1..=5 {
+                commit_and_persist(&mut live, &mut store, vec![endorsed_tx(n, &[])]);
+            }
+            // Simulated crash: the handle drops with no clean shutdown.
+        }
+        let reopened = DurableLedger::open(&config, 0).unwrap();
+        assert_eq!(reopened.latest_snapshot().unwrap().last_block, 3);
+        let recovery = reopened
+            .recover(
+                FabricValidator::new(),
+                EndorsementPolicy::all_of(["org1", "org2"]),
+            )
+            .unwrap();
+        assert!(!recovery.used_snapshot, "full run retained: replay wins");
+        assert_eq!(recovery.replayed_blocks, 5);
+        assert_eq!(recovery.peer.snapshot(), live.snapshot(), "byte-identical");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn channel_stores_use_distinct_files() {
+        let dir = temp_dir("channel");
+        let config = StorageConfig::append_only(&dir);
+        let mut default_peer = test_peer();
+        let mut other_peer = test_peer();
+        {
+            let mut ch0 = DurableLedger::open_channel(&config, ChannelId::DEFAULT, 2).unwrap();
+            let mut ch1 = DurableLedger::open_channel(&config, ChannelId(1), 2).unwrap();
+            commit_and_persist(&mut default_peer, &mut ch0, vec![endorsed_tx(1, &[])]);
+            for n in 1..=2 {
+                commit_and_persist(&mut other_peer, &mut ch1, vec![endorsed_tx(10 + n, &[])]);
+            }
+        }
+        // The default channel keeps the historical file name; channel 1
+        // gets its own file, and each reopens to its own contents.
+        assert!(dir.join("peer-2.aof").exists());
+        assert!(dir.join("ch1-peer-2.aof").exists());
+        let ch0 = DurableLedger::open_channel(&config, ChannelId::DEFAULT, 2).unwrap();
+        let ch1 = DurableLedger::open_channel(&config, ChannelId(1), 2).unwrap();
+        assert!(ch0.has_block(1) && !ch0.has_block(2));
+        assert!(ch1.has_block(1) && ch1.has_block(2));
+        assert_eq!(ch0.retained_blocks().unwrap().len(), 1);
+        assert_eq!(ch1.retained_blocks().unwrap().len(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 

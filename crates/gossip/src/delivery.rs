@@ -17,6 +17,9 @@
 //! identical between the two layers; all gossip-internal randomness
 //! comes from a seed fork inside the network.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_fabric::config::{GossipConfig, PipelineConfig};
 use fabriccrdt_fabric::latency::LatencyConfig;
@@ -91,6 +94,82 @@ impl<V: BlockValidator> DeliveryLayer for GossipDelivery<V> {
         // metrics include complete catch-up episodes.
         self.network.drain();
         Some(self.network.take_metrics())
+    }
+}
+
+/// A [`DeliveryLayer`] giving one channel's pipeline a view onto a
+/// *shared* multi-channel [`GossipNetwork`]: every channel's
+/// simulation holds its own `ChannelDelivery` over the same network
+/// (via `Rc<RefCell<..>>`), so per-peer fault schedules apply across
+/// channels deterministically while each lane keeps its own event
+/// queue, clock, and PRNG stream.
+///
+/// `deliver` draws one `orderer_to_peer` sample from the *pipeline's*
+/// PRNG per block, exactly like [`GossipDelivery`] — so a 1-channel
+/// deployment is draw-for-draw identical to the single-channel layer.
+/// `take_dissemination` drains only this channel's lane: sibling
+/// channels may still be publishing.
+pub struct ChannelDelivery<V> {
+    network: Rc<RefCell<GossipNetwork<V>>>,
+    /// Lane index of this channel in the shared network.
+    channel: usize,
+    /// Global index of the channel's observed replica.
+    observed: usize,
+    last: SimTime,
+}
+
+impl<V: BlockValidator> ChannelDelivery<V> {
+    /// Builds the layer for lane `channel` of a shared network (as
+    /// built by [`GossipNetwork::new_multi`]; lane order follows the
+    /// deployment's channel order).
+    pub fn new(network: Rc<RefCell<GossipNetwork<V>>>, channel: usize) -> Self {
+        let observed = network.borrow().observed_on(channel);
+        ChannelDelivery {
+            network,
+            channel,
+            observed,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Overrides the observed replica (a global peer index that must
+    /// be a member of the channel) — e.g. a
+    /// [`ChannelSpec`](fabriccrdt_fabric::channel::ChannelSpec)'s
+    /// per-channel `observed_peer` override.
+    pub fn with_observed(mut self, observed: usize) -> Self {
+        self.observed = observed;
+        self
+    }
+}
+
+impl<V: BlockValidator> DeliveryLayer for ChannelDelivery<V> {
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        block: &Block,
+        latency: &LatencyConfig,
+        rng: &mut SimRng,
+    ) -> SimTime {
+        let hop = latency.orderer_to_peer.sample(rng);
+        let mut network = self.network.borrow_mut();
+        network.publish_with_hop_on(self.channel, now, hop, block.clone());
+        let committed_at =
+            network.run_until_committed_on(self.channel, self.observed, block.header.number);
+        let at = committed_at.max(self.last);
+        self.last = at;
+        at
+    }
+
+    fn seed_state(&mut self, key: &str, value: &[u8]) {
+        self.network
+            .borrow_mut()
+            .seed_state_on(self.channel, key, value);
+    }
+
+    fn take_dissemination(&mut self) -> Option<DisseminationMetrics> {
+        let mut network = self.network.borrow_mut();
+        network.drain_on(self.channel);
+        Some(network.take_metrics_on(self.channel))
     }
 }
 

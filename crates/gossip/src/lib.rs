@@ -56,5 +56,5 @@
 pub mod delivery;
 pub mod network;
 
-pub use delivery::{fabric_gossip_simulation, GossipDelivery};
+pub use delivery::{fabric_gossip_simulation, ChannelDelivery, GossipDelivery};
 pub use network::GossipNetwork;

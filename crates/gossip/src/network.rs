@@ -1,47 +1,73 @@
 //! The event-driven gossip network: leader pull, push forwarding,
-//! anti-entropy catch-up, and fault injection.
+//! anti-entropy catch-up, fault injection, and multi-channel
+//! multiplexing.
 //!
 //! Peers are flattened to indices `0..orgs * peers_per_org`; peer
-//! `o * peers_per_org + p` is peer `p` of org `o`, and peer 0 of each
-//! org is its leader. Every peer hosts a full
-//! [`Peer`](fabriccrdt_fabric::peer::Peer) replica; a block a peer sees
-//! for the first time is buffered (blocks can arrive out of order),
-//! forwarded to `fanout` random peers, and committed as soon as all its
-//! predecessors are in. Lagging peers recover through the periodic
-//! anti-entropy tick: pull committed blocks from a random better-off
-//! reachable peer, or — when no peer can help — re-request the raw
-//! blocks from the ordering service (Fabric's deliver-service
-//! reconnect).
+//! `o * peers_per_org + p` is peer `p` of org `o`, and the
+//! lowest-indexed member of each org on a channel is its leader there.
+//! Every member peer hosts a full
+//! [`Peer`](fabriccrdt_fabric::peer::Peer) replica per channel; a
+//! block a replica sees for the first time is buffered (blocks can
+//! arrive out of order), forwarded to `fanout` random peers, and
+//! committed as soon as all its predecessors are in. Lagging replicas
+//! recover through the periodic anti-entropy tick: pull committed
+//! blocks from a random better-off reachable peer, or — when no peer
+//! can help — re-request the raw blocks from the ordering service
+//! (Fabric's deliver-service reconnect).
+//!
+//! # Channels
+//!
+//! One [`GossipNetwork`] hosts every channel of a deployment
+//! ([`MultiChannelConfig`]) over one topology and one fault schedule:
+//! each channel is a *lane* with its own replica set, ordering log,
+//! acknowledgement frontier, metrics and deterministic PRNG stream
+//! (forked per channel from the base seed, channel 0 first so a
+//! 1-channel network is draw-for-draw identical to the historical
+//! single-channel one). Every queued [`GossipEvent`] carries its
+//! channel tag, and the configured per-peer crash/restart times and
+//! partition windows are applied on every lane a peer is a member of
+//! — the same peer goes down at the same simulated time on all its
+//! channels. The single-channel constructors and accessors operate on
+//! channel 0, so existing callers are unchanged.
 //!
 //! # Durable storage and snapshot catch-up
 //!
-//! With [`PipelineConfig::storage`] set, every peer mirrors its commits
-//! into a [`DurableLedger`] (in-memory or append-only file), writes a
-//! [`LedgerSnapshot`] every `snapshot_interval` blocks, and restarts by
-//! recovering from that store instead of from an in-memory saved
-//! ledger. Anti-entropy then negotiates by byte cost: when a helper's
-//! latest snapshot plus the post-snapshot block suffix is cheaper to
-//! ship than replaying the full missing suffix, the lagging peer
-//! installs the snapshot (plus the helper's acknowledgement-frontier
-//! delta) and replays only the suffix — recorded as a
-//! [`CatchUpOutcome::Snapshot`] episode with bytes accounted. Ties go
-//! to replay, which keeps the recovered ledger byte-identical to one
-//! that never fell behind.
+//! With [`PipelineConfig::storage`] set, every replica mirrors its
+//! commits into a [`DurableLedger`] (in-memory or append-only file,
+//! one file per channel × peer), writes a [`LedgerSnapshot`] every
+//! `snapshot_interval` blocks, and restarts by recovering from that
+//! store instead of from an in-memory saved ledger. Anti-entropy then
+//! negotiates by byte cost: when a helper's latest snapshot plus the
+//! post-snapshot block suffix is cheaper to ship than replaying the
+//! full missing suffix, the lagging peer installs the snapshot (plus
+//! the helper's acknowledgement-frontier delta) and replays only the
+//! suffix — recorded as a [`CatchUpOutcome::Snapshot`] episode with
+//! bytes accounted. Ties go to replay, which keeps the recovered
+//! ledger byte-identical to one that never fell behind.
+//!
+//! Replay serving reads from the helper's in-memory chain *and* its
+//! durable store: a helper whose chain base moved up (snapshot-path
+//! recovery, or snapshot adoption with GC off) can still serve the
+//! prefix blocks its store retains, so a GC'd helper remains useful
+//! for replay instead of forcing every requester onto the snapshot
+//! path.
 //!
 //! Acknowledgements (`peer i has contiguously committed through block
-//! h`) are modelled as an instantly convergent [`AckFrontier`]: ack
-//! payloads are a few bytes and their propagation latency is
-//! irrelevant next to block dissemination, so the network keeps one
+//! h`) are modelled as an instantly convergent [`AckFrontier`] per
+//! channel: ack payloads are a few bytes and their propagation latency
+//! is irrelevant next to block dissemination, so each lane keeps one
 //! shared frontier rather than simulating its gossip. When GC is
-//! enabled, each peer prunes operation history and compacts its store
-//! up to the frontier's minimum — a height every replica has already
-//! merged past.
+//! enabled, each replica prunes operation history and compacts its
+//! store up to the frontier's minimum — a height every replica of the
+//! channel has already merged past.
 
 use std::collections::BTreeMap;
 
+use fabriccrdt_fabric::channel::{ChannelId, ChannelSpec, MultiChannelConfig};
 use fabriccrdt_fabric::config::{FaultConfig, GossipConfig, PipelineConfig, Topology};
 use fabriccrdt_fabric::metrics::{CatchUpEpisode, CatchUpOutcome, DisseminationMetrics};
 use fabriccrdt_fabric::peer::{Peer, PeerSnapshot};
+use fabriccrdt_fabric::pipeline::ValidationPipeline;
 use fabriccrdt_fabric::policy::EndorsementPolicy;
 use fabriccrdt_fabric::storage::{AckFrontier, DurableLedger};
 use fabriccrdt_fabric::validator::BlockValidator;
@@ -53,8 +79,16 @@ use fabriccrdt_sim::queue::EventQueue;
 use fabriccrdt_sim::rng::SimRng;
 use fabriccrdt_sim::time::SimTime;
 
+/// One queued network event, tagged with the channel lane it belongs
+/// to. Peer fields are member *positions* within that lane.
 #[derive(Debug)]
-enum GossipEvent {
+struct GossipEvent {
+    channel: ChannelId,
+    kind: EventKind,
+}
+
+#[derive(Debug)]
+enum EventKind {
     /// A raw (orderer-sealed) block arrives at a peer; `from` is the
     /// forwarding peer, `None` for the ordering service.
     RawBlock {
@@ -93,7 +127,7 @@ struct ActiveCatchUp {
     snapshot_bytes: Option<u64>,
 }
 
-/// Per-peer bookkeeping around the replica itself.
+/// Per-replica bookkeeping around the replica itself.
 struct Slot<V> {
     /// The live replica; `None` while crashed.
     peer: Option<Peer<V>>,
@@ -102,73 +136,127 @@ struct Slot<V> {
     saved: Option<PeerSnapshot>,
     /// Raw blocks received but not yet committable (gaps below them).
     buffer: BTreeMap<u64, Block>,
-    /// Outstanding `Tick` events for this peer.
+    /// Outstanding `Tick` events for this replica.
     ticks_pending: u32,
     /// Active catch-up episode, if any.
     catch_up: Option<ActiveCatchUp>,
-    /// The peer's durable store, when storage is configured.
+    /// The replica's durable store, when storage is configured.
     store: Option<DurableLedger>,
     /// Highest block number appended to `store`.
     persisted: u64,
-    /// Highest frontier floor this peer has GC'd up to.
+    /// Highest frontier floor this replica has GC'd up to.
     gc_floor: u64,
 }
 
-/// A deterministic, event-driven model of Fabric's gossip
-/// block-dissemination layer over the full topology, with fault
-/// injection. See the crate docs for the protocol summary.
-pub struct GossipNetwork<V> {
+/// Configuration shared by every channel lane: the topology, fault
+/// schedule and latency calibration are one network-wide reality.
+struct Shared {
     topology: Topology,
     policy: EndorsementPolicy,
-    validation: fabriccrdt_fabric::pipeline::ValidationPipeline,
-    gossip: GossipConfig,
+    validation: ValidationPipeline,
     faults: FaultConfig,
     /// Orderer → leader delivery latency (from the pipeline calibration).
     orderer_hop: LatencyModel,
-    make_validator: Box<dyn Fn() -> V>,
+}
+
+impl Shared {
+    /// Whether an active partition separates global peers `a` and `b`
+    /// at `now`.
+    fn partitioned(&self, now: SimTime, a: usize, b: usize) -> bool {
+        self.faults.partitions.iter().any(|p| {
+            now >= p.at && now < p.heal_at && (p.minority.contains(&a) != p.minority.contains(&b))
+        })
+    }
+
+    /// The ordering service sits on the majority side of every
+    /// partition.
+    fn orderer_reachable(&self, now: SimTime, peer: usize) -> bool {
+        !self
+            .faults
+            .partitions
+            .iter()
+            .any(|p| now >= p.at && now < p.heal_at && p.minority.contains(&peer))
+    }
+}
+
+/// One channel's state: its member replicas, ordering log, event
+/// timeline, PRNG stream and metrics.
+struct ChannelLane<V> {
+    id: ChannelId,
+    gossip: GossipConfig,
+    /// Global peer indices that are members, sorted ascending; slot
+    /// `k` is the replica of global peer `members[k]`.
+    members: Vec<usize>,
     rng: SimRng,
     queue: EventQueue<GossipEvent>,
     slots: Vec<Slot<V>>,
-    /// The ordering service's log: `(cut time, block)`, numbers `1..`.
+    /// The channel's ordering-service log: `(cut time, block)`,
+    /// numbers `1..`.
     published: Vec<(SimTime, Block)>,
     /// Seeded genesis-height state, replayed on durable recovery (it
     /// lives in no block).
     seeds: Vec<(String, Vec<u8>)>,
-    /// The cluster acknowledgement frontier (see the module docs).
+    /// The channel's acknowledgement frontier (see the module docs),
+    /// keyed by member position.
     acked: AckFrontier,
     metrics: DisseminationMetrics,
-    /// Time of the last processed event.
+    /// Time of the last processed event on this lane.
     clock: SimTime,
 }
 
+/// A deterministic, event-driven model of Fabric's gossip
+/// block-dissemination layer over the full topology, with fault
+/// injection and multi-channel multiplexing. See the module docs for
+/// the protocol summary.
+pub struct GossipNetwork<V> {
+    shared: Shared,
+    make_validator: Box<dyn Fn() -> V>,
+    lanes: Vec<ChannelLane<V>>,
+}
+
 impl<V: BlockValidator> GossipNetwork<V> {
-    /// Builds the network for a pipeline configuration. Uses
-    /// `config.gossip` (or [`GossipConfig::calibrated`] when unset),
-    /// applies `config.faults`, opens per-peer durable stores when
+    /// Builds a single-channel network for a pipeline configuration —
+    /// a one-lane [`GossipNetwork::new_multi`]. Uses `config.gossip`
+    /// (or [`GossipConfig::calibrated`] when unset), applies
+    /// `config.faults`, opens per-peer durable stores when
     /// `config.storage` is set, and forks its PRNG from `config.seed`,
     /// so identical configs replay identical runs. `make_validator`
     /// constructs one validator per replica (and per restart).
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent fault schedules: out-of-range peer
-    /// indices, a restart before its crash, a heal before its
-    /// partition, a partition isolating every peer, or a link drop
-    /// probability of 1.0 (which would disconnect the mesh for good).
-    /// Also panics if a configured storage backend cannot be opened.
+    /// See [`GossipNetwork::new_multi`].
     pub fn new(config: &PipelineConfig, make_validator: impl Fn() -> V + 'static) -> Self {
+        let spec = ChannelSpec::full(ChannelId::DEFAULT, config.topology.total_peers());
+        let multi = MultiChannelConfig {
+            base: config.clone(),
+            channels: vec![spec],
+        };
+        Self::new_multi(&multi, make_validator)
+    }
+
+    /// Builds one network hosting every channel of `multi` over the
+    /// shared topology and fault schedule. Channel `c`'s PRNG stream
+    /// is fork `c` of the base seed's gossip lane (channel 0 first, so
+    /// a 1-channel network is draw-for-draw identical to
+    /// [`GossipNetwork::new`] on the base config), and each crash /
+    /// restart / heal from the fault schedule is applied on every lane
+    /// the affected peer is a member of, at the same simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid deployment ([`MultiChannelConfig::validate`])
+    /// or inconsistent fault schedules: out-of-range peer indices, a
+    /// restart before its crash, a heal before its partition, a
+    /// partition isolating every peer, or a link drop probability of
+    /// 1.0 (which would disconnect the mesh for good). Also panics if
+    /// a configured storage backend cannot be opened.
+    pub fn new_multi(multi: &MultiChannelConfig, make_validator: impl Fn() -> V + 'static) -> Self {
+        multi.validate();
+        let config = &multi.base;
         let topology = config.topology.clone();
-        let n_peers = topology.orgs * topology.peers_per_org;
+        let n_peers = topology.total_peers();
         assert!(n_peers > 0, "topology has no peers");
-        let gossip = config
-            .gossip
-            .clone()
-            .unwrap_or_else(|| GossipConfig::calibrated(&topology));
-        assert!(
-            gossip.observed_peer < n_peers,
-            "observed peer {} out of range (peers: {n_peers})",
-            gossip.observed_peer
-        );
         let faults = config.faults.clone();
         for crash in &faults.crashes {
             assert!(crash.peer < n_peers, "crash peer out of range");
@@ -191,198 +279,379 @@ impl<V: BlockValidator> GossipNetwork<V> {
         );
 
         let mut root = SimRng::seed_from(config.seed);
-        let rng = root.fork(0x676f_7373_6970); // "gossip"
         let storage = config.storage.clone();
-        let slots = (0..n_peers)
-            .map(|i| Slot {
-                peer: Some(
-                    Peer::new(make_validator(), config.policy.clone())
-                        .with_pipeline(config.validation),
-                ),
-                saved: None,
-                buffer: BTreeMap::new(),
-                ticks_pending: 0,
-                catch_up: None,
-                store: storage
-                    .as_ref()
-                    .map(|cfg| DurableLedger::open(cfg, i).expect("peer storage opens")),
-                persisted: 0,
-                gc_floor: 0,
+        let lanes = multi
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(c, spec)| {
+                // Channel 0 must be the first fork with the historical
+                // "gossip" label: that reproduces the single-channel
+                // PRNG stream bit-for-bit.
+                let rng = root.fork(0x676f_7373_6970u64.wrapping_add(c as u64));
+                let gossip = config
+                    .gossip
+                    .clone()
+                    .unwrap_or_else(|| GossipConfig::calibrated(&topology));
+                assert!(
+                    gossip.observed_peer < n_peers,
+                    "observed peer {} out of range (peers: {n_peers})",
+                    gossip.observed_peer
+                );
+                let slots = spec
+                    .members
+                    .iter()
+                    .map(|&global| Slot {
+                        peer: Some(
+                            Peer::new(make_validator(), config.policy.clone())
+                                .with_pipeline(config.validation)
+                                .with_channel(spec.id),
+                        ),
+                        saved: None,
+                        buffer: BTreeMap::new(),
+                        ticks_pending: 0,
+                        catch_up: None,
+                        store: storage.as_ref().map(|cfg| {
+                            DurableLedger::open_channel(cfg, spec.id, global)
+                                .expect("peer storage opens")
+                        }),
+                        persisted: 0,
+                        gc_floor: 0,
+                    })
+                    .collect();
+                let mut queue = EventQueue::new();
+                for crash in &faults.crashes {
+                    let Ok(pos) = spec.members.binary_search(&crash.peer) else {
+                        continue; // not a member of this channel
+                    };
+                    queue.schedule(
+                        crash.at,
+                        GossipEvent {
+                            channel: spec.id,
+                            kind: EventKind::Crash { peer: pos },
+                        },
+                    );
+                    queue.schedule(
+                        crash.restart_at,
+                        GossipEvent {
+                            channel: spec.id,
+                            kind: EventKind::Restart { peer: pos },
+                        },
+                    );
+                }
+                for (index, partition) in faults.partitions.iter().enumerate() {
+                    queue.schedule(
+                        partition.heal_at,
+                        GossipEvent {
+                            channel: spec.id,
+                            kind: EventKind::Heal { partition: index },
+                        },
+                    );
+                }
+                ChannelLane {
+                    id: spec.id,
+                    gossip,
+                    members: spec.members.clone(),
+                    rng,
+                    queue,
+                    slots,
+                    published: Vec::new(),
+                    seeds: Vec::new(),
+                    acked: AckFrontier::new(),
+                    metrics: DisseminationMetrics::default(),
+                    clock: SimTime::ZERO,
+                }
             })
             .collect();
-        let mut queue = EventQueue::new();
-        for crash in &faults.crashes {
-            queue.schedule(crash.at, GossipEvent::Crash { peer: crash.peer });
-            queue.schedule(crash.restart_at, GossipEvent::Restart { peer: crash.peer });
-        }
-        for (index, partition) in faults.partitions.iter().enumerate() {
-            queue.schedule(partition.heal_at, GossipEvent::Heal { partition: index });
-        }
         GossipNetwork {
-            topology,
-            policy: config.policy.clone(),
-            validation: config.validation,
-            gossip,
-            faults,
-            orderer_hop: config.latency.orderer_to_peer,
+            shared: Shared {
+                topology,
+                policy: config.policy.clone(),
+                validation: config.validation,
+                faults,
+                orderer_hop: config.latency.orderer_to_peer,
+            },
             make_validator: Box::new(make_validator),
-            rng,
-            queue,
-            slots,
-            published: Vec::new(),
-            seeds: Vec::new(),
-            acked: AckFrontier::new(),
-            metrics: DisseminationMetrics::default(),
-            clock: SimTime::ZERO,
+            lanes,
         }
     }
 
-    /// Seeds a key into every replica's world state (mirror of
-    /// `Simulation::seed_state`). Call before any event is processed.
+    /// Number of channel lanes this network hosts.
+    pub fn channel_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The member set (global peer indices) of channel `ch`.
+    pub fn members(&self, ch: usize) -> &[usize] {
+        &self.lanes[ch].members
+    }
+
+    /// Seeds a key into every channel-0 replica's world state (mirror
+    /// of `Simulation::seed_state`). Call before any event is
+    /// processed.
     pub fn seed_state(&mut self, key: &str, value: &[u8]) {
-        self.seeds.push((key.to_string(), value.to_vec()));
-        for slot in &mut self.slots {
+        self.seed_state_on(0, key, value);
+    }
+
+    /// Seeds a key into every replica of channel `ch`.
+    pub fn seed_state_on(&mut self, ch: usize, key: &str, value: &[u8]) {
+        let lane = &mut self.lanes[ch];
+        lane.seeds.push((key.to_string(), value.to_vec()));
+        for slot in &mut lane.slots {
             if let Some(peer) = slot.peer.as_mut() {
                 peer.seed_state(key.to_string(), value.to_vec());
             }
         }
     }
 
-    /// Number of peers in the network.
+    /// Number of peers in the network's topology.
     pub fn peer_count(&self) -> usize {
-        self.slots.len()
+        self.shared.topology.total_peers()
     }
 
-    /// The replica at `index`, or `None` while it is crashed.
+    /// The channel-0 replica of global peer `index`, or `None` while
+    /// it is crashed.
     pub fn peer(&self, index: usize) -> Option<&Peer<V>> {
-        self.slots[index].peer.as_ref()
+        self.peer_on(0, index)
     }
 
-    /// Committed (post-genesis) block count of each peer; crashed peers
-    /// report 0.
+    /// The channel-`ch` replica of global peer `index`, or `None`
+    /// while it is crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is not a member of the channel.
+    pub fn peer_on(&self, ch: usize, index: usize) -> Option<&Peer<V>> {
+        let lane = &self.lanes[ch];
+        lane.slots[lane.pos(index)].peer.as_ref()
+    }
+
+    /// Committed (post-genesis) block count of each channel-0 member,
+    /// in member order; crashed replicas report 0.
     pub fn committed_heights(&self) -> Vec<u64> {
-        (0..self.slots.len()).map(|i| self.committed(i)).collect()
+        self.committed_heights_on(0)
     }
 
-    /// Blocks published by the ordering service so far.
+    /// Committed (post-genesis) block count of each channel-`ch`
+    /// member, in member order; crashed replicas report 0.
+    pub fn committed_heights_on(&self, ch: usize) -> Vec<u64> {
+        let lane = &self.lanes[ch];
+        (0..lane.slots.len()).map(|i| lane.committed(i)).collect()
+    }
+
+    /// Blocks published by channel 0's ordering service so far.
     pub fn published_count(&self) -> u64 {
-        self.published.len() as u64
+        self.published_count_on(0)
     }
 
-    /// Whether every peer is up and has committed every published block.
+    /// Blocks published by channel `ch`'s ordering service so far.
+    pub fn published_count_on(&self, ch: usize) -> u64 {
+        self.lanes[ch].published.len() as u64
+    }
+
+    /// Whether every channel-0 replica is up and has committed every
+    /// published block.
     pub fn fully_converged(&self) -> bool {
-        let expected = self.published_count();
-        (0..self.slots.len()).all(|i| self.slots[i].peer.is_some() && self.committed(i) == expected)
+        self.fully_converged_on(0)
     }
 
-    /// Time of the last processed event.
+    /// Whether every channel-`ch` replica is up and has committed
+    /// every block the channel published.
+    pub fn fully_converged_on(&self, ch: usize) -> bool {
+        let lane = &self.lanes[ch];
+        let expected = lane.published.len() as u64;
+        (0..lane.slots.len()).all(|i| lane.slots[i].peer.is_some() && lane.committed(i) == expected)
+    }
+
+    /// Time of the last processed channel-0 event.
     pub fn clock(&self) -> SimTime {
-        self.clock
+        self.clock_on(0)
     }
 
-    /// Dissemination metrics accumulated so far.
+    /// Time of the last processed event on channel `ch`.
+    pub fn clock_on(&self, ch: usize) -> SimTime {
+        self.lanes[ch].clock
+    }
+
+    /// Channel 0's dissemination metrics accumulated so far.
     pub fn metrics(&self) -> &DisseminationMetrics {
-        &self.metrics
+        &self.lanes[0].metrics
     }
 
-    /// Takes (and resets) the accumulated dissemination metrics.
+    /// Takes (and resets) channel 0's accumulated dissemination
+    /// metrics.
     pub fn take_metrics(&mut self) -> DisseminationMetrics {
-        std::mem::take(&mut self.metrics)
+        self.take_metrics_on(0)
     }
 
-    /// The cluster-wide GC floor: the minimum block height every peer
-    /// has acknowledged committing (0 without durable storage, or
-    /// before every peer has acknowledged anything).
+    /// Takes (and resets) channel `ch`'s accumulated dissemination
+    /// metrics.
+    pub fn take_metrics_on(&mut self, ch: usize) -> DisseminationMetrics {
+        std::mem::take(&mut self.lanes[ch].metrics)
+    }
+
+    /// Channel 0's GC floor: the minimum block height every member has
+    /// acknowledged committing (0 without durable storage, or before
+    /// every member has acknowledged anything).
     pub fn acked_floor(&self) -> u64 {
-        self.acked.min_acked(self.slots.len())
+        self.acked_floor_on(0)
     }
 
-    /// The latest snapshot in the replica's durable store, or `None`
-    /// while crashed / without storage / before the first snapshot.
+    /// Channel `ch`'s GC floor.
+    pub fn acked_floor_on(&self, ch: usize) -> u64 {
+        let lane = &self.lanes[ch];
+        lane.acked.min_acked(lane.slots.len())
+    }
+
+    /// The latest snapshot in the channel-0 replica's durable store,
+    /// or `None` while crashed / without storage / before the first
+    /// snapshot.
     pub fn durable_snapshot(&self, index: usize) -> Option<&LedgerSnapshot> {
-        self.slots[index]
+        self.durable_snapshot_on(0, index)
+    }
+
+    /// The latest snapshot in the channel-`ch` replica's durable
+    /// store.
+    pub fn durable_snapshot_on(&self, ch: usize, index: usize) -> Option<&LedgerSnapshot> {
+        let lane = &self.lanes[ch];
+        lane.slots[lane.pos(index)]
             .store
             .as_ref()
             .and_then(DurableLedger::latest_snapshot)
     }
 
-    /// Serialized ledger of the replica at `index` (state + chain
-    /// bytes), or `None` while it is crashed. Byte-equal snapshots mean
-    /// byte-equal ledgers — the reconvergence check.
+    /// Serialized ledger of the channel-0 replica at `index` (state +
+    /// chain bytes), or `None` while it is crashed. Byte-equal
+    /// snapshots mean byte-equal ledgers — the reconvergence check.
     pub fn snapshot(&self, index: usize) -> Option<PeerSnapshot> {
-        self.slots[index].peer.as_ref().map(Peer::snapshot)
+        self.snapshot_on(0, index)
     }
 
-    /// Publishes an orderer-cut block into the network, sampling the
-    /// orderer→leader hop from the network's own PRNG. Blocks must be
+    /// Serialized ledger of the channel-`ch` replica at `index`.
+    pub fn snapshot_on(&self, ch: usize, index: usize) -> Option<PeerSnapshot> {
+        self.peer_on(ch, index).map(Peer::snapshot)
+    }
+
+    /// Publishes an orderer-cut block into channel 0, sampling the
+    /// orderer→leader hop from the lane's own PRNG. Blocks must be
     /// published in order, numbered from 1.
     pub fn publish(&mut self, cut_at: SimTime, block: Block) {
-        let hop = self.orderer_hop.sample(&mut self.rng);
-        self.publish_with_hop(cut_at, hop, block);
+        self.publish_on(0, cut_at, block);
     }
 
-    /// Publishes with an explicit orderer→leader hop (used by
-    /// [`crate::GossipDelivery`], which samples the hop from the
-    /// pipeline's PRNG to stay draw-for-draw compatible with ideal FIFO
-    /// delivery).
+    /// Publishes an orderer-cut block into channel `ch`.
+    pub fn publish_on(&mut self, ch: usize, cut_at: SimTime, block: Block) {
+        let lane = &mut self.lanes[ch];
+        let hop = self.shared.orderer_hop.sample(&mut lane.rng);
+        lane.publish_with_hop(&self.shared, cut_at, hop, block);
+    }
+
+    /// Publishes into channel 0 with an explicit orderer→leader hop
+    /// (used by [`crate::GossipDelivery`], which samples the hop from
+    /// the pipeline's PRNG to stay draw-for-draw compatible with ideal
+    /// FIFO delivery).
     pub fn publish_with_hop(&mut self, cut_at: SimTime, hop: SimTime, block: Block) {
-        let number = block.header.number;
-        assert_eq!(
-            number,
-            self.published.len() as u64 + 1,
-            "blocks must be published in order, numbered from 1"
-        );
-        self.published.push((cut_at, block.clone()));
-        for org in 0..self.topology.orgs {
-            let leader = org * self.topology.peers_per_org;
-            if self.slots[leader].peer.is_some() && self.orderer_reachable(cut_at, leader) {
-                self.queue.schedule(
-                    cut_at + hop,
-                    GossipEvent::RawBlock {
-                        to: leader,
-                        from: None,
-                        block: block.clone(),
-                    },
-                );
-            }
-        }
-        // Arm the anti-entropy timers: any peer still behind once the
-        // pushes settle recovers through its tick.
-        for i in 0..self.slots.len() {
-            self.ensure_tick(cut_at, i);
-        }
+        self.publish_with_hop_on(0, cut_at, hop, block);
     }
 
-    /// Processes events until the replica at `peer` has committed block
-    /// `number`, returning the time that happened. Events already past
-    /// that point stay queued for later calls.
+    /// Publishes into channel `ch` with an explicit orderer→leader
+    /// hop.
+    pub fn publish_with_hop_on(&mut self, ch: usize, cut_at: SimTime, hop: SimTime, block: Block) {
+        self.lanes[ch].publish_with_hop(&self.shared, cut_at, hop, block);
+    }
+
+    /// Processes channel-0 events until the replica of global peer
+    /// `peer` has committed block `number`, returning the time that
+    /// happened. Events already past that point stay queued for later
+    /// calls.
     ///
     /// # Panics
     ///
-    /// Panics if the event queue drains first — a fault schedule that
-    /// never lets the peer recover (e.g. a partition without heal).
+    /// Panics if the lane's event queue drains first — a fault
+    /// schedule that never lets the peer recover (e.g. a partition
+    /// without heal).
     pub fn run_until_committed(&mut self, peer: usize, number: u64) -> SimTime {
-        while self.slots[peer].peer.is_none() || self.committed(peer) < number {
-            let Some((now, event)) = self.queue.pop() else {
-                panic!("gossip network deadlocked: peer {peer} never commits block {number}");
+        self.run_until_committed_on(0, peer, number)
+    }
+
+    /// Processes channel-`ch` events until the replica of global peer
+    /// `peer` has committed block `number`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's event queue drains first.
+    pub fn run_until_committed_on(&mut self, ch: usize, peer: usize, number: u64) -> SimTime {
+        let lane = &mut self.lanes[ch];
+        let pos = lane.pos(peer);
+        while lane.slots[pos].peer.is_none() || lane.committed(pos) < number {
+            let Some((now, event)) = lane.queue.pop() else {
+                panic!(
+                    "gossip network deadlocked: {} peer {peer} never commits block {number}",
+                    lane.id
+                );
             };
-            self.clock = now;
-            self.handle(now, event);
+            lane.clock = now;
+            lane.handle(&self.shared, self.make_validator.as_ref(), now, event);
         }
-        self.clock
+        lane.clock
     }
 
-    /// Processes every remaining event (fault windows close, stragglers
-    /// catch up, timers expire) and returns the final clock.
+    /// Processes every remaining event on every lane (fault windows
+    /// close, stragglers catch up, timers expire) and returns the
+    /// latest lane clock.
     pub fn drain(&mut self) -> SimTime {
-        while let Some((now, event)) = self.queue.pop() {
-            self.clock = now;
-            self.handle(now, event);
-        }
-        self.clock
+        (0..self.lanes.len())
+            .map(|ch| self.drain_on(ch))
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
-    /// Committed (post-genesis) block count; 0 while crashed.
+    /// Processes every remaining event on channel `ch` only, leaving
+    /// other lanes' queues untouched — so one channel's simulation can
+    /// finish (fault windows close, stragglers catch up) while its
+    /// siblings are still publishing.
+    pub fn drain_on(&mut self, ch: usize) -> SimTime {
+        let lane = &mut self.lanes[ch];
+        while let Some((now, event)) = lane.queue.pop() {
+            lane.clock = now;
+            lane.handle(&self.shared, self.make_validator.as_ref(), now, event);
+        }
+        lane.clock
+    }
+
+    /// The global index of channel `ch`'s *observed* replica — the one
+    /// whose commit time defines block delivery for the channel's
+    /// pipeline: the configured observed peer when it is a member,
+    /// otherwise the channel's last member (the farthest from the
+    /// orderer).
+    pub fn observed_on(&self, ch: usize) -> usize {
+        let lane = &self.lanes[ch];
+        if lane
+            .members
+            .binary_search(&lane.gossip.observed_peer)
+            .is_ok()
+        {
+            lane.gossip.observed_peer
+        } else {
+            *lane.members.last().expect("channel has members")
+        }
+    }
+}
+
+impl<V: BlockValidator> ChannelLane<V> {
+    /// Member position of global peer `global`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the peer is not a member of this channel.
+    fn pos(&self, global: usize) -> usize {
+        self.members
+            .binary_search(&global)
+            .unwrap_or_else(|_| panic!("peer {global} is not a member of {}", self.id))
+    }
+
+    /// Committed (post-genesis) block count of slot `i`; 0 while
+    /// crashed.
     fn committed(&self, i: usize) -> u64 {
         self.slots[i]
             .peer
@@ -395,41 +664,77 @@ impl<V: BlockValidator> GossipNetwork<V> {
         self.slots[i].buffer.contains_key(&number) || self.committed(i) >= number
     }
 
-    /// Whether an active partition separates `a` and `b` at `now`.
-    fn partitioned(&self, now: SimTime, a: usize, b: usize) -> bool {
-        self.faults.partitions.iter().any(|p| {
-            now >= p.at && now < p.heal_at && (p.minority.contains(&a) != p.minority.contains(&b))
-        })
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        self.queue.schedule(
+            at,
+            GossipEvent {
+                channel: self.id,
+                kind,
+            },
+        );
     }
 
-    /// The ordering service sits on the majority side of every
-    /// partition.
-    fn orderer_reachable(&self, now: SimTime, peer: usize) -> bool {
-        !self
-            .faults
-            .partitions
-            .iter()
-            .any(|p| now >= p.at && now < p.heal_at && p.minority.contains(&peer))
+    fn publish_with_hop(&mut self, shared: &Shared, cut_at: SimTime, hop: SimTime, block: Block) {
+        let number = block.header.number;
+        assert_eq!(
+            number,
+            self.published.len() as u64 + 1,
+            "blocks must be published in order, numbered from 1"
+        );
+        self.published.push((cut_at, block.clone()));
+        let ppo = shared.topology.peers_per_org;
+        for org in 0..shared.topology.orgs {
+            // The channel leader of an org is its lowest-indexed
+            // member (the org's peer 0 under full membership).
+            let Some(leader) = (0..self.slots.len()).find(|&k| self.members[k] / ppo == org) else {
+                continue;
+            };
+            if self.slots[leader].peer.is_some()
+                && shared.orderer_reachable(cut_at, self.members[leader])
+            {
+                self.schedule(
+                    cut_at + hop,
+                    EventKind::RawBlock {
+                        to: leader,
+                        from: None,
+                        block: block.clone(),
+                    },
+                );
+            }
+        }
+        // Arm the anti-entropy timers: any replica still behind once
+        // the pushes settle recovers through its tick.
+        for i in 0..self.slots.len() {
+            self.ensure_tick(cut_at, i);
+        }
     }
 
-    fn handle(&mut self, now: SimTime, event: GossipEvent) {
-        match event {
-            GossipEvent::RawBlock { to, from, block } => self.raw_block(now, to, from, block),
-            GossipEvent::Transfer { to, blocks } => self.transfer(now, to, blocks),
-            GossipEvent::SnapshotTransfer {
+    fn handle(&mut self, shared: &Shared, mk: &dyn Fn() -> V, now: SimTime, event: GossipEvent) {
+        debug_assert_eq!(event.channel, self.id, "event routed to the wrong lane");
+        match event.kind {
+            EventKind::RawBlock { to, from, block } => self.raw_block(shared, now, to, from, block),
+            EventKind::Transfer { to, blocks } => self.transfer(now, to, blocks),
+            EventKind::SnapshotTransfer {
                 to,
                 snapshot,
                 frontier,
                 suffix,
-            } => self.snapshot_transfer(now, to, snapshot, frontier, suffix),
-            GossipEvent::Tick { peer } => self.tick(now, peer),
-            GossipEvent::Crash { peer } => self.crash(now, peer),
-            GossipEvent::Restart { peer } => self.restart(now, peer),
-            GossipEvent::Heal { partition } => self.heal(now, partition),
+            } => self.snapshot_transfer(shared, mk, now, to, snapshot, frontier, suffix),
+            EventKind::Tick { peer } => self.tick(shared, now, peer),
+            EventKind::Crash { peer } => self.crash(now, peer),
+            EventKind::Restart { peer } => self.restart(shared, mk, now, peer),
+            EventKind::Heal { partition } => self.heal(shared, now, partition),
         }
     }
 
-    fn raw_block(&mut self, now: SimTime, to: usize, from: Option<usize>, block: Block) {
+    fn raw_block(
+        &mut self,
+        shared: &Shared,
+        now: SimTime,
+        to: usize,
+        from: Option<usize>,
+        block: Block,
+    ) {
         if self.slots[to].peer.is_none() {
             return; // down: the message is lost
         }
@@ -442,48 +747,55 @@ impl<V: BlockValidator> GossipNetwork<V> {
         }
         self.record_arrival(now, number);
         self.slots[to].buffer.insert(number, block.clone());
-        self.forward(now, to, from, &block);
+        self.forward(shared, now, to, from, &block);
         self.commit_buffered(to);
         self.check_catch_up(now, to);
     }
 
-    /// Push-forwards a freshly seen block to `fanout` random peers
-    /// (excluding self and the sender), applying link faults.
-    fn forward(&mut self, now: SimTime, i: usize, sender: Option<usize>, block: &Block) {
+    /// Push-forwards a freshly seen block to `fanout` random member
+    /// replicas (excluding self and the sender), applying link faults.
+    fn forward(
+        &mut self,
+        shared: &Shared,
+        now: SimTime,
+        i: usize,
+        sender: Option<usize>,
+        block: &Block,
+    ) {
         let mut candidates: Vec<usize> = (0..self.slots.len())
             .filter(|&j| j != i && Some(j) != sender)
             .collect();
         for _ in 0..self.gossip.fanout.min(candidates.len()) {
             let pick = self.rng.gen_range(0, candidates.len() as u64) as usize;
             let target = candidates.swap_remove(pick);
-            self.send_raw(now, i, target, block);
+            self.send_raw(shared, now, i, target, block);
         }
     }
 
-    fn send_raw(&mut self, now: SimTime, from: usize, to: usize, block: &Block) {
-        if self.partitioned(now, from, to) {
+    fn send_raw(&mut self, shared: &Shared, now: SimTime, from: usize, to: usize, block: &Block) {
+        if shared.partitioned(now, self.members[from], self.members[to]) {
             return;
         }
         self.metrics.messages_sent += 1;
-        if self.rng.gen_bool(self.faults.link.drop) {
+        if self.rng.gen_bool(shared.faults.link.drop) {
             self.metrics.messages_dropped += 1;
             return;
         }
-        let delay = self.link_delay();
-        self.queue.schedule(
+        let delay = self.link_delay(shared);
+        self.schedule(
             now + delay,
-            GossipEvent::RawBlock {
+            EventKind::RawBlock {
                 to,
                 from: Some(from),
                 block: block.clone(),
             },
         );
-        if self.rng.gen_bool(self.faults.link.duplicate) {
+        if self.rng.gen_bool(shared.faults.link.duplicate) {
             self.metrics.messages_duplicated += 1;
-            let delay = self.link_delay();
-            self.queue.schedule(
+            let delay = self.link_delay(shared);
+            self.schedule(
                 now + delay,
-                GossipEvent::RawBlock {
+                EventKind::RawBlock {
                     to,
                     from: Some(from),
                     block: block.clone(),
@@ -492,36 +804,63 @@ impl<V: BlockValidator> GossipNetwork<V> {
         }
     }
 
-    fn link_delay(&mut self) -> SimTime {
-        self.gossip.link.sample(&mut self.rng) + self.faults.link.extra_delay.sample(&mut self.rng)
+    fn link_delay(&mut self, shared: &Shared) -> SimTime {
+        self.gossip.link.sample(&mut self.rng)
+            + shared.faults.link.extra_delay.sample(&mut self.rng)
     }
 
     /// Whether helper `j` can replay-serve a peer whose committed
-    /// height is `above`: its in-memory chain must still hold block
-    /// `above + 1` (a snapshot-installed helper's chain may not).
+    /// height is `above`: block `above + 1` must be in its in-memory
+    /// chain *or* retained in its durable store (a snapshot-installed
+    /// helper's chain may have moved past it, but its store can still
+    /// serve the prefix).
     fn can_replay_from(&self, j: usize, above: u64) -> bool {
-        self.slots[j]
-            .peer
+        let slot = &self.slots[j];
+        slot.peer
             .as_ref()
             .is_some_and(|p| p.chain().block(above + 1).is_some())
+            || slot.store.as_ref().is_some_and(|s| s.has_block(above + 1))
     }
 
-    /// Encoded bytes of helper `j`'s blocks above `above` — the wire
-    /// cost of a replay transfer.
-    fn suffix_bytes(&self, j: usize, above: u64) -> u64 {
-        self.slots[j]
-            .peer
-            .as_ref()
-            .expect("helper is up")
-            .chain()
+    /// The contiguous block run starting at `above + 1` that helper
+    /// `j` can ship, merged from its durable store and its in-memory
+    /// chain (chain copies win; both re-seal identically). Empty when
+    /// the helper holds neither source for `above + 1`.
+    fn replay_suffix(&self, j: usize, above: u64) -> Vec<Block> {
+        let slot = &self.slots[j];
+        let peer = slot.peer.as_ref().expect("helper is up");
+        let mut merged: BTreeMap<u64, Block> = BTreeMap::new();
+        if let Some(store) = slot.store.as_ref() {
+            let retained = store.retained_blocks().expect("helper store reads back");
+            for block in retained {
+                if block.header.number > above {
+                    merged.insert(block.header.number, block);
+                }
+            }
+        }
+        for block in peer.chain().iter().filter(|b| b.header.number > above) {
+            merged.insert(block.header.number, block.clone());
+        }
+        let mut suffix = Vec::with_capacity(merged.len());
+        let mut next = above + 1;
+        while let Some(block) = merged.remove(&next) {
+            suffix.push(block);
+            next += 1;
+        }
+        suffix
+    }
+
+    /// Encoded bytes of a block run — the wire cost of a replay
+    /// transfer.
+    fn suffix_bytes(suffix: &[Block]) -> u64 {
+        suffix
             .iter()
-            .filter(|b| b.header.number > above)
             .map(|b| codec::encode_block(b).len() as u64)
             .sum()
     }
 
-    /// Helper `j`'s latest durable snapshot, if it would advance a peer
-    /// whose committed height is `above`.
+    /// Helper `j`'s latest durable snapshot, if it would advance a
+    /// peer whose committed height is `above`.
     fn snapshot_offer(&self, j: usize, above: u64) -> Option<&LedgerSnapshot> {
         let snapshot = self.slots[j].store.as_ref()?.latest_snapshot()?;
         (snapshot.last_block > above).then_some(snapshot)
@@ -532,59 +871,55 @@ impl<V: BlockValidator> GossipNetwork<V> {
     /// bytes, a snapshot install plus suffix — falling back to
     /// re-requesting raw blocks from the ordering service; re-arms
     /// while still behind.
-    fn tick(&mut self, now: SimTime, i: usize) {
+    fn tick(&mut self, shared: &Shared, now: SimTime, i: usize) {
         self.slots[i].ticks_pending -= 1;
         if self.slots[i].peer.is_none() {
             return; // restart re-arms
         }
         let mine = self.committed(i);
-        let published = self.published_count();
+        let published = self.published.len() as u64;
         let candidates: Vec<usize> = (0..self.slots.len())
             .filter(|&j| {
                 j != i
-                    && !self.partitioned(now, i, j)
+                    && !shared.partitioned(now, self.members[i], self.members[j])
                     && self.committed(j) > mine
                     && (self.can_replay_from(j, mine) || self.snapshot_offer(j, mine).is_some())
             })
             .collect();
         if !candidates.is_empty() {
             let j = candidates[self.rng.gen_range(0, candidates.len() as u64) as usize];
-            let replay_bytes = self
-                .can_replay_from(j, mine)
-                .then(|| self.suffix_bytes(j, mine));
+            let replay_suffix = self.replay_suffix(j, mine);
+            let replay_bytes =
+                (!replay_suffix.is_empty()).then(|| Self::suffix_bytes(&replay_suffix));
             // Snapshot cost: the encoded snapshot, the frontier delta,
             // and the post-snapshot block suffix.
             let snapshot_plan = self.snapshot_offer(j, mine).map(|snapshot| {
                 let snapshot_bytes =
                     snapshot.encoded_len() as u64 + self.acked.to_bytes().len() as u64;
-                let total = snapshot_bytes + self.suffix_bytes(j, snapshot.last_block);
-                (snapshot.last_block, snapshot_bytes, total)
+                let last_block = snapshot.last_block;
+                (last_block, snapshot_bytes)
+            });
+            let snapshot_plan = snapshot_plan.map(|(last_block, snapshot_bytes)| {
+                let suffix = self.replay_suffix(j, last_block);
+                let total = snapshot_bytes + Self::suffix_bytes(&suffix);
+                (snapshot_bytes, total, suffix)
             });
             // Pure byte-cost negotiation, no PRNG draws: ties go to
             // replay, which preserves full-chain byte identity.
             let use_snapshot = match (replay_bytes, &snapshot_plan) {
-                (Some(replay), Some((_, _, total))) => *total < replay,
+                (Some(replay), Some((_, total, _))) => *total < replay,
                 (None, Some(_)) => true,
                 (Some(_), None) => false,
                 (None, None) => unreachable!("candidate filter guarantees one option"),
             };
             let delay = self.gossip.link.sample(&mut self.rng);
             if use_snapshot {
-                let (snapshot_block, snapshot_bytes, total) =
+                let (snapshot_bytes, total, suffix) =
                     snapshot_plan.expect("use_snapshot implies a plan");
                 let snapshot = self
                     .snapshot_offer(j, mine)
                     .expect("plan came from this offer")
                     .clone();
-                let suffix: Vec<Block> = self.slots[j]
-                    .peer
-                    .as_ref()
-                    .expect("helper is up")
-                    .chain()
-                    .iter()
-                    .filter(|b| b.header.number > snapshot_block)
-                    .cloned()
-                    .collect();
                 self.metrics.anti_entropy_transfers += 1;
                 self.metrics.anti_entropy_blocks += suffix.len() as u64;
                 self.metrics.anti_entropy_bytes += total;
@@ -595,9 +930,9 @@ impl<V: BlockValidator> GossipNetwork<V> {
                     active.snapshot_bytes =
                         Some(active.snapshot_bytes.unwrap_or(0) + snapshot_bytes);
                 }
-                self.queue.schedule(
+                self.schedule(
                     now + delay,
-                    GossipEvent::SnapshotTransfer {
+                    EventKind::SnapshotTransfer {
                         to: i,
                         snapshot,
                         frontier: self.acked.clone(),
@@ -605,26 +940,22 @@ impl<V: BlockValidator> GossipNetwork<V> {
                     },
                 );
             } else {
-                let blocks: Vec<Block> = self.slots[j]
-                    .peer
-                    .as_ref()
-                    .expect("helper is up")
-                    .chain()
-                    .iter()
-                    .filter(|b| b.header.number > mine)
-                    .cloned()
-                    .collect();
                 let bytes = replay_bytes.expect("replay branch implies replay is possible");
                 self.metrics.anti_entropy_transfers += 1;
-                self.metrics.anti_entropy_blocks += blocks.len() as u64;
+                self.metrics.anti_entropy_blocks += replay_suffix.len() as u64;
                 self.metrics.anti_entropy_bytes += bytes;
                 if let Some(active) = self.slots[i].catch_up.as_mut() {
                     active.bytes += bytes;
                 }
-                self.queue
-                    .schedule(now + delay, GossipEvent::Transfer { to: i, blocks });
+                self.schedule(
+                    now + delay,
+                    EventKind::Transfer {
+                        to: i,
+                        blocks: replay_suffix,
+                    },
+                );
             }
-        } else if mine < published && self.orderer_reachable(now, i) {
+        } else if mine < published && shared.orderer_reachable(now, self.members[i]) {
             // No peer can help (all behind or unreachable): reconnect to
             // the deliver service and re-request what's missing.
             let missing: Vec<Block> = (mine + 1..=published)
@@ -632,10 +963,10 @@ impl<V: BlockValidator> GossipNetwork<V> {
                 .map(|n| self.published[n as usize - 1].1.clone())
                 .collect();
             for block in missing {
-                let hop = self.orderer_hop.sample(&mut self.rng);
-                self.queue.schedule(
+                let hop = shared.orderer_hop.sample(&mut self.rng);
+                self.schedule(
                     now + hop,
-                    GossipEvent::RawBlock {
+                    EventKind::RawBlock {
                         to: i,
                         from: None,
                         block,
@@ -676,8 +1007,11 @@ impl<V: BlockValidator> GossipNetwork<V> {
     /// Installs a donor snapshot on a catching-up peer (unless it
     /// raced ahead on its own), merges the shipped frontier delta, and
     /// replays the post-snapshot suffix.
+    #[allow(clippy::too_many_arguments)]
     fn snapshot_transfer(
         &mut self,
+        shared: &Shared,
+        mk: &dyn Fn() -> V,
         now: SimTime,
         to: usize,
         snapshot: LedgerSnapshot,
@@ -689,27 +1023,28 @@ impl<V: BlockValidator> GossipNetwork<V> {
         }
         self.acked.join(&frontier);
         if self.committed(to) < snapshot.last_block {
-            let mut peer = Peer::restore_from_snapshot(
-                (self.make_validator)(),
-                self.policy.clone(),
-                &snapshot,
-            )
-            .expect("a donor snapshot restores cleanly");
-            peer.set_pipeline(self.validation);
+            let mut peer = Peer::restore_from_snapshot(mk(), shared.policy.clone(), &snapshot)
+                .expect("a donor snapshot restores cleanly");
+            peer.set_pipeline(shared.validation);
+            peer.set_channel(self.id);
             let slot = &mut self.slots[to];
             slot.peer = Some(peer);
             slot.buffer
                 .retain(|number, _| *number > snapshot.last_block);
             if let Some(store) = slot.store.as_mut() {
                 // Adopt the snapshot locally so this peer's own crash
-                // recovery starts from it; the stale block prefix it
-                // covers is compacted away.
+                // recovery starts from it. The stale block prefix it
+                // covers is compacted away only under GC: without GC
+                // the prefix stays serveable to other lagging peers
+                // (see `replay_suffix`).
                 store
                     .put_snapshot(snapshot.clone())
                     .expect("local store accepts the snapshot");
-                store
-                    .compact_up_to(snapshot.last_block)
-                    .expect("local store compacts");
+                if store.gc_enabled() {
+                    store
+                        .compact_up_to(snapshot.last_block)
+                        .expect("local store compacts");
+                }
             }
             slot.persisted = slot.persisted.max(snapshot.last_block);
         }
@@ -732,13 +1067,13 @@ impl<V: BlockValidator> GossipNetwork<V> {
         self.note_commit(i);
     }
 
-    /// Post-commit bookkeeping for peer `i`: mirror newly committed
+    /// Post-commit bookkeeping for slot `i`: mirror newly committed
     /// blocks into its durable store, write a snapshot when one is
-    /// due, acknowledge the committed height on the cluster frontier,
+    /// due, acknowledge the committed height on the channel frontier,
     /// and — with GC enabled — prune history and compact the store up
     /// to the frontier's minimum.
     fn note_commit(&mut self, i: usize) {
-        let n_peers = self.slots.len();
+        let n_members = self.slots.len();
         let slot = &mut self.slots[i];
         let Some(peer) = slot.peer.as_ref() else {
             return;
@@ -760,7 +1095,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
             }
         }
         self.acked.ack(i, height);
-        let floor = self.acked.min_acked(n_peers);
+        let floor = self.acked.min_acked(n_members);
         let slot = &mut self.slots[i];
         if floor > slot.gc_floor && slot.store.as_ref().is_some_and(DurableLedger::gc_enabled) {
             if let (Some(peer), Some(store)) = (slot.peer.as_mut(), slot.store.as_mut()) {
@@ -774,6 +1109,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
     }
 
     fn crash(&mut self, now: SimTime, p: usize) {
+        let global = self.members[p];
         let slot = &mut self.slots[p];
         let Some(peer) = slot.peer.take() else {
             return;
@@ -789,7 +1125,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
         // catch-up statistics stay honest under repeated crashes.
         if let Some(active) = slot.catch_up.take() {
             self.metrics.catch_up.push(CatchUpEpisode {
-                peer: p,
+                peer: global,
                 from: active.from,
                 bytes_shipped: active.bytes,
                 outcome: CatchUpOutcome::Abandoned { at: now },
@@ -797,14 +1133,14 @@ impl<V: BlockValidator> GossipNetwork<V> {
         }
     }
 
-    fn restart(&mut self, now: SimTime, p: usize) {
+    fn restart(&mut self, shared: &Shared, mk: &dyn Fn() -> V, now: SimTime, p: usize) {
         let mut peer = if self.slots[p].store.is_some() {
             let seeds = self.seeds.clone();
             let recovery = self.slots[p]
                 .store
                 .as_ref()
                 .expect("checked above")
-                .recover_seeded((self.make_validator)(), self.policy.clone(), move |peer| {
+                .recover_seeded(mk(), shared.policy.clone(), move |peer| {
                     for (key, value) in seeds {
                         peer.seed_state(key, value);
                     }
@@ -817,17 +1153,21 @@ impl<V: BlockValidator> GossipNetwork<V> {
                 .saved
                 .take()
                 .expect("restart follows a crash with a saved ledger");
-            Peer::restore((self.make_validator)(), self.policy.clone(), &snapshot)
+            Peer::restore(mk(), shared.policy.clone(), &snapshot)
                 .expect("a peer's own snapshot restores cleanly")
         };
-        peer.set_pipeline(self.validation);
+        peer.set_pipeline(shared.validation);
+        peer.set_channel(self.id);
         self.slots[p].peer = Some(peer);
         self.begin_catch_up(now, p);
     }
 
-    fn heal(&mut self, now: SimTime, partition: usize) {
-        let minority = self.faults.partitions[partition].minority.clone();
-        for p in minority {
+    fn heal(&mut self, shared: &Shared, now: SimTime, partition: usize) {
+        let minority = shared.faults.partitions[partition].minority.clone();
+        for global in minority {
+            let Ok(p) = self.members.binary_search(&global) else {
+                continue; // not a member of this channel
+            };
             if self.slots[p].peer.is_some() {
                 self.begin_catch_up(now, p);
             }
@@ -835,7 +1175,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
     }
 
     /// Registers a catch-up episode for a rejoining peer (target: what
-    /// the rest of the network has committed right now) and pulls
+    /// the rest of the channel has committed right now) and pulls
     /// immediately.
     fn begin_catch_up(&mut self, now: SimTime, p: usize) {
         let target = (0..self.slots.len())
@@ -852,7 +1192,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
             });
         }
         self.slots[p].ticks_pending += 1;
-        self.queue.schedule(now, GossipEvent::Tick { peer: p });
+        self.schedule(now, EventKind::Tick { peer: p });
     }
 
     fn check_catch_up(&mut self, now: SimTime, i: usize) {
@@ -870,7 +1210,7 @@ impl<V: BlockValidator> GossipNetwork<V> {
                 None => CatchUpOutcome::Replay { caught_up_at: now },
             };
             self.metrics.catch_up.push(CatchUpEpisode {
-                peer: i,
+                peer: self.members[i],
                 from: active.from,
                 bytes_shipped: active.bytes,
                 outcome,
@@ -884,9 +1224,9 @@ impl<V: BlockValidator> GossipNetwork<V> {
             return;
         }
         self.slots[i].ticks_pending += 1;
-        self.queue.schedule(
+        self.schedule(
             now + self.gossip.anti_entropy_interval,
-            GossipEvent::Tick { peer: i },
+            EventKind::Tick { peer: i },
         );
     }
 

@@ -344,6 +344,122 @@ fn gc_sweep_prunes_at_the_acknowledged_floor_without_divergence() {
     });
 }
 
+/// A fully endorsed CRDT transaction appending an explicit reading
+/// value (sized by the caller) to the shared hot key.
+fn endorsed_tx_on_key(nonce: u64, key: &str, reading: &str) -> Transaction {
+    let client = Identity::new("client", "org1");
+    let mut rwset = ReadWriteSet::new();
+    rwset.reads.record(key, Some(Height::new(0, 0)));
+    rwset.writes.put_crdt(
+        key.to_string(),
+        format!(r#"{{"readings":["{reading}"]}}"#).into_bytes(),
+    );
+    let mut tx = Transaction {
+        id: TxId::derive(&client, nonce, "cc"),
+        client,
+        chaincode: "cc".into(),
+        rwset,
+        endorsements: Vec::new(),
+    };
+    let payload = tx.response_payload();
+    for org in ["org1", "org2", "org3"] {
+        let kp = KeyPair::derive(Identity::new("peer0", org));
+        tx.endorsements.push(Endorsement {
+            endorser: kp.identity().clone(),
+            signature: kp.sign(&payload),
+        });
+    }
+    tx
+}
+
+/// Regression (satellite): a helper whose in-memory chain base moved up
+/// (it recovered through its own durable snapshot) used to be unable to
+/// serve replay below that base even though its store still retained
+/// the blocks — forcing every lagging peer it helped onto the
+/// snapshot path. Anti-entropy must fall back to reading the suffix
+/// from the helper's `LedgerStore`.
+///
+/// Setup (40 ms cadence so every block commits before the first 500 ms
+/// anti-entropy tick, block by block): peer 1 crashes at height 1 and
+/// peer 5 at height 2, pinning the frontier floor; peer 1 recovers
+/// mid-stream, advancing the floor to 2 while commits are still
+/// running, so every live peer prunes its chain and compacts its store
+/// down to `blocks 3.. + snapshots`. Helper peer 3 — holding
+/// `snap(4) + snap(8) + blocks 3..10` — then crashes and recovers from
+/// its own store: a snapshot-path recovery (blocks 3..10 are not
+/// contiguous from 1), leaving its in-memory chain based at block 9
+/// while the store still retains 3..10. Peer 5 finally restarts at
+/// height 2 inside a partition where peer 3 is the only reachable
+/// helper and the orderer is unreachable. Blocks 1–2 carry fat CRDT
+/// payloads that persist in the world state (making every snapshot
+/// expensive) while blocks 3..10 are small — so the byte negotiation
+/// must pick replay of 3..10, which only the helper's *store* can
+/// serve.
+#[test]
+fn snapshot_recovered_helper_serves_replay_from_its_store() {
+    let faults = FaultConfig {
+        crashes: vec![
+            crash(1, 58, 180),  // pins the floor at 1, then releases it
+            crash(5, 95, 2000), // the lagging peer, pinned at height 2
+            crash(3, 450, 550), // the helper; recovers via its snapshot
+        ],
+        partitions: vec![PartitionSpec {
+            at: SimTime::from_millis(500),
+            heal_at: SimTime::from_millis(3000),
+            minority: vec![3, 5],
+        }],
+        ..FaultConfig::none()
+    };
+    let config = PipelineConfig::paper(25, 17)
+        .with_gossip()
+        .with_faults(faults)
+        .with_storage(
+            StorageConfig::memory()
+                .with_snapshot_interval(4)
+                .with_gc(true),
+        );
+    let fat = "x".repeat(24_000);
+    let blocks: Vec<Block> = (1..=10u64)
+        .map(|n| {
+            let reading = if n <= 2 {
+                format!("r{n}-{fat}")
+            } else {
+                format!("r{n}")
+            };
+            let key = format!("k{n}");
+            Block::assemble(n, [0; 32], vec![endorsed_tx_on_key(n, &key, &reading)])
+        })
+        .collect();
+    let mut network = seeded_network(&config);
+    for (i, block) in blocks.iter().enumerate() {
+        network.publish(SimTime::from_millis(40 * (i as u64 + 1)), block.clone());
+    }
+    network.drain();
+    assert_states_match_reference(&network, &blocks);
+
+    // The wedge actually existed: the helper's chain was rebased onto
+    // its own snap(8), so blocks 3..8 could only have come from its
+    // store.
+    let helper = network.peer(3).expect("helper up after drain");
+    assert!(
+        helper.chain().block(8).is_none(),
+        "helper chain was not truncated; the scenario lost its wedge"
+    );
+    assert!(helper.chain().block(9).is_some());
+
+    let episode = network
+        .metrics()
+        .catch_up
+        .iter()
+        .find(|e| e.peer == 5 && e.completed_at().is_some())
+        .expect("the lagging peer completes its catch-up");
+    assert!(
+        !episode.used_snapshot(),
+        "catch-up must be served by store-backed replay, not a snapshot"
+    );
+    assert!(episode.bytes_shipped > 0);
+}
+
 fn arb_faults(g: &mut Gen) -> FaultConfig {
     let mut faults = FaultConfig {
         link: LinkFaults {

@@ -24,12 +24,16 @@
 //!
 //! # Durability model
 //!
-//! [`AofStore`] flushes after every append but does not `fsync`: the
-//! simulated crash model is process loss, not power loss, and the
-//! torn-tail scan handles a partially written final record either way.
-//! On open, records are scanned sequentially and the file is truncated
-//! at the first record that is short, fails its footer check, or does
-//! not decode — exactly Fabric's block-file recovery behaviour.
+//! [`AofStore`] flushes after every append but, by default, does not
+//! `fsync`: the simulated crash model is process loss, not power loss,
+//! and the torn-tail scan handles a partially written final record
+//! either way. [`AofStore::open_with_fsync`] upgrades the crash model
+//! to power loss: every appended record (and every compaction rewrite)
+//! is `fsync`ed before the call returns, at the cost of one
+//! `sync_data` per record. On open, records are scanned sequentially
+//! and the file is truncated at the first record that is short, fails
+//! its footer check, or does not decode — exactly Fabric's block-file
+//! recovery behaviour.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -222,6 +226,16 @@ pub trait LedgerStore: Send {
     ///
     /// Returns a [`StoreError`] when records cannot be read back.
     fn load(&self) -> Result<StoredLedger, StoreError>;
+
+    /// Whether the store retains a block record numbered `number`.
+    /// Backends answer this from their in-memory record index, so
+    /// callers (e.g. gossip anti-entropy candidate selection) can probe
+    /// cheaply without decoding the whole store.
+    fn has_block(&self, number: u64) -> bool {
+        self.load()
+            .map(|stored| stored.blocks.iter().any(|b| b.header.number == number))
+            .unwrap_or(false)
+    }
 }
 
 // ------------------------------------------------------------- memory
@@ -291,6 +305,10 @@ impl LedgerStore for MemoryStore {
             .map(|(_, bytes)| codec::decode_block(bytes))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(StoredLedger { snapshot, blocks })
+    }
+
+    fn has_block(&self, number: u64) -> bool {
+        self.blocks.iter().any(|(n, _)| *n == number)
     }
 }
 
@@ -371,17 +389,34 @@ pub struct AofStore {
     /// and maintained on append — compaction and load never rescan for
     /// structure, only re-read payloads.
     records: Vec<(u8, u64, Vec<u8>)>,
+    /// When set, every append (and every compaction rewrite) is
+    /// `fsync`ed before the call returns.
+    fsync: bool,
 }
 
 impl AofStore {
     /// Opens (creating if absent) the append-only file at `path`,
-    /// truncating any torn tail left by a crash mid-append.
+    /// truncating any torn tail left by a crash mid-append. Appends
+    /// flush but do not `fsync`; use [`AofStore::open_with_fsync`] for
+    /// power-loss durability.
     ///
     /// # Errors
     ///
     /// Returns a [`StoreError`] when the file cannot be opened, read
     /// or truncated.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with_fsync(path, false)
+    }
+
+    /// Opens the append-only file at `path` like [`AofStore::open`],
+    /// additionally `fsync`ing every appended record when `fsync` is
+    /// set so a power loss cannot lose an acknowledged append.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] when the file cannot be opened, read
+    /// or truncated.
+    pub fn open_with_fsync(path: impl AsRef<Path>, fsync: bool) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         let mut file = fs::OpenOptions::new()
             .read(true)
@@ -422,6 +457,7 @@ impl AofStore {
             path,
             file,
             records,
+            fsync,
         })
     }
 
@@ -430,12 +466,20 @@ impl AofStore {
         &self.path
     }
 
+    /// Whether appends are `fsync`ed (power-loss durability mode).
+    pub fn fsync_enabled(&self) -> bool {
+        self.fsync
+    }
+
     fn append_record(&mut self, kind: u8, marker: u64, payload: Vec<u8>) -> Result<(), StoreError> {
         let record = encode_record(kind, &payload);
         self.file
             .write_all(&record)
             .map_err(|e| io_err("append", e))?;
         self.file.flush().map_err(|e| io_err("flush", e))?;
+        if self.fsync {
+            self.file.sync_data().map_err(|e| io_err("fsync", e))?;
+        }
         self.records.push((kind, marker, payload));
         Ok(())
     }
@@ -498,6 +542,9 @@ impl LedgerStore for AofStore {
                 .map_err(|e| io_err("compact-write", e))?;
         }
         tmp.flush().map_err(|e| io_err("compact-flush", e))?;
+        if self.fsync {
+            tmp.sync_all().map_err(|e| io_err("compact-fsync", e))?;
+        }
         drop(tmp);
         fs::rename(&tmp_path, &self.path).map_err(|e| io_err("compact-rename", e))?;
         let mut file = fs::OpenOptions::new()
@@ -531,6 +578,12 @@ impl LedgerStore for AofStore {
             snapshot: latest,
             blocks,
         })
+    }
+
+    fn has_block(&self, number: u64) -> bool {
+        self.records
+            .iter()
+            .any(|(kind, marker, _)| *kind == KIND_BLOCK && *marker == number)
     }
 }
 
@@ -745,6 +798,61 @@ mod tests {
         let loaded = reopened.load().unwrap();
         assert_eq!(loaded.snapshot.unwrap().last_block, 4);
         assert_eq!(loaded.blocks, blocks[5..].to_vec());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn aof_fsync_mode_survives_simulated_crash_reopen() {
+        let path = temp_path("fsync");
+        let blocks = chained_blocks(5);
+        {
+            let mut store = AofStore::open_with_fsync(&path, true).unwrap();
+            assert!(store.fsync_enabled());
+            for block in &blocks {
+                store.append_block(block).unwrap();
+            }
+            store.put_snapshot(&sample_snapshot(2)).unwrap();
+            assert_eq!(store.compact_up_to(2).unwrap(), 3);
+            // Simulated crash: drop the handle with no clean shutdown.
+        }
+        let store = AofStore::open(&path).unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.snapshot.unwrap().last_block, 2);
+        assert_eq!(loaded.blocks, blocks[3..].to_vec());
+        // The fsynced file is byte-for-byte what the non-fsync mode
+        // writes — the flag changes durability, not the format.
+        let other = temp_path("fsync-mirror");
+        {
+            let mut store = AofStore::open(&other).unwrap();
+            for block in &blocks {
+                store.append_block(block).unwrap();
+            }
+            store.put_snapshot(&sample_snapshot(2)).unwrap();
+            store.compact_up_to(2).unwrap();
+        }
+        assert_eq!(fs::read(&path).unwrap(), fs::read(&other).unwrap());
+        fs::remove_file(&path).unwrap();
+        fs::remove_file(&other).unwrap();
+    }
+
+    #[test]
+    fn has_block_probes_record_index() {
+        let path = temp_path("hasblock");
+        let blocks = chained_blocks(4);
+        let mut aof = AofStore::open(&path).unwrap();
+        let mut memory = MemoryStore::new();
+        for block in &blocks {
+            aof.append_block(block).unwrap();
+            memory.append_block(block).unwrap();
+        }
+        aof.put_snapshot(&sample_snapshot(1)).unwrap();
+        memory.put_snapshot(&sample_snapshot(1)).unwrap();
+        aof.compact_up_to(1).unwrap();
+        memory.compact_up_to(1).unwrap();
+        for n in 0..5 {
+            assert_eq!(aof.has_block(n), (2..=3).contains(&n), "aof block {n}");
+            assert_eq!(aof.has_block(n), memory.has_block(n), "backends agree");
+        }
         fs::remove_file(&path).unwrap();
     }
 

@@ -6,6 +6,9 @@
 //!   CRDT-flagged (`putCRDT`) or plain.
 //! - [`generator`]: JSON payload shapes, including the "k-d complexity"
 //!   objects of §7.5.
+//! - [`channels`]: the same workload sharded across channels —
+//!   per-channel open-loop arrival processes over channel-prefixed key
+//!   spaces, for `fabriccrdt-channel` deployments.
 //! - [`experiment`]: one-call experiment execution — topology, block
 //!   size, rate, read/write key counts, JSON shape, conflict percentage —
 //!   against either system, returning the three metrics every figure
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod caliper;
+pub mod channels;
 pub mod experiment;
 pub mod generator;
 pub mod iot;
@@ -37,6 +41,7 @@ pub mod report;
 pub mod smallbank;
 
 pub use caliper::{Benchmark, BenchmarkReport};
+pub use channels::{ChannelSchedule, ChannelWorkload};
 pub use experiment::{ExperimentConfig, ExperimentResult, SystemKind};
 pub use generator::JsonShape;
 pub use iot::IotChaincode;

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub use fabriccrdt;
+pub use fabriccrdt_channel as channel;
 pub use fabriccrdt_crypto as crypto;
 pub use fabriccrdt_fabric as fabric;
 pub use fabriccrdt_gossip as gossip;
