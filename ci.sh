@@ -73,4 +73,23 @@ grep -q '"clients_per_channel"' BENCH_multi_channel.json
 grep -q '"single_channel_identity": true' BENCH_multi_channel.json
 grep -q '"transfers_committed"' BENCH_multi_channel.json
 
+# The adversarial bench runs the byzantine attack schedule, 100 hostile
+# fuzz streams, and the offline merge-storm probes; it asserts honest
+# convergence, equivocation detection, and incremental < full-replay
+# internally. The gate checks the detection and merge-storm fields
+# landed in the artifact.
+echo "==> adversarial smoke run + artifact check"
+rm -f BENCH_adversarial.json
+cargo run --release -q -p fabriccrdt-bench --bin adversarial -- --txs 1500
+test -s BENCH_adversarial.json
+grep -q '"bench": "adversarial"' BENCH_adversarial.json
+grep -q '"equivocations_detected"' BENCH_adversarial.json
+grep -q '"tampered_rejected"' BENCH_adversarial.json
+grep -q '"forged_rejected"' BENCH_adversarial.json
+grep -q '"honest_replicas_converged": true' BENCH_adversarial.json
+grep -q '"incremental_merge_ops"' BENCH_adversarial.json
+grep -q '"full_replay_ops"' BENCH_adversarial.json
+grep -q '"merge_storm_catch_up_secs"' BENCH_adversarial.json
+grep -q '"offline_rejoin_reconverged": true' BENCH_adversarial.json
+
 echo "==> OK"

@@ -1,0 +1,44 @@
+//! Adversarial harness for the FabricCRDT reproduction.
+//!
+//! The paper's evaluation (§7) runs honest networks; this crate asks
+//! what the reproduction does when parts of the system misbehave, along
+//! the three axes a permissioned deployment actually fears:
+//!
+//! - [`byzantine`] — a byzantine orderer/network: equivocating block
+//!   payloads delivered to chosen victims, in-flight tampering (flipped
+//!   payload bytes, duplicated/reordered transactions) and forged tip
+//!   hashes, injected through the gossip layer's adversary seam
+//!   ([`PipelineConfig::adversary`](fabriccrdt_fabric::config::PipelineConfig))
+//!   and surfaced as
+//!   [`AdversaryMetrics`](fabriccrdt_fabric::metrics::AdversaryMetrics).
+//!   The harness runs the full transaction pipeline under an attack
+//!   schedule and hands back every honest replica's ledger bytes so
+//!   callers can assert byte-identity.
+//! - [`fuzz`] — hostile CRDT operation streams: cyclic and missing
+//!   dependency graphs, counter gaps, bogus cursors, head-targeting
+//!   mutations and oversized payloads, generated from
+//!   [`fabriccrdt_sim::gen`] seeds. Replicas fed the same hostile
+//!   stream must reject-without-panic and stay identical.
+//! - [`offline`] — offline-first clients: a replica accumulates edits
+//!   while disconnected, then rejoins and syncs. The doc-level probe
+//!   measures whether incremental deltas
+//!   ([`JsonCrdt::delta_since`](fabriccrdt_jsoncrdt::JsonCrdt::delta_since))
+//!   keep the merge storm bounded versus full history replay; the
+//!   network-level probe reads gossip catch-up episodes out of a run
+//!   with a scheduled crash window.
+//!
+//! None of this crate is wired into the honest pipeline: it only
+//! *drives* the public seams (`DeliveryLayer`, `PipelineConfig`,
+//! `JsonCrdt`), so the system under test is exactly what every other
+//! bench and test exercises.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+pub mod fuzz;
+pub mod offline;
+
+pub use byzantine::{gen_attack_schedule, run_adversarial_pipeline, AdversarialRun};
+pub use fuzz::{apply_identically, hostile_ops, FuzzReport};
+pub use offline::{merge_storm_report, offline_rejoin, MergeStormReport, StormOutcome};

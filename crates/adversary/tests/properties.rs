@@ -1,0 +1,169 @@
+//! Seeded adversarial property sweep.
+//!
+//! 100 generated schedules drive the full FabricCRDT gossip pipeline
+//! under random byzantine attack schedules; every case asserts the
+//! three safety properties the threat model promises (DESIGN.md
+//! §4.13): honest commits are unaffected, honest replicas stay
+//! byte-identical, and every injected forgery is screened out (and
+//! accounted for) at ingress. Two deterministic cases pin down the
+//! detection semantics and the honest-run equivalence.
+
+use std::sync::Arc;
+
+use fabriccrdt_adversary::{gen_attack_schedule, run_adversarial_pipeline};
+use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
+use fabriccrdt_fabric::config::{AdversaryConfig, AttackSpec, PipelineConfig, TamperMode};
+use fabriccrdt_fabric::simulation::TxRequest;
+use fabriccrdt_sim::gen;
+use fabriccrdt_sim::time::SimTime;
+use fabriccrdt_workload::IotChaincode;
+
+const TXS: usize = 8;
+const BLOCK_SIZE: usize = 4;
+const PEERS: usize = 6; // Topology::paper(): 3 orgs × 2 peers
+
+fn registry() -> ChaincodeRegistry {
+    let mut registry = ChaincodeRegistry::new();
+    registry.deploy(Arc::new(IotChaincode::crdt()));
+    registry
+}
+
+fn seeds() -> Vec<(String, Vec<u8>)> {
+    vec![("hot".to_owned(), br#"{"readings":[]}"#.to_vec())]
+}
+
+/// The paper's all-conflicting CRDT hot-key workload, small enough to
+/// run 100 times in the sweep.
+fn schedule() -> Vec<(SimTime, TxRequest)> {
+    (0..TXS)
+        .map(|i| {
+            let key = "hot".to_owned();
+            let payload = format!(r#"{{"readings":["r{i}"]}}"#);
+            (
+                SimTime::from_millis(20 * (i as u64 + 1)),
+                TxRequest::new(
+                    "iot-crdt",
+                    IotChaincode::args(
+                        std::slice::from_ref(&key),
+                        std::slice::from_ref(&key),
+                        &payload,
+                    ),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn hundred_schedule_byzantine_sweep() {
+    let mut injected_total = 0u64;
+    let mut equivocation_cases = 0usize;
+    gen::cases(100, |g| {
+        let seed = g.u64();
+        let adversary = gen_attack_schedule(g, PEERS, 3);
+        let config = PipelineConfig::paper(BLOCK_SIZE, seed)
+            .with_gossip()
+            .with_adversary(adversary);
+        let run = run_adversarial_pipeline(config, registry(), &seeds(), schedule());
+
+        assert_eq!(
+            run.metrics.successful(),
+            TXS,
+            "forgery injection must not cost honest commits"
+        );
+        assert!(
+            run.honest_replicas_identical(),
+            "honest replicas diverged under attack"
+        );
+        let adv = run.adversary();
+        if adv.forged_blocks_injected > 0 {
+            // The chronologically first forgery cannot hide behind an
+            // earlier quarantine, so at least one rejection is counted;
+            // the rest are either rejected or dropped with their
+            // quarantined relay.
+            assert!(adv.rejected_blocks() >= 1, "no forgery was screened");
+            assert!(
+                adv.rejected_blocks() + adv.quarantine_drops >= adv.forged_blocks_injected,
+                "injected forgeries unaccounted for: {adv:?}"
+            );
+        } else {
+            assert_eq!(adv.rejected_blocks(), 0, "phantom rejections: {adv:?}");
+        }
+        injected_total += adv.forged_blocks_injected;
+        if adv.equivocations_detected > 0 {
+            equivocation_cases += 1;
+        }
+    });
+    assert!(injected_total > 0, "the sweep never landed an attack");
+    assert!(
+        equivocation_cases > 0,
+        "the sweep never produced equivocation evidence"
+    );
+}
+
+#[test]
+fn fixed_schedule_detects_equivocation_and_tampering() {
+    let adversary = AdversaryConfig {
+        attacks: vec![
+            AttackSpec {
+                height: 1,
+                mode: TamperMode::EquivocateValue,
+                victims: vec![2, 4],
+                via: Some(1),
+                delay: SimTime::from_millis(3),
+            },
+            AttackSpec {
+                height: 2,
+                mode: TamperMode::FlipPayloadByte,
+                victims: vec![3],
+                via: None,
+                delay: SimTime::from_millis(1),
+            },
+        ],
+    };
+    let config = PipelineConfig::paper(BLOCK_SIZE, 42)
+        .with_gossip()
+        .with_adversary(adversary);
+    let run = run_adversarial_pipeline(config, registry(), &seeds(), schedule());
+    let adv = run.adversary();
+    assert!(adv.forged_blocks_injected >= 3, "all three forgeries fire");
+    assert!(
+        adv.equivocations_detected >= 1,
+        "divergent sealed payloads at one height are equivocation evidence: {adv:?}"
+    );
+    assert!(adv.forged_rejected >= 1, "resealed forgeries rejected");
+    assert!(adv.tampered_rejected >= 1, "stale data hash rejected");
+    assert_eq!(run.metrics.successful(), TXS);
+    assert!(run.honest_replicas_identical());
+}
+
+#[test]
+fn quiescent_adversary_reproduces_the_honest_run() {
+    let honest = run_adversarial_pipeline(
+        PipelineConfig::paper(BLOCK_SIZE, 7).with_gossip(),
+        registry(),
+        &seeds(),
+        schedule(),
+    );
+    assert_eq!(honest.metrics.adversary, None, "no seam, no counters");
+
+    let quiescent = run_adversarial_pipeline(
+        PipelineConfig::paper(BLOCK_SIZE, 7)
+            .with_gossip()
+            .with_adversary(AdversaryConfig::none()),
+        registry(),
+        &seeds(),
+        schedule(),
+    );
+    let adv = quiescent.adversary();
+    assert_eq!(adv, Default::default(), "quiescent seam counts nothing");
+
+    // Everything except the adversary field is bit-identical: the seam
+    // itself costs no PRNG draws and no simulated time.
+    let mut scrubbed = quiescent.metrics.clone();
+    scrubbed.adversary = None;
+    assert_eq!(scrubbed, honest.metrics);
+    for (a, b) in honest.snapshots.iter().zip(&quiescent.snapshots) {
+        assert_eq!(a, b, "ledger bytes must match the honest run");
+    }
+}

@@ -1,0 +1,302 @@
+//! Adversarial resilience: byzantine faults, hostile fuzzing, and
+//! offline-first merge storms.
+//!
+//! The paper's evaluation (§7) measures honest networks; this bench
+//! measures what the reproduction *survives*, via the
+//! `fabriccrdt-adversary` harness:
+//!
+//! 1. **Byzantine orderer/network** — a fixed attack schedule
+//!    (equivocating sealed payloads, flipped bytes, duplicated and
+//!    reordered transactions, forged tip hashes) injected into the
+//!    gossip layer while the paper's all-conflicting CRDT workload
+//!    runs. Asserts: every honest commit lands, every replica ends
+//!    byte-identical, equivocation evidence is recorded.
+//! 2. **Hostile op fuzzing** — seeded hostile operation streams
+//!    (dependency cycles, dangling deps, counter gaps, bogus cursors,
+//!    oversized payloads) fed to replica pairs: reject-without-panic,
+//!    byte-identical outcomes.
+//! 3. **Offline-first merge storm** — a client accumulates offline
+//!    edits and rejoins: the incremental `delta_since` path must ship
+//!    fewer operations than full history replay and reconverge to the
+//!    same bytes. At network scale, a peer crash window during traffic
+//!    measures gossip catch-up (the storm's reconvergence time).
+//!
+//! Emits `BENCH_adversarial.json`.
+//!
+//! Run with: `cargo run --release --bin adversarial -- [--txs N] [--seed S]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fabriccrdt_adversary::{
+    apply_identically, hostile_ops, merge_storm_report, offline_rejoin, run_adversarial_pipeline,
+    AdversarialRun,
+};
+use fabriccrdt_bench::HarnessOptions;
+use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
+use fabriccrdt_fabric::config::{
+    AdversaryConfig, AttackSpec, CrashSpec, FaultConfig, PipelineConfig, TamperMode,
+};
+use fabriccrdt_fabric::metrics::AdversaryMetrics;
+use fabriccrdt_fabric::simulation::TxRequest;
+use fabriccrdt_jsoncrdt::json::Value;
+use fabriccrdt_sim::gen;
+use fabriccrdt_sim::time::SimTime;
+use fabriccrdt_workload::offline::{offline_payloads, rejoin_schedule};
+use fabriccrdt_workload::IotChaincode;
+
+const BLOCK_SIZE: usize = 25; // FabricCRDT's best (§7.3)
+const TX_GAP: SimTime = SimTime::from_millis(15);
+
+fn registry() -> ChaincodeRegistry {
+    let mut registry = ChaincodeRegistry::new();
+    registry.deploy(Arc::new(IotChaincode::crdt()));
+    registry
+}
+
+fn seeds() -> Vec<(String, Vec<u8>)> {
+    vec![("hot".to_owned(), br#"{"readings":[]}"#.to_vec())]
+}
+
+/// The paper's all-conflicting CRDT hot-key workload.
+fn schedule(txs: usize) -> Vec<(SimTime, TxRequest)> {
+    let key = "hot".to_owned();
+    (0..txs)
+        .map(|i| {
+            let payload = format!(r#"{{"readings":["r{i}"]}}"#);
+            (
+                TX_GAP.scale(i as u64 + 1),
+                TxRequest::new(
+                    "iot-crdt",
+                    IotChaincode::args(
+                        std::slice::from_ref(&key),
+                        std::slice::from_ref(&key),
+                        &payload,
+                    ),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// A schedule hitting every tamper mode across the first blocks, with
+/// victims spread over the topology and one spoofed relay.
+fn attack_schedule() -> AdversaryConfig {
+    let modes = [
+        TamperMode::EquivocateValue,
+        TamperMode::FlipPayloadByte,
+        TamperMode::DuplicateTx,
+        TamperMode::ReorderTxs,
+        TamperMode::ForgeTipHash,
+    ];
+    AdversaryConfig {
+        attacks: modes
+            .iter()
+            .enumerate()
+            .map(|(i, &mode)| AttackSpec {
+                height: i as u64 + 1,
+                mode,
+                victims: vec![(i + 1) % 6, (i + 3) % 6],
+                via: (i % 2 == 0).then_some(i % 6),
+                delay: SimTime::from_millis(2 + i as u64),
+            })
+            .collect(),
+    }
+}
+
+fn run_byzantine(txs: usize, seed: u64) -> (AdversarialRun, f64) {
+    let config = PipelineConfig::paper(BLOCK_SIZE, seed)
+        .with_gossip()
+        .with_adversary(attack_schedule());
+    let started = Instant::now();
+    let run = run_adversarial_pipeline(config, registry(), &seeds(), schedule(txs));
+    (run, started.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Network-scale merge storm: peer 3 is offline (crashed) for the
+/// middle half of the run while traffic keeps committing, then rejoins
+/// and catches up; after the traffic, the client's own offline backlog
+/// is submitted as a rejoin burst.
+fn run_merge_storm(txs: usize, seed: u64) -> (AdversarialRun, usize) {
+    let traffic_end = TX_GAP.scale(txs as u64 + 1);
+    let faults = FaultConfig {
+        crashes: vec![CrashSpec {
+            peer: 3,
+            at: TX_GAP.scale(txs as u64 / 4),
+            restart_at: TX_GAP.scale(3 * txs as u64 / 4),
+        }],
+        ..FaultConfig::none()
+    };
+    let backlog = offline_payloads("d3", 16);
+    let mut full = schedule(txs);
+    full.extend(rejoin_schedule(
+        "hot",
+        &backlog,
+        traffic_end,
+        SimTime::from_millis(2),
+    ));
+    let total = full.len();
+    let config = PipelineConfig::paper(BLOCK_SIZE, seed)
+        .with_gossip()
+        .with_faults(faults);
+    (
+        run_adversarial_pipeline(config, registry(), &seeds(), full),
+        total,
+    )
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let txs = (options.total_txs / 25).clamp(40, 400);
+    let seed = options.seed;
+
+    println!("Adversarial resilience: byzantine faults, fuzzing, merge storms");
+    println!(
+        "workload: all-conflicting CRDT hot key, {txs} txs, block size {BLOCK_SIZE}, seed {seed}"
+    );
+
+    // ---- 1. byzantine attack schedule ------------------------------
+    print!("byzantine schedule (5 tamper modes)... ");
+    let (byz, byz_wall_ms) = run_byzantine(txs, seed);
+    let adv: AdversaryMetrics = byz.adversary();
+    let converged = byz.honest_replicas_identical();
+    assert_eq!(
+        byz.metrics.successful(),
+        txs,
+        "forgery injection must not cost honest commits"
+    );
+    assert!(converged, "honest replicas diverged under attack");
+    assert!(adv.forged_blocks_injected >= 5, "every attack fires");
+    assert!(
+        adv.equivocations_detected > 0,
+        "equivocation evidence must be recorded: {adv:?}"
+    );
+    assert!(
+        adv.rejected_blocks() + adv.quarantine_drops >= adv.forged_blocks_injected,
+        "forgeries unaccounted for: {adv:?}"
+    );
+    println!(
+        "ok — injected {}, tampered rejected {}, forged rejected {}, \
+         equivocations {}, quarantined peers {}, wall {:.0} ms",
+        adv.forged_blocks_injected,
+        adv.tampered_rejected,
+        adv.forged_rejected,
+        adv.equivocations_detected,
+        adv.quarantined_peers,
+        byz_wall_ms,
+    );
+
+    // ---- 2. hostile op fuzzing -------------------------------------
+    print!("hostile op fuzzing (100 seeded streams)... ");
+    let mut fuzz_applied = 0usize;
+    let mut fuzz_buffered = 0usize;
+    let mut fuzz_rejected = 0usize;
+    gen::cases(100, |g| {
+        let count = g.size(10, 60);
+        let report = apply_identically(&hostile_ops(g, count));
+        fuzz_applied += report.applied;
+        fuzz_buffered += report.buffered;
+        fuzz_rejected += report.rejected;
+    });
+    assert!(fuzz_buffered > 0, "cycles and dangling deps must buffer");
+    assert!(fuzz_rejected > 0, "head-targeting mutations must reject");
+    println!("ok — {fuzz_applied} applied, {fuzz_buffered} buffered, {fuzz_rejected} rejected");
+
+    // ---- 3a. document-level merge storm ----------------------------
+    print!("offline rejoin (doc level, 200 offline edits)... ");
+    let storm = offline_rejoin(
+        r#"{"device":"d3","readings":["r0","r1","r2","r3"]}"#,
+        &offline_payloads("d3", 200),
+    );
+    assert!(storm.reconverged, "both sync paths must reconverge");
+    assert!(
+        storm.incremental_ops < storm.full_replay_ops,
+        "incremental delta ({}) must undercut full replay ({})",
+        storm.incremental_ops,
+        storm.full_replay_ops
+    );
+    println!(
+        "ok — delta ships {} ops vs {} full replay",
+        storm.incremental_ops, storm.full_replay_ops
+    );
+
+    // ---- 3b. network-level merge storm -----------------------------
+    print!("merge storm (peer offline for half the run + rejoin burst)... ");
+    let (storm_run, storm_txs) = run_merge_storm(txs, seed);
+    assert_eq!(storm_run.metrics.successful(), storm_txs);
+    assert!(
+        storm_run.honest_replicas_identical(),
+        "offline peer failed to reconverge"
+    );
+    let episode = merge_storm_report(&storm_run, 3)
+        .expect("the crashed peer records a completed catch-up episode");
+    println!(
+        "ok — caught up in {:.3} sim secs, {} bytes shipped, snapshot: {}",
+        episode.catch_up_secs, episode.bytes_shipped, episode.used_snapshot
+    );
+
+    // ---- BENCH_adversarial.json ------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"adversarial\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"total_txs\": {txs},");
+    let _ = writeln!(json, "  \"block_size\": {BLOCK_SIZE},");
+    let _ = writeln!(
+        json,
+        "  \"forged_blocks_injected\": {},",
+        adv.forged_blocks_injected
+    );
+    let _ = writeln!(json, "  \"tampered_rejected\": {},", adv.tampered_rejected);
+    let _ = writeln!(json, "  \"forged_rejected\": {},", adv.forged_rejected);
+    let _ = writeln!(
+        json,
+        "  \"equivocations_detected\": {},",
+        adv.equivocations_detected
+    );
+    let _ = writeln!(json, "  \"quarantined_peers\": {},", adv.quarantined_peers);
+    let _ = writeln!(json, "  \"quarantine_drops\": {},", adv.quarantine_drops);
+    let _ = writeln!(json, "  \"honest_replicas_converged\": {converged},");
+    let _ = writeln!(json, "  \"byzantine_wall_ms\": {byz_wall_ms:.3},");
+    let _ = writeln!(json, "  \"fuzz_streams\": 100,");
+    let _ = writeln!(json, "  \"fuzz_applied\": {fuzz_applied},");
+    let _ = writeln!(json, "  \"fuzz_buffered\": {fuzz_buffered},");
+    let _ = writeln!(json, "  \"fuzz_rejected\": {fuzz_rejected},");
+    let _ = writeln!(json, "  \"offline_edits\": {},", storm.offline_edits);
+    let _ = writeln!(
+        json,
+        "  \"incremental_merge_ops\": {},",
+        storm.incremental_ops
+    );
+    let _ = writeln!(json, "  \"full_replay_ops\": {},", storm.full_replay_ops);
+    let _ = writeln!(
+        json,
+        "  \"offline_rejoin_reconverged\": {},",
+        storm.reconverged
+    );
+    let _ = writeln!(
+        json,
+        "  \"merge_storm_catch_up_secs\": {:.6},",
+        episode.catch_up_secs
+    );
+    let _ = writeln!(
+        json,
+        "  \"merge_storm_bytes_shipped\": {},",
+        episode.bytes_shipped
+    );
+    let _ = writeln!(
+        json,
+        "  \"merge_storm_used_snapshot\": {}",
+        episode.used_snapshot
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_adversarial.json", &json).expect("write BENCH_adversarial.json");
+
+    // Self-validate with the repo's own JSON parser.
+    let parsed = Value::from_bytes(json.as_bytes()).expect("emitted JSON is well-formed");
+    assert_eq!(
+        parsed.get("bench").and_then(Value::as_str),
+        Some("adversarial")
+    );
+    println!("wrote BENCH_adversarial.json");
+}

@@ -188,6 +188,7 @@ fn run_transfers(
             from: ChannelId(c as u32),
             to: ChannelId(c as u32 + 1),
             inject_failure: c == channels - 2,
+            destination_down: false,
         })
         .collect();
     let reports = net.execute_transfers(&specs);

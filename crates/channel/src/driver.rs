@@ -233,6 +233,12 @@ impl<V: BlockValidator> MultiChannelNetwork<V> {
         let base = self.horizon + PHASE_MARGIN;
         for (i, (spec, id)) in specs.iter().zip(&ids).enumerate() {
             let Some(hex) = &escrows[i] else { continue };
+            if spec.destination_down {
+                // The destination's endorsers crashed between prepare
+                // and commit: nothing to submit. Finalize will find no
+                // commit record and release the escrow via abort.
+                continue;
+            }
             let mut request = TxRequest::new(
                 XFER_CHAINCODE,
                 XferChaincode::commit_args(*id, &spec.key, hex),

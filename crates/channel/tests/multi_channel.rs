@@ -191,6 +191,7 @@ fn transfer_commits_key_to_the_destination_channel() {
         from: ChannelId(0),
         to: ChannelId(1),
         inject_failure: false,
+        destination_down: false,
     }]);
 
     assert_eq!(reports.len(), 1);
@@ -228,6 +229,7 @@ fn failed_transfer_aborts_back_to_the_source_channel() {
         from: ChannelId(0),
         to: ChannelId(1),
         inject_failure: true,
+        destination_down: false,
     }]);
 
     let report = &reports[0];
@@ -250,6 +252,49 @@ fn failed_transfer_aborts_back_to_the_source_channel() {
 }
 
 #[test]
+fn destination_crash_between_prepare_and_commit_releases_the_escrow() {
+    let base = PipelineConfig::paper(25, 24).with_gossip();
+    let config = MultiChannelConfig::uniform(base, 2);
+    let mut net = fabriccrdt_multi_channel(config, iot_registry());
+    let original = br#"{"asset":{"owner":"org3","qty":9}}"#.to_vec();
+    net.seed_state(0, "asset-3", original.clone());
+
+    let reports = net.execute_transfers(&[TransferSpec {
+        key: "asset-3".into(),
+        from: ChannelId(0),
+        to: ChannelId(1),
+        inject_failure: false,
+        destination_down: true,
+    }]);
+
+    let report = &reports[0];
+    assert_eq!(
+        report.outcome,
+        TransferOutcome::Aborted,
+        "a commit that never reached the destination must reconcile to abort"
+    );
+    let id = report.id;
+    let dest = net.simulation(1).peer().state();
+    assert!(
+        dest.value(&id.commit_key()).is_none(),
+        "no commit record: the destination never saw the transaction"
+    );
+    assert!(
+        dest.value("asset-3").is_none(),
+        "no duplicate value on the destination"
+    );
+    let source = net.simulation(0).peer().state();
+    assert_eq!(
+        source.value("asset-3").unwrap(),
+        original.as_slice(),
+        "abort releases the escrow back on the source"
+    );
+    assert!(source.value(&id.prepare_key()).is_some());
+    assert!(source.value(&id.abort_key()).is_some());
+    net.verify_converged();
+}
+
+#[test]
 fn transfer_of_a_missing_key_aborts_without_records() {
     let base = PipelineConfig::paper(25, 23).with_gossip();
     let config = MultiChannelConfig::uniform(base, 2);
@@ -259,6 +304,7 @@ fn transfer_of_a_missing_key_aborts_without_records() {
         from: ChannelId(1),
         to: ChannelId(0),
         inject_failure: false,
+        destination_down: false,
     }]);
     let report = &reports[0];
     assert_eq!(report.outcome, TransferOutcome::Aborted);
@@ -345,18 +391,21 @@ fn transfers_are_exactly_once_under_crash_and_partition_sweeps() {
                 from: ChannelId(0),
                 to: ChannelId(1),
                 inject_failure: false,
+                destination_down: false,
             },
             TransferSpec {
                 key: "sweep-b".into(),
                 from: ChannelId(1),
                 to: ChannelId(0),
                 inject_failure: false,
+                destination_down: false,
             },
             TransferSpec {
                 key: "sweep-c".into(),
                 from: ChannelId(0),
                 to: ChannelId(1),
                 inject_failure: true,
+                destination_down: false,
             },
         ];
         let reports = net.execute_transfers(&specs);

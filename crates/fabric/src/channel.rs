@@ -260,6 +260,12 @@ pub struct TransferSpec {
     /// a corrupted endorsement so it fails validation — exercising the
     /// abort path (the key must come back on the source channel).
     pub inject_failure: bool,
+    /// When set, the destination channel's endorsers are modeled as
+    /// crashed between prepare and commit: the commit transaction is
+    /// never submitted at all, so finalize finds no commit record and
+    /// aborts the transfer — the escrow is released back on the source
+    /// with no duplicate value anywhere.
+    pub destination_down: bool,
 }
 
 /// How a transfer ended.

@@ -242,6 +242,86 @@ pub struct PartitionSpec {
     pub minority: Vec<usize>,
 }
 
+/// How a byzantine relay mangles the block it forwards. The first
+/// three modes leave the original Merkle data hash in place, so the
+/// forged copy is *internally* inconsistent and detected by the data
+/// hash alone; the last two re-seal the forged payload, so the copy is
+/// internally consistent and only detectable against the canonical
+/// block digest at the same height (equivocation evidence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperMode {
+    /// Flip one byte of the first transaction's payload without
+    /// recomputing the data hash.
+    FlipPayloadByte,
+    /// Append a duplicate copy of the first transaction without
+    /// recomputing the data hash.
+    DuplicateTx,
+    /// Reverse the transaction order without recomputing the data
+    /// hash.
+    ReorderTxs,
+    /// Re-seal the block over a forged previous-block hash — an
+    /// attempt to splice the victim onto a fork.
+    ForgeTipHash,
+    /// Re-seal the block over an altered transaction set — the
+    /// equivocating orderer emitting divergent-but-well-formed blocks
+    /// at one height to different victims.
+    EquivocateValue,
+}
+
+/// One scheduled byzantine injection: when the canonical block at
+/// `height` is published, a forged variant is also delivered to each
+/// victim. Plain data, like [`FaultConfig`] — the whole attack is
+/// reproducible from the run configuration alone and draws nothing
+/// from the run's PRNG streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSpec {
+    /// Block height (1-based block number) the attack targets. Heights
+    /// never published are silently inert.
+    pub height: u64,
+    /// How the forged variant differs from the canonical block.
+    pub mode: TamperMode,
+    /// Flattened peer indices the forged variant is delivered to.
+    pub victims: Vec<usize>,
+    /// The compromised relay the forgery claims to come from; `None`
+    /// means it masquerades as an ordering-service delivery. A named
+    /// relay gets quarantined on detection.
+    pub via: Option<usize>,
+    /// Extra delay past the canonical orderer→leader hop before the
+    /// forged copies land.
+    pub delay: SimTime,
+}
+
+/// A run's byzantine-adversary schedule, interpreted by the gossip
+/// layer's ingress screen. Like [`FaultConfig`], this is plain data so
+/// an adversarial run is reproducible from its configuration; enabling
+/// it changes nothing about honest message flow (the screen only drops
+/// blocks that fail integrity or digest checks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryConfig {
+    /// Scheduled injections.
+    pub attacks: Vec<AttackSpec>,
+}
+
+impl AdversaryConfig {
+    /// No adversary at all.
+    pub fn none() -> Self {
+        AdversaryConfig {
+            attacks: Vec::new(),
+        }
+    }
+
+    /// Whether the schedule injects anything.
+    pub fn is_quiescent(&self) -> bool {
+        self.attacks.is_empty()
+    }
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig::none()
+    }
+}
+
 /// The full fault-injection surface of one run. All faults are sampled
 /// or scheduled deterministically from the run's seed.
 #[derive(Debug, Clone, PartialEq)]
@@ -325,6 +405,12 @@ pub struct PipelineConfig {
     /// GCs history below the cluster-acknowledged frontier, and lets
     /// anti-entropy ship snapshots to far-behind peers.
     pub storage: Option<crate::storage::StorageConfig>,
+    /// Byzantine-adversary schedule, applied by the gossip layer's
+    /// ingress screen. `None` (the default everywhere) disables both
+    /// injection and screening — honest runs are byte-for-byte
+    /// unaffected. Ignored under ideal FIFO delivery, like
+    /// [`PipelineConfig::faults`].
+    pub adversary: Option<AdversaryConfig>,
     /// Which channel this pipeline runs on. [`ChannelId::DEFAULT`] for
     /// every single-channel run; multi-channel deployments
     /// ([`crate::channel::MultiChannelConfig`]) derive one config per
@@ -359,6 +445,7 @@ impl PipelineConfig {
             faults: FaultConfig::none(),
             ordering: None,
             storage: None,
+            adversary: None,
             channel: ChannelId::DEFAULT,
             validation: ValidationPipeline::Sequential,
         }
@@ -426,6 +513,13 @@ impl PipelineConfig {
     /// explicit parameters.
     pub fn with_raft_config(mut self, raft: RaftConfig) -> Self {
         self.ordering = Some(raft);
+        self
+    }
+
+    /// Installs a byzantine-adversary schedule (takes effect only with
+    /// gossip delivery; see [`PipelineConfig::adversary`]).
+    pub fn with_adversary(mut self, adversary: AdversaryConfig) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -512,6 +606,24 @@ mod tests {
         };
         let cfg = PipelineConfig::paper(25, 1).with_raft_config(raft.clone());
         assert_eq!(cfg.ordering, Some(raft));
+    }
+
+    #[test]
+    fn adversary_schedule_is_plain_data() {
+        assert!(AdversaryConfig::none().is_quiescent());
+        assert!(PipelineConfig::paper(25, 1).adversary.is_none());
+        let cfg = PipelineConfig::paper(25, 1).with_adversary(AdversaryConfig {
+            attacks: vec![AttackSpec {
+                height: 2,
+                mode: TamperMode::EquivocateValue,
+                victims: vec![4, 5],
+                via: Some(3),
+                delay: SimTime::from_millis(5),
+            }],
+        });
+        let adversary = cfg.adversary.as_ref().unwrap();
+        assert!(!adversary.is_quiescent());
+        assert_eq!(adversary.attacks[0].victims, [4, 5]);
     }
 
     #[test]

@@ -232,6 +232,44 @@ impl DecodeCacheMetrics {
     }
 }
 
+/// Detection counters of the byzantine-adversary screen. Only
+/// populated when a run configures an adversary schedule
+/// ([`crate::config::AdversaryConfig`]) on a gossip delivery; honest
+/// runs report `None` in [`RunMetrics::adversary`].
+///
+/// Unlike [`RunMetrics::decode_cache`], these counters are part of
+/// [`RunMetrics`] equality: detection is deterministic, so equivalent
+/// runs must detect identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdversaryMetrics {
+    /// Forged block variants the adversary put on the wire (divergent
+    /// equivocation payloads, tampered copies, forged tip hashes).
+    pub forged_blocks_injected: u64,
+    /// Blocks rejected at ingress because their Merkle data hash did
+    /// not cover their transactions (in-flight tampering: flipped
+    /// bytes, reordered or duplicated transactions).
+    pub tampered_rejected: u64,
+    /// Well-formed blocks rejected because their header digest
+    /// diverged from the canonical block at the same height (forged
+    /// tip hashes, equivocating orderer payloads).
+    pub forged_rejected: u64,
+    /// Distinct divergent digests observed per height — the
+    /// equivocation evidence count. Two conflicting variants at one
+    /// height count twice; re-deliveries of a known variant do not.
+    pub equivocations_detected: u64,
+    /// Peers quarantined for relaying at least one bad block.
+    pub quarantined_peers: u64,
+    /// Messages dropped because their relay was already quarantined.
+    pub quarantine_drops: u64,
+}
+
+impl AdversaryMetrics {
+    /// Total blocks rejected at the adversary screen.
+    pub fn rejected_blocks(&self) -> u64 {
+        self.tampered_rejected + self.forged_rejected
+    }
+}
+
 /// Metrics of the replicated (Raft) ordering service. Only populated
 /// when a run uses the Raft backend; the default single orderer
 /// reports `None` in [`RunMetrics::ordering`].
@@ -297,6 +335,9 @@ pub struct RunMetrics {
     /// Decode-cache counter deltas over the run; `None` when the
     /// validator never uses the payload cache.
     pub decode_cache: Option<DecodeCacheMetrics>,
+    /// Byzantine-screen detection counters when the run configured an
+    /// adversary schedule; `None` for honest runs.
+    pub adversary: Option<AdversaryMetrics>,
 }
 
 /// Equality deliberately ignores [`RunMetrics::decode_cache`]: the
@@ -315,6 +356,7 @@ impl PartialEq for RunMetrics {
             && self.events == other.events
             && self.dissemination == other.dissemination
             && self.ordering == other.ordering
+            && self.adversary == other.adversary
     }
 }
 
@@ -427,6 +469,7 @@ mod tests {
             dissemination: None,
             ordering: None,
             decode_cache: None,
+            adversary: None,
         };
         assert_eq!(metrics.submitted(), 4);
         assert_eq!(metrics.successful(), 2);
@@ -454,6 +497,7 @@ mod tests {
             dissemination: None,
             ordering: None,
             decode_cache: None,
+            adversary: None,
         };
         let series = metrics.throughput_series(SimTime::from_secs(1));
         assert_eq!(series.counts(), &[2, 1]);
@@ -578,6 +622,21 @@ mod tests {
         );
         a.blocks_committed = 1;
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adversary_metrics_participate_in_equality() {
+        // Detection is deterministic, so unlike the decode cache the
+        // adversary counters must break equality when they differ.
+        let mut a = RunMetrics::default();
+        let b = RunMetrics::default();
+        a.adversary = Some(AdversaryMetrics {
+            tampered_rejected: 2,
+            forged_rejected: 1,
+            ..AdversaryMetrics::default()
+        });
+        assert_ne!(a, b);
+        assert_eq!(a.adversary.unwrap().rejected_blocks(), 3);
     }
 
     #[test]

@@ -34,7 +34,8 @@ use crate::chaincode::{ChaincodeEvent, ChaincodeRegistry, ChaincodeStub};
 use crate::config::PipelineConfig;
 use crate::latency::LatencyConfig;
 use crate::metrics::{
-    CommittedEvent, DecodeCacheMetrics, DisseminationMetrics, OrderingMetrics, RunMetrics, TxRecord,
+    AdversaryMetrics, CommittedEvent, DecodeCacheMetrics, DisseminationMetrics, OrderingMetrics,
+    RunMetrics, TxRecord,
 };
 use crate::orderer::{Orderer, TimeoutRequest};
 use crate::peer::{Peer, StagedBlock};
@@ -69,6 +70,12 @@ pub trait DeliveryLayer {
     /// Hands over dissemination metrics accumulated since the last
     /// call, if this layer collects any.
     fn take_dissemination(&mut self) -> Option<DisseminationMetrics> {
+        None
+    }
+
+    /// Hands over byzantine-screen detection counters accumulated
+    /// since the last call, if this layer runs an adversary schedule.
+    fn take_adversary(&mut self) -> Option<AdversaryMetrics> {
         None
     }
 }
@@ -481,6 +488,7 @@ impl<V: BlockValidator> Simulation<V> {
             dissemination: self.delivery.take_dissemination(),
             ordering: self.ordering.take_ordering_metrics(),
             decode_cache,
+            adversary: self.delivery.take_adversary(),
         }
     }
 

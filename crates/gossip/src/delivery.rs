@@ -23,7 +23,7 @@ use std::rc::Rc;
 use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
 use fabriccrdt_fabric::config::{GossipConfig, PipelineConfig};
 use fabriccrdt_fabric::latency::LatencyConfig;
-use fabriccrdt_fabric::metrics::DisseminationMetrics;
+use fabriccrdt_fabric::metrics::{AdversaryMetrics, DisseminationMetrics};
 use fabriccrdt_fabric::simulation::{DeliveryLayer, Simulation};
 use fabriccrdt_fabric::validator::{BlockValidator, FabricValidator};
 use fabriccrdt_ledger::block::Block;
@@ -94,6 +94,11 @@ impl<V: BlockValidator> DeliveryLayer for GossipDelivery<V> {
         // metrics include complete catch-up episodes.
         self.network.drain();
         Some(self.network.take_metrics())
+    }
+
+    fn take_adversary(&mut self) -> Option<AdversaryMetrics> {
+        self.network.drain();
+        self.network.take_adversary()
     }
 }
 
@@ -170,6 +175,12 @@ impl<V: BlockValidator> DeliveryLayer for ChannelDelivery<V> {
         let mut network = self.network.borrow_mut();
         network.drain_on(self.channel);
         Some(network.take_metrics_on(self.channel))
+    }
+
+    fn take_adversary(&mut self) -> Option<AdversaryMetrics> {
+        let mut network = self.network.borrow_mut();
+        network.drain_on(self.channel);
+        network.take_adversary_on(self.channel)
     }
 }
 

@@ -40,6 +40,15 @@
 //! reproducible bit-for-bit from its
 //! [`PipelineConfig`](fabriccrdt_fabric::config::PipelineConfig).
 //!
+//! The byzantine threat model lives in the private `adversary` module:
+//! when a run sets
+//! [`PipelineConfig::adversary`](fabriccrdt_fabric::config::PipelineConfig),
+//! each lane injects the scheduled block forgeries (equivocating
+//! orderer payloads, in-flight tampering, forged tip hashes) and
+//! screens every raw-block ingress against the canonical digest,
+//! surfacing detections as
+//! [`AdversaryMetrics`](fabriccrdt_fabric::metrics::AdversaryMetrics).
+//!
 //! Modelling notes: peers validate and commit deterministically, so
 //! every replica re-seals identical chains and anti-entropy can ship
 //! *committed* blocks (replayed without re-endorsement — see
@@ -53,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 pub mod delivery;
 pub mod network;
 

@@ -65,7 +65,9 @@ use std::collections::BTreeMap;
 
 use fabriccrdt_fabric::channel::{ChannelId, ChannelSpec, MultiChannelConfig};
 use fabriccrdt_fabric::config::{FaultConfig, GossipConfig, PipelineConfig, Topology};
-use fabriccrdt_fabric::metrics::{CatchUpEpisode, CatchUpOutcome, DisseminationMetrics};
+use fabriccrdt_fabric::metrics::{
+    AdversaryMetrics, CatchUpEpisode, CatchUpOutcome, DisseminationMetrics,
+};
 use fabriccrdt_fabric::peer::{Peer, PeerSnapshot};
 use fabriccrdt_fabric::pipeline::ValidationPipeline;
 use fabriccrdt_fabric::policy::EndorsementPolicy;
@@ -78,6 +80,8 @@ use fabriccrdt_sim::latency::LatencyModel;
 use fabriccrdt_sim::queue::EventQueue;
 use fabriccrdt_sim::rng::SimRng;
 use fabriccrdt_sim::time::SimTime;
+
+use crate::adversary::LaneAdversary;
 
 /// One queued network event, tagged with the channel lane it belongs
 /// to. Peer fields are member *positions* within that lane.
@@ -200,6 +204,10 @@ struct ChannelLane<V> {
     /// keyed by member position.
     acked: AckFrontier,
     metrics: DisseminationMetrics,
+    /// Byzantine injection + ingress screening, when the run
+    /// configures an adversary schedule. `None` (the default) keeps
+    /// the lane byte-for-byte identical to an honest one.
+    adversary: Option<LaneAdversary>,
     /// Time of the last processed event on this lane.
     clock: SimTime,
 }
@@ -277,6 +285,19 @@ impl<V: BlockValidator> GossipNetwork<V> {
             faults.link.drop < 1.0,
             "drop probability 1.0 disconnects the gossip mesh"
         );
+        if let Some(adversary) = &config.adversary {
+            for attack in &adversary.attacks {
+                assert!(attack.height >= 1, "blocks are numbered from 1");
+                assert!(
+                    attack.victims.iter().all(|v| *v < n_peers),
+                    "attack victim out of range"
+                );
+                assert!(
+                    attack.via.is_none_or(|v| v < n_peers),
+                    "attack relay out of range"
+                );
+            }
+        }
 
         let mut root = SimRng::seed_from(config.seed);
         let storage = config.storage.clone();
@@ -359,6 +380,10 @@ impl<V: BlockValidator> GossipNetwork<V> {
                     seeds: Vec::new(),
                     acked: AckFrontier::new(),
                     metrics: DisseminationMetrics::default(),
+                    adversary: config
+                        .adversary
+                        .as_ref()
+                        .map(|a| LaneAdversary::new(a, &spec.members)),
                     clock: SimTime::ZERO,
                 }
             })
@@ -488,6 +513,22 @@ impl<V: BlockValidator> GossipNetwork<V> {
     /// metrics.
     pub fn take_metrics_on(&mut self, ch: usize) -> DisseminationMetrics {
         std::mem::take(&mut self.lanes[ch].metrics)
+    }
+
+    /// Takes (and resets) channel 0's byzantine-screen detection
+    /// counters; `None` when the run configured no adversary.
+    pub fn take_adversary(&mut self) -> Option<AdversaryMetrics> {
+        self.take_adversary_on(0)
+    }
+
+    /// Takes (and resets) channel `ch`'s byzantine-screen detection
+    /// counters. The canonical-digest registry, equivocation evidence
+    /// and quarantine set persist across takes.
+    pub fn take_adversary_on(&mut self, ch: usize) -> Option<AdversaryMetrics> {
+        self.lanes[ch]
+            .adversary
+            .as_mut()
+            .map(LaneAdversary::take_metrics)
     }
 
     /// Channel 0's GC floor: the minimum block height every member has
@@ -702,6 +743,24 @@ impl<V: BlockValidator> ChannelLane<V> {
                 );
             }
         }
+        // Byzantine injection: register the canonical digest (the
+        // ground truth the ingress screen checks against) and put the
+        // scheduled forgeries on the wire. Entirely PRNG-free, so the
+        // lane's honest draw sequence is untouched.
+        let injections = match self.adversary.as_mut() {
+            Some(adversary) => adversary.injections_for(&block),
+            None => Vec::new(),
+        };
+        for (delay, victim, via, forged) in injections {
+            self.schedule(
+                cut_at + hop + delay,
+                EventKind::RawBlock {
+                    to: victim,
+                    from: via,
+                    block: forged,
+                },
+            );
+        }
         // Arm the anti-entropy timers: any replica still behind once
         // the pushes settle recovers through its tick.
         for i in 0..self.slots.len() {
@@ -737,6 +796,14 @@ impl<V: BlockValidator> ChannelLane<V> {
     ) {
         if self.slots[to].peer.is_none() {
             return; // down: the message is lost
+        }
+        // The ingress screen: tampered or forged blocks are rejected
+        // before they can be buffered, forwarded, or counted as
+        // redundant — honest replicas never see adversarial bytes.
+        if let Some(adversary) = self.adversary.as_mut() {
+            if !adversary.admit(from, &block) {
+                return;
+            }
         }
         let number = block.header.number;
         if self.has_block(to, number) {

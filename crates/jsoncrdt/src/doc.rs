@@ -295,6 +295,26 @@ impl JsonCrdt {
         std::mem::take(&mut self.work)
     }
 
+    /// The operations of this document's history a peer whose causal
+    /// frontier is `frontier` has not yet observed, in application
+    /// order — the incremental delta an offline-first client ships at
+    /// rejoin instead of replaying its entire history. Counter-0 ops
+    /// are vacuously "contained" by any frontier, so they are always
+    /// included, mirroring [`JsonCrdt::merge`]'s skip rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocError::MissingHistory`] if this document was not
+    /// built with [`JsonCrdt::with_history`].
+    pub fn delta_since(&self, frontier: &VersionVector) -> Result<Vec<Operation>, DocError> {
+        let log = self.history.as_deref().ok_or(DocError::MissingHistory)?;
+        Ok(log
+            .iter()
+            .filter(|op| !(frontier.contains(op.id) && op.id.counter > 0))
+            .cloned()
+            .collect())
+    }
+
     /// Applies an operation, buffering it if dependencies are missing
     /// (paper §5.1, `ApplyOperationToJSON`).
     ///
@@ -610,6 +630,47 @@ mod tests {
 
     fn v(text: &str) -> Value {
         text.parse().unwrap()
+    }
+
+    #[test]
+    fn delta_since_ships_only_unseen_operations() {
+        let mut server = JsonCrdt::with_history(ReplicaId(1));
+        server
+            .merge_value(&v(r#"{"deviceID":"d1","temp":"20"}"#))
+            .unwrap();
+        let mut client = JsonCrdt::with_history(ReplicaId(2));
+        client.merge(&server).unwrap();
+        // The client edits offline, accumulating local history on top
+        // of everything it already shares with the server.
+        client
+            .merge_value(&v(r#"{"temp":"25","hum":"40"}"#))
+            .unwrap();
+        client.merge_value(&v(r#"{"hum":"41"}"#)).unwrap();
+
+        let full = client.history().unwrap().len();
+        let delta = client.delta_since(server.frontier()).unwrap();
+        assert!(
+            delta.len() < full,
+            "incremental delta ({}) must undercut full replay ({full})",
+            delta.len()
+        );
+
+        // Shipping just the delta converges the server exactly like a
+        // full-history merge would.
+        let mut via_delta = server.clone();
+        for op in &delta {
+            via_delta.apply(op.clone()).unwrap();
+        }
+        let mut via_full = server;
+        via_full.merge(&client).unwrap();
+        assert_eq!(via_delta.to_value(), via_full.to_value());
+        assert_eq!(via_delta.frontier(), via_full.frontier());
+
+        // A history-free document cannot produce a delta.
+        assert_eq!(
+            JsonCrdt::new(ReplicaId(3)).delta_since(&VersionVector::new()),
+            Err(DocError::MissingHistory)
+        );
     }
 
     fn merged(sources: &[&str]) -> Value {

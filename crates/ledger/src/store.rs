@@ -33,7 +33,11 @@
 //! `sync_data` per record. On open, records are scanned sequentially
 //! and the file is truncated at the first record that is short, fails
 //! its footer check, or does not decode — exactly Fabric's block-file
-//! recovery behaviour.
+//! recovery behaviour. Truncation is reserved for the *tail*, though:
+//! a bad record with a structurally valid record after it cannot be a
+//! crashed append, so open reports it as
+//! [`StoreError::CorruptRecord`] instead of silently dropping the
+//! intact suffix.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -74,6 +78,15 @@ pub enum StoreError {
     /// different layout version) — torn tails are truncated at open,
     /// not reported.
     Corrupt(DecodeError),
+    /// A record *mid-file* failed its content-hash footer or payload
+    /// decode while a structurally valid record follows it. That is
+    /// in-place corruption (bit rot, a hostile edit), not the torn
+    /// tail of a crashed append — truncating here would silently
+    /// discard the intact suffix, so open refuses instead.
+    CorruptRecord {
+        /// Byte offset of the corrupt record in the file.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -81,6 +94,11 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io { op, message } => write!(f, "store {op} failed: {message}"),
             StoreError::Corrupt(e) => write!(f, "store record corrupt: {e}"),
+            StoreError::CorruptRecord { offset } => write!(
+                f,
+                "store record at byte {offset} is corrupt but valid records \
+                 follow: in-place corruption, not a torn tail"
+            ),
         }
     }
 }
@@ -320,35 +338,63 @@ struct RawRecord {
     payload: Vec<u8>,
 }
 
+/// The total frame length the record header at `pos` claims, when the
+/// header itself is plausible (valid kind tag, in-range length) and
+/// the claimed frame fits inside `data`. The footer is *not* checked.
+fn claimed_frame_len(data: &[u8], pos: usize) -> Option<usize> {
+    if data.len() - pos < HEADER_LEN + FOOTER_LEN {
+        return None;
+    }
+    let kind = data[pos];
+    if kind != KIND_BLOCK && kind != KIND_SNAPSHOT {
+        return None;
+    }
+    let len_bytes: [u8; 8] = data[pos + 1..pos + 9].try_into().expect("8 bytes");
+    let payload_len = usize::try_from(u64::from_be_bytes(len_bytes)).ok()?;
+    let total = HEADER_LEN
+        .checked_add(payload_len)?
+        .checked_add(FOOTER_LEN)?;
+    (data.len() - pos >= total).then_some(total)
+}
+
+/// The total frame length of a structurally valid record at `pos` —
+/// plausible header *and* matching content-hash footer — or `None`.
+/// A matching 8-byte footer over arbitrary bytes is a 1-in-2^64
+/// accident, so a valid frame right after a bad one means the bad
+/// record was corrupted in place rather than torn by a crash.
+fn frame_at(data: &[u8], pos: usize) -> Option<usize> {
+    let total = claimed_frame_len(data, pos)?;
+    let payload = &data[pos + HEADER_LEN..pos + total - FOOTER_LEN];
+    let footer = &data[pos + total - FOOTER_LEN..pos + total];
+    (footer == &digest(payload)[..FOOTER_LEN]).then_some(total)
+}
+
 /// Scans `data` as a sequence of records, returning the decodable
 /// prefix and its byte length. Anything after the first short, corrupt
-/// or undecodable record is a torn tail.
-fn scan_records(data: &[u8]) -> (Vec<RawRecord>, usize) {
+/// or undecodable record is a torn tail — *unless* a structurally
+/// valid record follows the bad one, which a crashed append cannot
+/// produce: that is in-place corruption and comes back as
+/// [`StoreError::CorruptRecord`] so the intact suffix is not silently
+/// discarded. (Corruption that destroys the record *header* leaves no
+/// trustworthy claimed length to probe past, so it still recovers as
+/// a torn tail.)
+fn scan_records(data: &[u8]) -> Result<(Vec<RawRecord>, usize), StoreError> {
     let mut records = Vec::new();
     let mut pos = 0;
-    while data.len() - pos >= HEADER_LEN + FOOTER_LEN {
+    while pos < data.len() {
+        let Some(total) = frame_at(data, pos) else {
+            // Short frame, bad header, or footer mismatch. If the
+            // claimed length points at another valid record, the bytes
+            // here were corrupted in place, not torn off by a crash.
+            if let Some(claimed) = claimed_frame_len(data, pos) {
+                if frame_at(data, pos + claimed).is_some() {
+                    return Err(StoreError::CorruptRecord { offset: pos as u64 });
+                }
+            }
+            break;
+        };
         let kind = data[pos];
-        if kind != KIND_BLOCK && kind != KIND_SNAPSHOT {
-            break;
-        }
-        let len_bytes: [u8; 8] = data[pos + 1..pos + 9].try_into().expect("8 bytes");
-        let Ok(payload_len) = usize::try_from(u64::from_be_bytes(len_bytes)) else {
-            break;
-        };
-        let Some(total) = HEADER_LEN
-            .checked_add(payload_len)
-            .and_then(|n| n.checked_add(FOOTER_LEN))
-        else {
-            break;
-        };
-        if data.len() - pos < total {
-            break;
-        }
-        let payload = &data[pos + HEADER_LEN..pos + HEADER_LEN + payload_len];
-        let footer = &data[pos + total - FOOTER_LEN..pos + total];
-        if footer != &digest(payload)[..FOOTER_LEN] {
-            break;
-        }
+        let payload = &data[pos + HEADER_LEN..pos + total - FOOTER_LEN];
         // Structural checks passed; the payload must also decode, so a
         // record written by a buggy or mismatched writer is treated as
         // the torn tail rather than poisoning recovery later.
@@ -357,6 +403,9 @@ fn scan_records(data: &[u8]) -> (Vec<RawRecord>, usize) {
             _ => LedgerSnapshot::from_bytes(payload).is_ok(),
         };
         if !decodes {
+            if frame_at(data, pos + total).is_some() {
+                return Err(StoreError::CorruptRecord { offset: pos as u64 });
+            }
             break;
         }
         records.push(RawRecord {
@@ -365,7 +414,7 @@ fn scan_records(data: &[u8]) -> (Vec<RawRecord>, usize) {
         });
         pos += total;
     }
-    (records, pos)
+    Ok((records, pos))
 }
 
 fn encode_record(kind: u8, payload: &[u8]) -> Vec<u8> {
@@ -427,7 +476,7 @@ impl AofStore {
             .map_err(|e| io_err("open", e))?;
         let mut data = Vec::new();
         file.read_to_end(&mut data).map_err(|e| io_err("read", e))?;
-        let (raw, valid_len) = scan_records(&data);
+        let (raw, valid_len) = scan_records(&data)?;
         if valid_len < data.len() {
             file.set_len(valid_len as u64)
                 .map_err(|e| io_err("truncate", e))?;
@@ -757,6 +806,53 @@ mod tests {
         assert_eq!(
             fs::metadata(&path).unwrap().len() as usize,
             bytes.len() - (HEADER_LEN + codec::encode_block(&blocks[1]).len() + FOOTER_LEN)
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn aof_mid_file_corruption_is_a_typed_error_not_truncation() {
+        let path = temp_path("midfile");
+        let blocks = chained_blocks(3);
+        {
+            let mut store = AofStore::open(&path).unwrap();
+            for block in &blocks {
+                store.append_block(block).unwrap();
+            }
+        }
+        let pristine = fs::read(&path).unwrap();
+        let first_frame = HEADER_LEN + codec::encode_block(&blocks[0]).len() + FOOTER_LEN;
+
+        // Flip a payload byte of the *first* record: two intact
+        // records still follow, so this is in-place corruption and
+        // open must refuse rather than truncate the whole file away.
+        let mut bytes = pristine.clone();
+        bytes[HEADER_LEN] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            AofStore::open(&path).unwrap_err(),
+            StoreError::CorruptRecord { offset: 0 }
+        );
+        // The failed open left the file untouched for forensics.
+        assert_eq!(fs::read(&path).unwrap(), bytes);
+
+        // Same for a corrupt *middle* record — the error names its
+        // byte offset.
+        let mut bytes = pristine.clone();
+        bytes[first_frame + HEADER_LEN] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            AofStore::open(&path).unwrap_err(),
+            StoreError::CorruptRecord {
+                offset: first_frame as u64
+            }
+        );
+
+        // The pristine file still opens to all three blocks.
+        fs::write(&path, &pristine).unwrap();
+        assert_eq!(
+            AofStore::open(&path).unwrap().load().unwrap().blocks,
+            blocks
         );
         fs::remove_file(&path).unwrap();
     }

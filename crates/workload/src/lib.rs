@@ -9,6 +9,8 @@
 //! - [`channels`]: the same workload sharded across channels —
 //!   per-channel open-loop arrival processes over channel-prefixed key
 //!   spaces, for `fabriccrdt-channel` deployments.
+//! - [`offline`]: offline-first client edit sequences and rejoin-burst
+//!   schedules, for the merge-storm probes of `fabriccrdt-adversary`.
 //! - [`experiment`]: one-call experiment execution — topology, block
 //!   size, rate, read/write key counts, JSON shape, conflict percentage —
 //!   against either system, returning the three metrics every figure
@@ -37,6 +39,7 @@ pub mod channels;
 pub mod experiment;
 pub mod generator;
 pub mod iot;
+pub mod offline;
 pub mod report;
 pub mod smallbank;
 
