@@ -28,10 +28,13 @@ cargo run --release -q -p fabriccrdt-bench --bin partition_heal
 cargo run --release -q -p fabriccrdt-bench --bin orderer_failover -- --txs 300
 cargo run --release -q -p fabriccrdt-bench --bin ablation -- --txs 200
 
-# The commit-path wall-clock bench asserts parallel == sequential
-# ledgers internally and re-parses its own JSON artifact; the gate
-# additionally checks the artifact landed and carries the expected
-# fields (well-formedness beyond "the bin did not crash").
+# The commit-path wall-clock bench asserts parallel == sequential and
+# pipelined == sequential ledgers internally, checks that the pipelined
+# driver overlapped every chained block, and re-parses its own JSON
+# artifact; the gate additionally checks the artifact landed and
+# carries the expected fields — including the pipelined cells and their
+# measured stage-overlap windows (well-formedness beyond "the bin did
+# not crash").
 echo "==> commit_path smoke run + artifact check"
 rm -f BENCH_commit_path.json
 cargo run --release -q -p fabriccrdt-bench --bin commit_path -- --txs 200
@@ -40,8 +43,13 @@ grep -q '"bench": "commit_path"' BENCH_commit_path.json
 grep -q '"sequential_baseline_tps"' BENCH_commit_path.json
 grep -q '"speedup_at_4_workers"' BENCH_commit_path.json
 grep -q '"finalize_speedup_at_4_workers"' BENCH_commit_path.json
+grep -q '"pipelined_speedup_at_4_workers"' BENCH_commit_path.json
+grep -q '"blocks_overlapped"' BENCH_commit_path.json
+grep -q '"speculative_reads_checked"' BENCH_commit_path.json
 grep -q '"pre_validate_secs"' BENCH_commit_path.json
 grep -q '"finalize_secs"' BENCH_commit_path.json
+grep -q '"overlap_secs"' BENCH_commit_path.json
+grep -q '"pipeline": "pipelined(4)"' BENCH_commit_path.json
 
 # The catch-up storage bench asserts snapshot transfers beat full
 # replay at the 100-block chain and that the append-only-file backend

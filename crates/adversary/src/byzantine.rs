@@ -128,5 +128,8 @@ pub fn gen_attack_schedule(g: &mut Gen, n_peers: usize, max_height: u64) -> Adve
             delay: SimTime::from_millis(g.range(0, 50)),
         }
     });
-    AdversaryConfig { attacks }
+    AdversaryConfig {
+        attacks,
+        ..AdversaryConfig::none()
+    }
 }

@@ -120,6 +120,7 @@ fn fixed_schedule_detects_equivocation_and_tampering() {
                 delay: SimTime::from_millis(1),
             },
         ],
+        ..AdversaryConfig::none()
     };
     let config = PipelineConfig::paper(BLOCK_SIZE, 42)
         .with_gossip()

@@ -102,6 +102,7 @@ fn attack_schedule() -> AdversaryConfig {
                 delay: SimTime::from_millis(2 + i as u64),
             })
             .collect(),
+        ..AdversaryConfig::none()
     }
 }
 

@@ -257,10 +257,16 @@ pub struct AdversaryMetrics {
     /// equivocation evidence count. Two conflicting variants at one
     /// height count twice; re-deliveries of a known variant do not.
     pub equivocations_detected: u64,
-    /// Peers quarantined for relaying at least one bad block.
+    /// Peers quarantined for relaying at least one bad block
+    /// (currently serving quarantine when the counters were taken;
+    /// relays released on probation no longer count).
     pub quarantined_peers: u64,
     /// Messages dropped because their relay was already quarantined.
     pub quarantine_drops: u64,
+    /// Relays released from quarantine after serving a full clean
+    /// probation window (see `crates/gossip`'s ingress screen) — an
+    /// honest-but-once-spoofed relay's pushes count again afterwards.
+    pub quarantine_releases: u64,
 }
 
 impl AdversaryMetrics {
@@ -268,6 +274,39 @@ impl AdversaryMetrics {
     pub fn rejected_blocks(&self) -> u64 {
         self.tampered_rejected + self.forged_rejected
     }
+}
+
+/// Counters of the cross-block commit pipeline
+/// ([`crate::pipeline::ValidationPipeline::Pipelined`]). Only
+/// populated for pipelined runs; sequential and per-block-parallel
+/// runs report `None` in [`RunMetrics::pipelined`].
+///
+/// Excluded from [`RunMetrics`] equality, like
+/// [`RunMetrics::decode_cache`]: the equivalence sweeps compare a
+/// sequential run (`pipelined: None`) against a pipelined one
+/// (`pipelined: Some(..)`) and assert *outcome* identity — these
+/// counters describe how the work was scheduled, not what it decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineMetrics {
+    /// Blocks whose pre-validation was issued ahead of time — i.e.
+    /// overlapped with a predecessor's finalize/commit window.
+    pub blocks_overlapped: u64,
+    /// Blocks that arrived while the pipeline was idle: nothing to
+    /// overlap with, so they took the plain two-stage path.
+    pub blocks_stalled: u64,
+    /// Deepest run-ahead observed (number of blocks pre-validated but
+    /// not yet finalized, at its maximum).
+    pub max_ahead_depth: u64,
+    /// MVCC read versions checked locklessly against the published
+    /// state snapshot during overlapped pre-validation.
+    pub speculative_reads_checked: u64,
+    /// Overlapped transactions whose speculative read verdict was
+    /// confirmed by the authoritative MVCC check at finalize.
+    pub speculation_confirmed: u64,
+    /// Overlapped transactions whose speculative verdict was
+    /// overturned at finalize — a read raced a commit between the
+    /// snapshot and the finalize epoch, and the recheck caught it.
+    pub speculation_overturned: u64,
 }
 
 /// Metrics of the replicated (Raft) ordering service. Only populated
@@ -338,6 +377,10 @@ pub struct RunMetrics {
     /// Byzantine-screen detection counters when the run configured an
     /// adversary schedule; `None` for honest runs.
     pub adversary: Option<AdversaryMetrics>,
+    /// Cross-block pipelining counters when the run used
+    /// [`crate::pipeline::ValidationPipeline::Pipelined`]; `None`
+    /// otherwise.
+    pub pipelined: Option<PipelineMetrics>,
 }
 
 /// Equality deliberately ignores [`RunMetrics::decode_cache`]: the
@@ -345,7 +388,10 @@ pub struct RunMetrics {
 /// so hit/miss counters depend on thread scheduling even though every
 /// validation outcome stays byte-identical. The equivalence sweeps
 /// assert `sequential_metrics == parallel_metrics`, which must hold
-/// regardless of that scheduling noise.
+/// regardless of that scheduling noise. [`RunMetrics::pipelined`] is
+/// ignored for the same reason: it describes the overlap schedule, and
+/// the sweeps compare pipelined runs against sequential ones that have
+/// no such schedule at all.
 impl PartialEq for RunMetrics {
     fn eq(&self, other: &Self) -> bool {
         self.channel == other.channel
@@ -470,6 +516,7 @@ mod tests {
             ordering: None,
             decode_cache: None,
             adversary: None,
+            pipelined: None,
         };
         assert_eq!(metrics.submitted(), 4);
         assert_eq!(metrics.successful(), 2);
@@ -498,6 +545,7 @@ mod tests {
             ordering: None,
             decode_cache: None,
             adversary: None,
+            pipelined: None,
         };
         let series = metrics.throughput_series(SimTime::from_secs(1));
         assert_eq!(series.counts(), &[2, 1]);
@@ -619,6 +667,14 @@ mod tests {
         assert_eq!(
             a, b,
             "scheduling-dependent cache counters must not break equality"
+        );
+        a.pipelined = Some(PipelineMetrics {
+            blocks_overlapped: 7,
+            ..PipelineMetrics::default()
+        });
+        assert_eq!(
+            a, b,
+            "overlap-schedule counters must not break equality either"
         );
         a.blocks_committed = 1;
         assert_ne!(a, b);

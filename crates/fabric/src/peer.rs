@@ -12,6 +12,24 @@
 //! simulator computes at processing *start*, schedules the commit at
 //! `start + cost`, and endorsements arriving in between correctly observe
 //! the pre-block state.
+//!
+//! # Cross-block pipelining and the lockless read path
+//!
+//! Under [`ValidationPipeline::Pipelined`], processing further splits
+//! into [`Peer::prevalidate_ahead`] (submit block N+1's pure
+//! per-transaction stage to the worker pool) and [`Peer::finish_block`]
+//! (join it, then run the conflict-chain finalize) — so N+1's
+//! signature checking runs on pool threads *while* N's finalize commits
+//! on the calling thread ([`Peer::finish_block_with_next`] chains the
+//! two). The world state lives behind an `Arc` pointer that
+//! [`Peer::commit`] swaps ([`Peer::state`] is the published epoch), so
+//! the overlapped stage — including the advisory
+//! [`BlockValidator::speculative_read_check`] — reads plain `BTreeMap`
+//! lookups through the pointer and never takes a lock; the
+//! authoritative MVCC recheck at finalize catches any read that raced a
+//! commit. Every stage stays a pure function of (transaction,
+//! committed-id context), so pipelined runs are value-identical to
+//! sequential ones — only wall-clock changes.
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -40,24 +58,48 @@ pub struct PeerSnapshot {
 
 use crate::channel::ChannelId;
 use crate::cost::ValidationWork;
-use crate::pipeline::{PipelineRunner, ValidationPipeline};
+use crate::metrics::PipelineMetrics;
+use crate::pipeline::{PendingMap, PipelineRunner, ValidationPipeline};
 use crate::policy::EndorsementPolicy;
 use crate::schedule::conflict_chains;
 use crate::state::ShardedState;
 use crate::validator::{BlockValidator, ChainOutcome};
 
-/// Host wall-clock timings of the two `process_block` stages, used by
+/// Host wall-clock spans of the two `process_block` stages, used by
 /// the commit-path benchmark to attribute speedup per stage. Timings
 /// never feed the cost model or any validation outcome, so they cannot
 /// perturb simulation determinism.
+///
+/// Each stage is recorded as a *span* — start and end offsets (seconds
+/// since the peer was constructed) — rather than a bare duration,
+/// because under [`ValidationPipeline::Pipelined`] the stages of
+/// consecutive blocks are **not disjoint**: block N+1's pre-validation
+/// runs concurrently with block N's finalize, so summing durations
+/// double-counts the overlapped window. [`StageTimings::overlap_secs`]
+/// reports that window explicitly (the intersection of this block's
+/// pre-validation span with the previous block's finalize span), so
+/// consumers can derive busy wall time as
+/// `pre_validate_secs + finalize_secs - overlap_secs`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
     /// Duplicate detection + endorsement verification (pipeline
-    /// fan-out stage).
+    /// fan-out stage): `pre_end - pre_start`.
     pub pre_validate_secs: f64,
     /// MVCC/merge validation, state commit and re-seal (conflict-chain
-    /// stage).
+    /// stage): `finalize_end - finalize_start`.
     pub finalize_secs: f64,
+    /// Pre-validation span start, seconds since peer construction.
+    pub pre_start: f64,
+    /// Pre-validation span end (the join, under pipelining).
+    pub pre_end: f64,
+    /// Finalize span start, seconds since peer construction.
+    pub finalize_start: f64,
+    /// Finalize span end.
+    pub finalize_end: f64,
+    /// Seconds this block's pre-validation span overlapped the
+    /// *previous* block's finalize span — zero whenever stages ran
+    /// back-to-back (sequential and plain-parallel modes).
+    pub overlap_secs: f64,
 }
 
 /// A fully validated block plus the world state it produces, awaiting
@@ -74,6 +116,67 @@ pub struct StagedBlock {
     pub timings: StageTimings,
 }
 
+impl StagedBlock {
+    /// Ids of every transaction in the staged block — the duplicate
+    /// context a pipelined driver must thread into
+    /// [`Peer::prevalidate_ahead`] for blocks prepared while this one
+    /// is still in flight ([`Peer::commit`] will extend the committed
+    /// set with *all* of them, valid and failed alike).
+    pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.block.transactions.iter().map(|t| t.id)
+    }
+}
+
+/// Block N+1 mid-flight: its pure pre-validation stage has been
+/// started (possibly on the worker pool, concurrently with block N's
+/// finalize) but not yet joined. Redeem with [`Peer::finish_block`] —
+/// in arrival order, after every earlier block has been committed.
+#[derive(Debug)]
+pub struct PreparedBlock {
+    /// The block, transactions taken out (left in place for tampered
+    /// blocks, which skip pre-validation wholesale).
+    block: Block,
+    /// The transactions, shared with the in-flight pool job.
+    transactions: Arc<Vec<Transaction>>,
+    /// The in-flight endorsement map; `None` marks a tampered block.
+    pending: Option<PendingMap<(Option<ValidationCode>, u64)>>,
+    /// Advisory lockless read-check verdicts against the state epoch
+    /// published when this block was prepared (overlapped prepares
+    /// only); reconciled at finalize into
+    /// [`PipelineMetrics::speculation_confirmed`] /
+    /// [`PipelineMetrics::speculation_overturned`].
+    speculation: Option<Vec<bool>>,
+    /// Pre-validation span start (seconds since peer construction).
+    pre_start: f64,
+}
+
+impl PreparedBlock {
+    /// Ids of every transaction in the prepared block (see
+    /// [`StagedBlock::tx_ids`] — same duplicate-context contract).
+    pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
+        // Exactly one of the two is nonempty: `block.transactions`
+        // for tampered blocks, the shared `Arc` otherwise.
+        self.block
+            .transactions
+            .iter()
+            .chain(self.transactions.iter())
+            .map(|t| t.id)
+    }
+}
+
+/// A [`PreparedBlock`] whose pre-validation has been joined; input to
+/// the finalize half of [`Peer::finish_block`].
+struct JoinedBlock {
+    block: Block,
+    transactions: Arc<Vec<Transaction>>,
+    pre: Vec<Option<ValidationCode>>,
+    sigs_verified: u64,
+    tampered: bool,
+    speculation: Option<Vec<bool>>,
+    pre_start: f64,
+    pre_end: f64,
+}
+
 /// A committing peer.
 ///
 /// All peers of the simulated network execute identical deterministic
@@ -82,7 +185,12 @@ pub struct StagedBlock {
 /// by the simulation (DESIGN.md §1).
 #[derive(Debug)]
 pub struct Peer<V> {
-    state: WorldState,
+    /// The committed world state, published as an immutable epoch:
+    /// [`Peer::commit`] swaps the pointer, it never mutates in place,
+    /// so overlapped pre-validation reads the `Arc` without any lock
+    /// and a clone of the pointer stays valid (and byte-stable) for as
+    /// long as a reader holds it.
+    state: Arc<WorldState>,
     chain: Blockchain,
     history: HistoryDb,
     committed_ids: HashSet<TxId>,
@@ -101,6 +209,15 @@ pub struct Peer<V> {
     /// channel-agnostic — but it keeps multi-channel replicas
     /// attributable in debug output and assertions.
     channel: ChannelId,
+    /// Wall-clock origin for [`StageTimings`] span offsets.
+    epoch: Instant,
+    /// Finalize span of the most recently finished block, for
+    /// computing [`StageTimings::overlap_secs`] of the next one.
+    prev_finalize_span: Option<(f64, f64)>,
+    /// Overlap/speculation counters, drained by
+    /// [`Peer::take_pipeline_metrics`]. Scheduling-descriptive only —
+    /// never feeds a validation outcome.
+    stats: PipelineMetrics,
 }
 
 /// Folds a committed, validated block into the per-key merge
@@ -141,7 +258,7 @@ impl<V: BlockValidator> Peer<V> {
             .append(Block::genesis())
             .expect("genesis extends the empty chain");
         Peer {
-            state: WorldState::new(),
+            state: Arc::new(WorldState::new()),
             chain,
             history: HistoryDb::new(),
             committed_ids: HashSet::new(),
@@ -150,6 +267,9 @@ impl<V: BlockValidator> Peer<V> {
             policy,
             runner: PipelineRunner::new(ValidationPipeline::Sequential),
             channel: ChannelId::DEFAULT,
+            epoch: Instant::now(),
+            prev_finalize_span: None,
+            stats: PipelineMetrics::default(),
         }
     }
 
@@ -192,9 +312,19 @@ impl<V: BlockValidator> Peer<V> {
         self.runner.mode()
     }
 
-    /// The current world state (committed blocks only).
+    /// The current world state (committed blocks only). This is the
+    /// published read epoch: the returned reference points at an
+    /// immutable `Arc`'d snapshot that [`Peer::commit`] replaces
+    /// wholesale, so reads through it never contend with a commit.
     pub fn state(&self) -> &WorldState {
         &self.state
+    }
+
+    /// Drains the overlap/speculation counters accumulated since the
+    /// last call (or construction). Scheduling-descriptive only;
+    /// excluded from [`crate::metrics::RunMetrics`] equality.
+    pub fn take_pipeline_metrics(&mut self) -> PipelineMetrics {
+        std::mem::take(&mut self.stats)
     }
 
     /// The peer's copy of the blockchain.
@@ -217,7 +347,7 @@ impl<V: BlockValidator> Peer<V> {
     /// §7.2: "we start with an empty ledger and populate the ledger with
     /// keys that are read during the experiment".
     pub fn seed_state(&mut self, key: impl Into<String>, value: Vec<u8>) {
-        self.state.put(key.into(), value, Height::genesis());
+        Arc::make_mut(&mut self.state).put(key.into(), value, Height::genesis());
     }
 
     /// Serializes the peer's ledger (state + chain) for persistence or
@@ -253,7 +383,7 @@ impl<V: BlockValidator> Peer<V> {
             absorb_frontiers(&mut merge_frontiers, block);
         }
         Ok(Peer {
-            state,
+            state: Arc::new(state),
             chain,
             history,
             committed_ids,
@@ -262,6 +392,9 @@ impl<V: BlockValidator> Peer<V> {
             policy,
             runner: PipelineRunner::new(ValidationPipeline::Sequential),
             channel: ChannelId::DEFAULT,
+            epoch: Instant::now(),
+            prev_finalize_span: None,
+            stats: PipelineMetrics::default(),
         })
     }
 
@@ -312,7 +445,7 @@ impl<V: BlockValidator> Peer<V> {
         let ids = codec::decode_txids(&snapshot.committed_ids)?;
         let merge_frontiers = crate::storage::decode_frontiers(&snapshot.frontiers)?;
         Ok(Peer {
-            state,
+            state: Arc::new(state),
             chain: Blockchain::resume(snapshot.last_block + 1, snapshot.tip_hash),
             history,
             committed_ids: ids.into_iter().collect(),
@@ -321,6 +454,9 @@ impl<V: BlockValidator> Peer<V> {
             policy,
             runner: PipelineRunner::new(ValidationPipeline::Sequential),
             channel: ChannelId::DEFAULT,
+            epoch: Instant::now(),
+            prev_finalize_span: None,
+            stats: PipelineMetrics::default(),
         })
     }
 
@@ -360,6 +496,7 @@ impl<V: BlockValidator> Peer<V> {
         if block.validation_codes.len() != block.transactions.len() {
             return Err(ChainError::MissingValidationCodes);
         }
+        let state = Arc::make_mut(&mut self.state);
         for (tx_num, (tx, code)) in block
             .transactions
             .iter()
@@ -372,9 +509,9 @@ impl<V: BlockValidator> Peer<V> {
             let height = Height::new(block.header.number, tx_num as u64);
             for (key, entry) in tx.rwset.writes.iter() {
                 if entry.is_delete {
-                    self.state.delete(key);
+                    state.delete(key);
                 } else {
-                    self.state.put(key.clone(), entry.value.clone(), height);
+                    state.put(key.clone(), entry.value.clone(), height);
                 }
             }
         }
@@ -392,8 +529,82 @@ impl<V: BlockValidator> Peer<V> {
     /// Performs duplicate-id detection, endorsement verification
     /// (signatures really are checked) and the validator stage, all
     /// against a copy of the state; the result is installed later by
-    /// [`Peer::commit`].
-    pub fn process_block(&self, mut block: Block) -> StagedBlock {
+    /// [`Peer::commit`]. Equivalent to [`Peer::prevalidate`]
+    /// immediately followed by [`Peer::finish_block`].
+    pub fn process_block(&mut self, block: Block) -> StagedBlock {
+        let prep = self.prepare_block(block, &HashSet::new(), false);
+        self.finish_block(prep)
+    }
+
+    /// Starts the pure pre-validation stage of a block whose
+    /// predecessors have all committed (no extra duplicate context).
+    pub fn prevalidate(&mut self, block: Block) -> PreparedBlock {
+        self.prepare_block(block, &HashSet::new(), false)
+    }
+
+    /// Starts the pure pre-validation stage of a block *ahead of* its
+    /// predecessors' finalize — the overlap window of
+    /// [`ValidationPipeline::Pipelined`]. Under a pipelined runner the
+    /// per-transaction work is submitted to the worker pool and runs
+    /// concurrently with whatever the caller does next (block N's
+    /// finalize); on other runners (or single-thread hardware) it is
+    /// deferred to the join inside [`Peer::finish_block`] —
+    /// value-identical either way.
+    ///
+    /// `extra_ids` must hold the ids of **every** transaction of every
+    /// in-flight block (staged or prepared, valid and failed alike):
+    /// [`Peer::commit`] extends the duplicate set with all of them, so
+    /// this is exactly the context `committed_ids` would have carried
+    /// had the predecessors already committed. With that, duplicate
+    /// verdicts — and therefore `sigs_verified` and the simulated
+    /// block cost — are identical to the sequential schedule.
+    pub fn prevalidate_ahead(&mut self, block: Block, extra_ids: &HashSet<TxId>) -> PreparedBlock {
+        self.prepare_block(block, extra_ids, true)
+    }
+
+    /// Joins a block's pre-validation and runs its finalize. Blocks
+    /// must be finished in arrival order, each after its predecessors
+    /// committed (the finalize validates against — and the re-seal
+    /// links to — the committed tip).
+    pub fn finish_block(&mut self, prep: PreparedBlock) -> StagedBlock {
+        let joined = self.join_prevalidation(prep);
+        self.finalize_joined(joined)
+    }
+
+    /// The pipelined chaining step: joins `prep`'s pre-validation
+    /// (freeing the worker pool), submits `next`'s pre-validation to
+    /// the pool, then runs `prep`'s finalize on the calling thread —
+    /// so `next`'s signature checking proceeds concurrently with the
+    /// finalize. The duplicate context for `next` (the ids of `prep`'s
+    /// transactions) is threaded automatically; callers with deeper
+    /// in-flight queues use [`Peer::prevalidate_ahead`] directly.
+    pub fn finish_block_with_next(
+        &mut self,
+        prep: PreparedBlock,
+        next: Block,
+    ) -> (StagedBlock, PreparedBlock) {
+        let joined = self.join_prevalidation(prep);
+        let extra: HashSet<TxId> = joined
+            .block
+            .transactions
+            .iter()
+            .chain(joined.transactions.iter())
+            .map(|t| t.id)
+            .collect();
+        let next_prep = self.prevalidate_ahead(next, &extra);
+        let staged = self.finalize_joined(joined);
+        (staged, next_prep)
+    }
+
+    /// The shared prepare half: duplicate detection, then the pure
+    /// per-transaction endorsement stage, started via
+    /// [`PipelineRunner::map_ordered_bg`].
+    fn prepare_block(
+        &mut self,
+        mut block: Block,
+        extra_ids: &HashSet<TxId>,
+        overlapped: bool,
+    ) -> PreparedBlock {
         // Integrity pre-check: the data hash of a block fresh from the
         // orderer must cover its transactions. A mismatch here — before
         // any validator-driven rewrite — means tampering in transit;
@@ -401,36 +612,39 @@ impl<V: BlockValidator> Peer<V> {
         // re-seal only legitimizes the peer's *own* deterministic
         // merge rewrites.)
         if !block.data_hash_is_valid() {
-            block.validation_codes = vec![ValidationCode::TamperedBlock; block.transactions.len()];
-            block.header.previous_hash = self.chain.tip_hash();
-            block.header.data_hash = Block::compute_data_hash(&block.transactions);
-            return StagedBlock {
+            return PreparedBlock {
                 block,
-                new_state: self.state.clone(),
-                work: ValidationWork::default(),
-                timings: StageTimings::default(),
+                transactions: Arc::new(Vec::new()),
+                pending: None,
+                speculation: None,
+                pre_start: 0.0,
             };
         }
-        let pre_start = Instant::now();
+        let pre_start = self.offset_of(Instant::now());
 
         // Stage 1 (sequential, cheap): duplicate-id detection. This is
         // the one cross-transaction dependency in pre-validation — a
         // transaction is a duplicate relative to everything committed
-        // *and* everything earlier in this block — so it runs before the
+        // (including in-flight predecessors, via `extra_ids`) *and*
+        // everything earlier in this block — so it runs before the
         // fan-out, keeping the per-transaction stage below pure.
         let mut seen_in_block: HashSet<TxId> = HashSet::new();
         let duplicate: Vec<bool> = block
             .transactions
             .iter()
-            .map(|tx| self.committed_ids.contains(&tx.id) || !seen_in_block.insert(tx.id))
+            .map(|tx| {
+                self.committed_ids.contains(&tx.id)
+                    || extra_ids.contains(&tx.id)
+                    || !seen_in_block.insert(tx.id)
+            })
             .collect();
 
         // Stage 2 (pipeline fan-out): endorsement validation — every
         // signature must verify and the endorsing organizations must
         // satisfy the policy. Each transaction's outcome is a pure
         // function of the transaction itself, so the pipeline may
-        // evaluate them on worker threads; `map_ordered` joins results
-        // back in block order. Duplicates short-circuit *before* any
+        // evaluate them on worker threads; the join reassembles results
+        // in block order. Duplicates short-circuit *before* any
         // signature is checked (exactly as the seed's early return did),
         // so `sigs_verified` — and with it the simulated block cost — is
         // identical under every pipeline. Pool workers are 'static, so
@@ -438,29 +652,78 @@ impl<V: BlockValidator> Peer<V> {
         let transactions = Arc::new(std::mem::take(&mut block.transactions));
         let validator = Arc::clone(&self.validator);
         let policy = self.policy.clone();
-        let endorsed: Vec<(Option<ValidationCode>, u64)> =
-            self.runner.map_ordered(&transactions, move |i, tx| {
-                if duplicate[i] {
-                    return (Some(ValidationCode::DuplicateTxId), 0);
+        let pending = self.runner.map_ordered_bg(&transactions, move |i, tx| {
+            if duplicate[i] {
+                return (Some(ValidationCode::DuplicateTxId), 0);
+            }
+            // Warm validator-side caches (e.g. CRDT payload decode)
+            // off the sequential critical path; value-neutral.
+            validator.prepare(tx);
+            let payload = tx.response_payload();
+            let mut sigs = 0u64;
+            let mut valid_orgs = Vec::new();
+            for endorsement in &tx.endorsements {
+                sigs += 1;
+                let keypair = KeyPair::derive(endorsement.endorser.clone());
+                if keypair.verify(&payload, &endorsement.signature).is_ok() {
+                    valid_orgs.push(endorsement.endorser.org.clone());
                 }
-                // Warm validator-side caches (e.g. CRDT payload decode)
-                // off the sequential critical path; value-neutral.
-                validator.prepare(tx);
-                let payload = tx.response_payload();
-                let mut sigs = 0u64;
-                let mut valid_orgs = Vec::new();
-                for endorsement in &tx.endorsements {
-                    sigs += 1;
-                    let keypair = KeyPair::derive(endorsement.endorser.clone());
-                    if keypair.verify(&payload, &endorsement.signature).is_ok() {
-                        valid_orgs.push(endorsement.endorser.org.clone());
-                    }
-                }
-                if !policy.is_satisfied_by(&valid_orgs) {
-                    return (Some(ValidationCode::EndorsementPolicyFailure), sigs);
-                }
-                (None, sigs)
-            });
+            }
+            if !policy.is_satisfied_by(&valid_orgs) {
+                return (Some(ValidationCode::EndorsementPolicyFailure), sigs);
+            }
+            (None, sigs)
+        });
+
+        // Lockless speculative read check (overlapped prepares only):
+        // plain map lookups through the published `Arc` epoch, running
+        // on the calling thread while the pool verifies signatures. The
+        // verdicts are advisory — the authoritative MVCC check at
+        // finalize re-runs against the committed state — so they feed
+        // counters, never validation codes.
+        let speculation = if overlapped {
+            self.stats.blocks_overlapped += 1;
+            let mut verdicts = Vec::with_capacity(transactions.len());
+            for tx in transactions.iter() {
+                self.stats.speculative_reads_checked += tx.rwset.reads.len() as u64;
+                verdicts.push(self.validator.speculative_read_check(tx, &self.state));
+            }
+            Some(verdicts)
+        } else {
+            None
+        };
+
+        PreparedBlock {
+            block,
+            transactions,
+            pending: Some(pending),
+            speculation,
+            pre_start,
+        }
+    }
+
+    /// Joins the in-flight pre-validation of a prepared block.
+    fn join_prevalidation(&mut self, prep: PreparedBlock) -> JoinedBlock {
+        let PreparedBlock {
+            block,
+            transactions,
+            pending,
+            speculation,
+            pre_start,
+        } = prep;
+        let Some(pending) = pending else {
+            return JoinedBlock {
+                block,
+                transactions,
+                pre: Vec::new(),
+                sigs_verified: 0,
+                tampered: true,
+                speculation: None,
+                pre_start,
+                pre_end: pre_start,
+            };
+        };
+        let endorsed = self.runner.join(pending);
         let mut sigs_verified = 0u64;
         let pre: Vec<Option<ValidationCode>> = endorsed
             .into_iter()
@@ -469,9 +732,45 @@ impl<V: BlockValidator> Peer<V> {
                 code
             })
             .collect();
-        let pre_validate_secs = pre_start.elapsed().as_secs_f64();
+        let pre_end = self.offset_of(Instant::now());
+        JoinedBlock {
+            block,
+            transactions,
+            pre,
+            sigs_verified,
+            tampered: false,
+            speculation,
+            pre_start,
+            pre_end,
+        }
+    }
 
-        let finalize_start = Instant::now();
+    /// The finalize half: conflict-chain (or sequential) validation and
+    /// state commit, re-seal, speculation reconciliation and span
+    /// accounting.
+    fn finalize_joined(&mut self, joined: JoinedBlock) -> StagedBlock {
+        let JoinedBlock {
+            mut block,
+            transactions,
+            pre,
+            sigs_verified,
+            tampered,
+            speculation,
+            pre_start,
+            pre_end,
+        } = joined;
+        if tampered {
+            block.validation_codes = vec![ValidationCode::TamperedBlock; block.transactions.len()];
+            block.header.previous_hash = self.chain.tip_hash();
+            block.header.data_hash = Block::compute_data_hash(&block.transactions);
+            return StagedBlock {
+                block,
+                new_state: (*self.state).clone(),
+                work: ValidationWork::default(),
+                timings: StageTimings::default(),
+            };
+        }
+        let finalize_start = self.offset_of(Instant::now());
         let (new_state, mut work) = self.finalize(&mut block, transactions, &pre);
         work.sigs_verified = sigs_verified;
 
@@ -485,17 +784,48 @@ impl<V: BlockValidator> Peer<V> {
             block.header.previous_hash = self.chain.tip_hash();
             block.header.data_hash = Block::compute_data_hash(&block.transactions);
         }
-        let finalize_secs = finalize_start.elapsed().as_secs_f64();
+
+        // Reconcile speculative verdicts against the state this
+        // finalize actually validated on (reads are never rewritten, so
+        // the post-finalize transactions carry the original read sets).
+        if let Some(spec) = speculation {
+            for (tx, predicted) in block.transactions.iter().zip(&spec) {
+                if self.validator.speculative_read_check(tx, &self.state) == *predicted {
+                    self.stats.speculation_confirmed += 1;
+                } else {
+                    self.stats.speculation_overturned += 1;
+                }
+            }
+        }
+
+        let finalize_end = self.offset_of(Instant::now());
+        let overlap_secs = match self.prev_finalize_span {
+            Some((prev_start, prev_end)) => {
+                (pre_end.min(prev_end) - pre_start.max(prev_start)).max(0.0)
+            }
+            None => 0.0,
+        };
+        self.prev_finalize_span = Some((finalize_start, finalize_end));
 
         StagedBlock {
             block,
             new_state,
             work,
             timings: StageTimings {
-                pre_validate_secs,
-                finalize_secs,
+                pre_validate_secs: pre_end - pre_start,
+                finalize_secs: finalize_end - finalize_start,
+                pre_start,
+                pre_end,
+                finalize_start,
+                finalize_end,
+                overlap_secs,
             },
         }
+    }
+
+    /// Seconds since this peer was constructed, for span offsets.
+    fn offset_of(&self, instant: Instant) -> f64 {
+        instant.duration_since(self.epoch).as_secs_f64()
     }
 
     /// The finalize stage: MVCC/merge validation and state commit.
@@ -519,7 +849,7 @@ impl<V: BlockValidator> Peer<V> {
         if !self.runner.parallel_finalize() || chains.len() <= 1 {
             block.transactions =
                 Arc::try_unwrap(transactions).expect("pre-validation released its clones");
-            let mut new_state = self.state.clone();
+            let mut new_state = (*self.state).clone();
             let work = self
                 .validator
                 .validate_and_commit(block, &mut new_state, pre);
@@ -530,7 +860,10 @@ impl<V: BlockValidator> Peer<V> {
         let shadow_txs: Vec<Transaction> = transactions.as_ref().clone();
 
         let number = block.header.number;
-        let sharded = Arc::new(ShardedState::from_world(&self.state));
+        // Borrow the published epoch as the sharded base — zero clones
+        // here; `into_world` below clones (the epoch stays shared with
+        // `self.state` and any overlapped readers).
+        let sharded = Arc::new(ShardedState::from_shared(Arc::clone(&self.state)));
         let chains = Arc::new(chains);
         let validator = Arc::clone(&self.validator);
         let job_txs = Arc::clone(&transactions);
@@ -572,7 +905,7 @@ impl<V: BlockValidator> Peer<V> {
             let mut shadow_block = block.clone();
             shadow_block.transactions = shadow_txs;
             shadow_block.validation_codes = Vec::new();
-            let mut shadow_state = self.state.clone();
+            let mut shadow_state = (*self.state).clone();
             let shadow_work =
                 self.validator
                     .validate_and_commit(&mut shadow_block, &mut shadow_state, pre);
@@ -601,7 +934,9 @@ impl<V: BlockValidator> Peer<V> {
         let tip = self.chain.tip().expect("chain nonempty after append");
         self.history.record_block(tip);
         absorb_frontiers(&mut self.merge_frontiers, tip);
-        self.state = new_state;
+        // Epoch swap: readers holding the old `Arc` keep a consistent
+        // pre-block snapshot; new reads see the committed state.
+        self.state = Arc::new(new_state);
         self.committed_ids.extend(ids);
         Ok(self.chain.tip().expect("chain nonempty after append"))
     }
@@ -722,7 +1057,7 @@ mod tests {
 
     #[test]
     fn state_unchanged_until_commit() {
-        let p = peer();
+        let mut p = peer();
         let block = next_block(&p, vec![tx(1, "k", &["org1", "org2"])]);
         let staged = p.process_block(block);
         assert!(p.state().value("k").is_none());
@@ -888,6 +1223,138 @@ mod tests {
         assert_eq!(staged.block.validation_codes, vec![ValidationCode::Valid]);
         assert!(staged.timings.pre_validate_secs >= 0.0);
         assert!(staged.timings.finalize_secs >= 0.0);
+    }
+
+    fn reading_tx(
+        nonce: u64,
+        key: &str,
+        read_key: &str,
+        version: Option<Height>,
+        orgs: &[&str],
+    ) -> Transaction {
+        let client = Identity::new("client", "org1");
+        let mut rwset = ReadWriteSet::new();
+        rwset.reads.record(read_key, version);
+        rwset.writes.put(key, vec![nonce as u8]);
+        let mut tx = Transaction {
+            id: TxId::derive(&client, nonce, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        };
+        endorse(&mut tx, orgs);
+        tx
+    }
+
+    #[test]
+    fn pipelined_chaining_matches_sequential() {
+        // Drive the prevalidate / finish_block_with_next chain over a
+        // stream with duplicates, policy failures and a hot-key chain;
+        // the sequential replica processes the same stream one block at
+        // a time. Ledgers must come out byte-identical.
+        let dup = tx(1, "a", &["org1", "org2"]);
+        let blocks: Vec<Vec<Transaction>> = vec![
+            vec![dup.clone(), tx(2, "hot", &["org1", "org2"])],
+            vec![tx(3, "hot", &["org1", "org2"]), tx(4, "b", &["org1"])],
+            vec![dup, tx(5, "c", &["org1", "org2"])],
+        ];
+        let mut seq = peer();
+        let mut pip = peer().with_pipeline(ValidationPipeline::pipelined(4));
+        for p in [&mut seq, &mut pip] {
+            p.seed_state("hot", b"seed".to_vec());
+        }
+
+        // Sequential reference.
+        for txs in &blocks {
+            let block = next_block(&seq, txs.clone());
+            let staged = seq.process_block(block);
+            seq.commit(staged).unwrap();
+        }
+
+        // Pipelined: block N+1 is prepared while block N finalizes.
+        // Blocks are numbered up front (as an orderer would emit them);
+        // the finish-time re-seal links each to the committed tip.
+        let mut prep = pip.prevalidate(next_block(&pip, blocks[0].clone()));
+        for (n, txs) in blocks.iter().enumerate().skip(1) {
+            let block = Block::assemble((n + 1) as u64, [0; 32], txs.clone());
+            let (staged, next_prep) = pip.finish_block_with_next(prep, block);
+            pip.commit(staged).unwrap();
+            prep = next_prep;
+        }
+        let staged = pip.finish_block(prep);
+        pip.commit(staged).unwrap();
+
+        assert_eq!(seq.snapshot(), pip.snapshot(), "byte-identical ledgers");
+        let stats = pip.take_pipeline_metrics();
+        assert_eq!(stats.blocks_overlapped, 2);
+    }
+
+    #[test]
+    fn overlapped_prevalidation_sees_in_flight_duplicates() {
+        // A transaction repeated in the very next block must be flagged
+        // DuplicateTxId even though its first copy has not committed
+        // when the second block's pre-validation starts.
+        let dup = tx(1, "a", &["org1", "org2"]);
+        let mut p = peer().with_pipeline(ValidationPipeline::pipelined(2));
+        let prep = p.prevalidate(next_block(&p, vec![dup.clone()]));
+        let b2 = Block::assemble(2, [0; 32], vec![dup, tx(2, "b", &["org1", "org2"])]);
+        let (staged1, prep2) = p.finish_block_with_next(prep, b2);
+        p.commit(staged1).unwrap();
+        let staged2 = p.finish_block(prep2);
+        assert_eq!(
+            staged2.block.validation_codes,
+            vec![ValidationCode::DuplicateTxId, ValidationCode::Valid]
+        );
+        p.commit(staged2).unwrap();
+    }
+
+    #[test]
+    fn overlapped_read_racing_a_commit_is_caught_at_finalize() {
+        // Directed race: block 1 writes "k"; block 2 reads "k" at the
+        // seeded version. Block 2's lockless pre-validation runs
+        // against the pre-commit epoch (where the read still looks
+        // fresh); the authoritative MVCC recheck at finalize — after
+        // block 1 committed — must flag the conflict, exactly as the
+        // sequential path does.
+        let write = tx(1, "k", &["org1", "org2"]);
+        let read = reading_tx(2, "other", "k", Some(Height::genesis()), &["org1", "org2"]);
+
+        let mut seq = peer();
+        let mut pip = peer().with_pipeline(ValidationPipeline::pipelined(4));
+        for p in [&mut seq, &mut pip] {
+            p.seed_state("k", b"seed".to_vec());
+        }
+
+        let s1 = seq.process_block(next_block(&seq, vec![write.clone()]));
+        seq.commit(s1).unwrap();
+        let s2 = seq.process_block(next_block(&seq, vec![read.clone()]));
+        assert_eq!(
+            s2.block.validation_codes,
+            vec![ValidationCode::MvccConflict]
+        );
+        seq.commit(s2).unwrap();
+
+        let prep1 = pip.prevalidate(next_block(&pip, vec![write]));
+        let b2 = Block::assemble(2, [0; 32], vec![read]);
+        let (staged1, prep2) = pip.finish_block_with_next(prep1, b2);
+        pip.commit(staged1).unwrap();
+        let staged2 = pip.finish_block(prep2);
+        assert_eq!(
+            staged2.block.validation_codes,
+            vec![ValidationCode::MvccConflict]
+        );
+        pip.commit(staged2).unwrap();
+
+        assert_eq!(seq.snapshot(), pip.snapshot(), "byte-identical ledgers");
+        let stats = pip.take_pipeline_metrics();
+        assert_eq!(stats.blocks_overlapped, 1);
+        assert_eq!(
+            stats.speculation_overturned, 1,
+            "the speculative verdict raced block 1's commit and was overturned"
+        );
+        assert_eq!(stats.speculation_confirmed, 0);
+        assert!(stats.speculative_reads_checked >= 1);
     }
 
     #[test]

@@ -43,9 +43,10 @@
 //! `crates/fabric/tests/finalize_schedule.rs` — and only the
 //! *wall-clock* time of `process_block` changes.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crate::pool::WorkerPool;
+use crate::pool::{BatchTicket, WorkerPool};
 
 /// Strategy for the parallelizable stages of
 /// [`Peer::process_block`](crate::peer::Peer::process_block).
@@ -63,6 +64,18 @@ pub enum ValidationPipeline {
         /// Total worker parallelism (clamped to at least 1).
         workers: usize,
     },
+    /// Everything `Parallel` does, plus *cross-block* overlap: the
+    /// pure pre-validation stage of block N+1 may be submitted to the
+    /// pool asynchronously ([`PipelineRunner::map_ordered_bg`]) while
+    /// block N's finalize runs on the calling thread. Reads during the
+    /// overlapped stage go through the peer's immutable `Arc` state
+    /// epoch (see [`crate::peer::Peer::state`]), never a lock; the MVCC
+    /// recheck at finalize catches any read that raced a commit.
+    /// Value-identical to `Sequential` — only wall-clock changes.
+    Pipelined {
+        /// Total worker parallelism (clamped to at least 1).
+        workers: usize,
+    },
 }
 
 impl ValidationPipeline {
@@ -73,19 +86,45 @@ impl ValidationPipeline {
         }
     }
 
+    /// A cross-block pipelined pipeline with `workers` threads (at
+    /// least 1).
+    pub fn pipelined(workers: usize) -> Self {
+        ValidationPipeline::Pipelined {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Whether this mode overlaps pre-validation of the next block
+    /// with finalize of the current one.
+    pub fn is_pipelined(&self) -> bool {
+        matches!(self, ValidationPipeline::Pipelined { .. })
+    }
+
+    /// Configured worker-thread count (1 for sequential).
+    pub fn workers(&self) -> usize {
+        match *self {
+            ValidationPipeline::Sequential => 1,
+            ValidationPipeline::Parallel { workers }
+            | ValidationPipeline::Pipelined { workers } => workers.max(1),
+        }
+    }
+
     /// Worker threads this pipeline would use for `items` work items.
     pub fn effective_workers(&self, items: usize) -> usize {
         match *self {
             ValidationPipeline::Sequential => 1,
-            ValidationPipeline::Parallel { workers } => workers.max(1).min(items.max(1)),
+            ValidationPipeline::Parallel { workers }
+            | ValidationPipeline::Pipelined { workers } => workers.max(1).min(items.max(1)),
         }
     }
 
-    /// Short name for reports ("sequential", "parallel(4)").
+    /// Short name for reports ("sequential", "parallel(4)",
+    /// "pipelined(4)").
     pub fn label(&self) -> String {
         match *self {
             ValidationPipeline::Sequential => "sequential".to_string(),
             ValidationPipeline::Parallel { workers } => format!("parallel({workers})"),
+            ValidationPipeline::Pipelined { workers } => format!("pipelined({workers})"),
         }
     }
 }
@@ -97,6 +136,56 @@ impl ValidationPipeline {
 pub struct PipelineRunner {
     mode: ValidationPipeline,
     pool: Option<WorkerPool>,
+    /// Whether a background batch ([`PipelineRunner::map_ordered_bg`])
+    /// currently owns the pool. While set, synchronous maps evaluate
+    /// on the calling thread (value-identical by purity + ordered
+    /// join) instead of contending for the pool.
+    busy: AtomicBool,
+}
+
+/// An in-flight ordered map started by
+/// [`PipelineRunner::map_ordered_bg`]. Redeem with
+/// [`PipelineRunner::join`] to get the results in item order.
+///
+/// Two shapes, indistinguishable by value:
+///
+/// - `Pool`: the batch was submitted to the worker pool and is being
+///   computed concurrently with whatever the caller does next.
+/// - `Deferred`: the pool was unavailable (no pool spawned on this
+///   hardware, a background batch already in flight, or ≤1 item); the
+///   map is captured as a closure and evaluated at join time on the
+///   calling thread. This keeps single-threaded machines and deep
+///   pipelines on exactly the same code path, just without wall-clock
+///   overlap.
+#[must_use = "a background map must be joined"]
+pub struct PendingMap<U> {
+    inner: PendingInner<U>,
+}
+
+enum PendingInner<U> {
+    Pool {
+        slots: Arc<Vec<OnceLock<U>>>,
+        ticket: BatchTicket,
+    },
+    Deferred(Box<dyn FnOnce() -> Vec<U> + Send>),
+}
+
+impl<U> std::fmt::Debug for PendingMap<U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.inner {
+            PendingInner::Pool { .. } => "Pool",
+            PendingInner::Deferred(_) => "Deferred",
+        };
+        f.debug_struct("PendingMap").field("kind", &kind).finish()
+    }
+}
+
+impl<U> PendingMap<U> {
+    /// Whether the map is actually running on the pool right now (as
+    /// opposed to deferred to join time).
+    pub fn is_concurrent(&self) -> bool {
+        matches!(self.inner, PendingInner::Pool { .. })
+    }
 }
 
 impl PipelineRunner {
@@ -110,14 +199,21 @@ impl PipelineRunner {
     /// still taking the parallel (conflict-chain) code path.
     pub fn new(mode: ValidationPipeline) -> Self {
         let pool = match mode {
-            ValidationPipeline::Parallel { workers } if workers >= 2 => {
+            ValidationPipeline::Parallel { workers }
+            | ValidationPipeline::Pipelined { workers }
+                if workers >= 2 =>
+            {
                 let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
                 let spawn = workers.min(hardware);
                 (spawn >= 2).then(|| WorkerPool::new(spawn))
             }
             _ => None,
         };
-        PipelineRunner { mode, pool }
+        PipelineRunner {
+            mode,
+            pool,
+            busy: AtomicBool::new(false),
+        }
     }
 
     /// The configuration this runner executes.
@@ -138,7 +234,17 @@ impl PipelineRunner {
     /// exercised even on machines where the pool is clamped to the
     /// calling thread.
     pub fn parallel_finalize(&self) -> bool {
-        matches!(self.mode, ValidationPipeline::Parallel { workers } if workers >= 2)
+        matches!(
+            self.mode,
+            ValidationPipeline::Parallel { workers } | ValidationPipeline::Pipelined { workers }
+                if workers >= 2
+        )
+    }
+
+    /// Whether this runner overlaps blocks (see
+    /// [`ValidationPipeline::Pipelined`]).
+    pub fn is_pipelined(&self) -> bool {
+        self.mode.is_pipelined()
     }
 
     /// Maps `f` over `items`, returning results in item order.
@@ -167,7 +273,10 @@ impl PipelineRunner {
         let Some(pool) = &self.pool else {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         };
-        if items.len() <= 1 {
+        // A background batch owns the pool (the pipelined overlap
+        // window): evaluate locally rather than corrupt the in-flight
+        // batch. Purity + ordered join make this value-identical.
+        if items.len() <= 1 || self.busy.load(Ordering::Acquire) {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
         let slots: Arc<Vec<OnceLock<U>>> =
@@ -188,6 +297,86 @@ impl PipelineRunner {
             .into_iter()
             .map(|slot| slot.into_inner().expect("every index mapped exactly once"))
             .collect()
+    }
+
+    /// Starts mapping `f` over `items` *in the background* and returns
+    /// a [`PendingMap`] to redeem later with [`PipelineRunner::join`].
+    ///
+    /// Same purity contract as [`PipelineRunner::map_ordered`], and the
+    /// joined result is byte-identical to what `map_ordered` would have
+    /// returned — whether the batch actually ran concurrently on the
+    /// pool or was deferred to join time (no pool on this hardware,
+    /// pool already busy, or ≤1 item). Only one background batch may
+    /// own the pool at a time; a second one is deferred.
+    pub fn map_ordered_bg<T, U, F>(&self, items: &Arc<Vec<T>>, f: F) -> PendingMap<U>
+    where
+        T: Send + Sync + 'static,
+        U: Send + Sync + 'static,
+        F: Fn(usize, &T) -> U + Send + Sync + 'static,
+    {
+        let can_pool = self.pool.is_some()
+            && items.len() > 1
+            && self
+                .busy
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+        if !can_pool {
+            let items = items.clone();
+            return PendingMap {
+                inner: PendingInner::Deferred(Box::new(move || {
+                    items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+                })),
+            };
+        }
+        let pool = self.pool.as_ref().expect("checked above");
+        let slots: Arc<Vec<OnceLock<U>>> =
+            Arc::new((0..items.len()).map(|_| OnceLock::new()).collect());
+        let job_items = items.clone();
+        let job_slots = slots.clone();
+        let ticket = pool.submit(
+            items.len(),
+            Arc::new(move |i| {
+                let result = f(i, &job_items[i]);
+                if job_slots[i].set(result).is_err() {
+                    unreachable!("index {i} mapped twice");
+                }
+            }),
+        );
+        PendingMap {
+            inner: PendingInner::Pool { slots, ticket },
+        }
+    }
+
+    /// Joins a [`PendingMap`], returning results in item order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the mapped closure, exactly like
+    /// [`PipelineRunner::map_ordered`].
+    pub fn join<U>(&self, pending: PendingMap<U>) -> Vec<U>
+    where
+        U: Send + Sync + 'static,
+    {
+        match pending.inner {
+            PendingInner::Deferred(eval) => eval(),
+            PendingInner::Pool { slots, ticket } => {
+                let pool = self.pool.as_ref().expect("pool batches need a pool");
+                // Release the pool even if the batch panicked, so the
+                // runner survives (matching the pool's panic policy).
+                let waited = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    pool.wait(ticket);
+                }));
+                self.busy.store(false, Ordering::Release);
+                if let Err(payload) = waited {
+                    std::panic::resume_unwind(payload);
+                }
+                Arc::try_unwrap(slots)
+                    .unwrap_or_else(|_| unreachable!("pool released its job clones"))
+                    .into_iter()
+                    .map(|slot| slot.into_inner().expect("every index mapped exactly once"))
+                    .collect()
+            }
+        }
     }
 }
 
@@ -294,9 +483,63 @@ mod tests {
     }
 
     #[test]
+    fn background_map_matches_foreground_for_every_worker_count() {
+        let items: Vec<u64> = (0..101).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 7 + 2).collect();
+        for workers in 1..=8 {
+            let runner = PipelineRunner::new(ValidationPipeline::pipelined(workers));
+            let pending = runner.map_ordered_bg(&Arc::new(items.clone()), |_, x| x * 7 + 2);
+            assert_eq!(runner.join(pending), expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn foreground_map_during_background_batch_evaluates_locally() {
+        let runner = PipelineRunner::new(ValidationPipeline::pipelined(4));
+        let ahead: Vec<u64> = (0..64).collect();
+        let pending = runner.map_ordered_bg(&Arc::new(ahead.clone()), |_, x| x + 1);
+        // While the background batch owns the pool, a synchronous map
+        // (block N's finalize) must still produce ordered results.
+        let now: Vec<u64> = (100..140).collect();
+        let got = runner.map_ordered(&Arc::new(now.clone()), |_, x| x * 2);
+        assert_eq!(got, now.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let joined = runner.join(pending);
+        assert_eq!(joined, ahead.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn second_background_batch_is_deferred_not_lost() {
+        let runner = PipelineRunner::new(ValidationPipeline::pipelined(4));
+        let a = runner.map_ordered_bg(&Arc::new((0..32u64).collect::<Vec<_>>()), |_, x| x + 1);
+        let b = runner.map_ordered_bg(&Arc::new((0..16u64).collect::<Vec<_>>()), |_, x| x + 2);
+        assert!(
+            !b.is_concurrent(),
+            "the pool admits one background batch at a time"
+        );
+        assert_eq!(runner.join(a), (1..33u64).collect::<Vec<_>>());
+        assert_eq!(runner.join(b), (2..18u64).collect::<Vec<_>>());
+        // With the pool released, background batches pool again (when
+        // the hardware spawned one at all).
+        let c = runner.map_ordered_bg(&Arc::new((0..8u64).collect::<Vec<_>>()), |_, x| *x);
+        assert_eq!(c.is_concurrent(), runner.is_parallel());
+        assert_eq!(runner.join(c), (0..8u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pipelined_mode_flags() {
+        let runner = PipelineRunner::new(ValidationPipeline::pipelined(4));
+        assert!(runner.is_pipelined());
+        assert!(runner.parallel_finalize());
+        assert!(ValidationPipeline::pipelined(0).effective_workers(10) == 1);
+        assert!(!PipelineRunner::new(ValidationPipeline::parallel(4)).is_pipelined());
+        assert!(!PipelineRunner::new(ValidationPipeline::Sequential).is_pipelined());
+    }
+
+    #[test]
     fn labels() {
         assert_eq!(ValidationPipeline::Sequential.label(), "sequential");
         assert_eq!(ValidationPipeline::parallel(4).label(), "parallel(4)");
+        assert_eq!(ValidationPipeline::pipelined(4).label(), "pipelined(4)");
         assert_eq!(
             ValidationPipeline::default(),
             ValidationPipeline::Sequential

@@ -72,6 +72,19 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
 }
 
+/// Receipt for a batch installed with [`WorkerPool::submit`]. The
+/// spawned workers are already chewing on it; redeem the ticket with
+/// [`WorkerPool::wait`] to contribute the submitting thread and block
+/// until the batch drains. Dropping the ticket without waiting is a
+/// bug (the pool's batch slot stays occupied), so the type is
+/// `#[must_use]`.
+#[must_use = "a submitted batch must be waited on"]
+pub struct BatchTicket {
+    job: Job,
+    cursor: Arc<AtomicUsize>,
+    len: usize,
+}
+
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
@@ -191,6 +204,63 @@ impl WorkerPool {
             }
             // Clear the batch so its job/cursor clones are gone and the
             // caller can `Arc::try_unwrap` the job captures.
+            state.batch = None;
+            state.panicked
+        };
+        drop(job);
+        if let Some(payload) = own_panic {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "validation worker panicked");
+    }
+
+    /// Installs a batch and returns immediately: the spawned workers
+    /// start pulling indices while the submitting thread is free to do
+    /// other work (the pipelined commit path runs the previous block's
+    /// finalize here). Redeem the ticket with [`WorkerPool::wait`].
+    ///
+    /// At most one batch may be in flight; the runner serializes
+    /// submissions (see [`crate::pipeline::PipelineRunner`]).
+    pub fn submit(&self, len: usize, job: Job) -> BatchTicket {
+        let cursor = Arc::new(AtomicUsize::new(0));
+        if len > 0 {
+            let mut state = self.shared.state.lock().expect("worker pool poisoned");
+            debug_assert!(
+                state.batch.is_none() && state.active == 0,
+                "one batch in flight at a time"
+            );
+            state.epoch += 1;
+            state.batch = Some(Batch {
+                epoch: state.epoch,
+                job: job.clone(),
+                cursor: cursor.clone(),
+                len,
+            });
+            state.active = self.handles.len();
+            state.panicked = false;
+            self.shared.work_ready.notify_all();
+        }
+        BatchTicket { job, cursor, len }
+    }
+
+    /// Joins a batch installed by [`WorkerPool::submit`]: the calling
+    /// thread pulls remaining indices, then blocks until every worker
+    /// has drained. Same panic policy as [`WorkerPool::run`].
+    pub fn wait(&self, ticket: BatchTicket) {
+        let BatchTicket { job, cursor, len } = ticket;
+        if len == 0 {
+            return;
+        }
+        let own_panic = catch_unwind(AssertUnwindSafe(|| run_indices(&job, &cursor, len))).err();
+        let worker_panicked = {
+            let mut state = self.shared.state.lock().expect("worker pool poisoned");
+            while state.active > 0 {
+                state = self
+                    .shared
+                    .work_done
+                    .wait(state)
+                    .expect("worker pool poisoned");
+            }
             state.batch = None;
             state.panicked
         };
@@ -323,5 +393,78 @@ mod tests {
         let pool = WorkerPool::new(8);
         pool.run(2, Arc::new(|_| {}));
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn submit_then_wait_matches_run() {
+        let pool = WorkerPool::new(4);
+        for len in [0usize, 1, 2, 7, 100] {
+            let counts: Arc<Vec<AtomicU64>> =
+                Arc::new((0..len).map(|_| AtomicU64::new(0)).collect());
+            let captured = counts.clone();
+            let ticket = pool.submit(
+                len,
+                Arc::new(move |i| {
+                    captured[i].fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+            // The submitter overlaps other work here; the spawned
+            // workers may already be (or have finished) pulling.
+            pool.wait(ticket);
+            for (i, count) in counts.iter().enumerate() {
+                assert_eq!(count.load(Ordering::Relaxed), 1, "len={len}, index {i}");
+            }
+        }
+        // The pool is immediately reusable for synchronous batches.
+        let total = Arc::new(AtomicU64::new(0));
+        let captured = total.clone();
+        pool.run(
+            5,
+            Arc::new(move |_| {
+                captured.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn submitted_job_captures_are_released_after_wait() {
+        let pool = WorkerPool::new(3);
+        let payload = Arc::new(vec![9u8; 16]);
+        let captured = payload.clone();
+        let ticket = pool.submit(
+            8,
+            Arc::new(move |_| {
+                let _ = captured.len();
+            }),
+        );
+        pool.wait(ticket);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn panic_in_submitted_batch_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let ticket = pool.submit(
+                4,
+                Arc::new(|i| {
+                    if i == 1 {
+                        panic!("boom at {i}");
+                    }
+                }),
+            );
+            pool.wait(ticket);
+        }));
+        assert!(result.is_err());
+        let total = Arc::new(AtomicU64::new(0));
+        let captured = total.clone();
+        pool.run(
+            3,
+            Arc::new(move |_| {
+                captured.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 3);
     }
 }

@@ -21,7 +21,7 @@
 //! service; endorser CPU is assumed to scale out (the paper's bottleneck
 //! is the commit path).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use fabriccrdt_crypto::{Identity, KeyPair};
 use fabriccrdt_ledger::block::Block;
@@ -38,7 +38,7 @@ use crate::metrics::{
     RunMetrics, TxRecord,
 };
 use crate::orderer::{Orderer, TimeoutRequest};
-use crate::peer::{Peer, StagedBlock};
+use crate::peer::{Peer, PreparedBlock, StagedBlock};
 use crate::validator::BlockValidator;
 
 /// The pluggable block-dissemination layer between the orderer and the
@@ -306,6 +306,15 @@ pub struct Simulation<V: BlockValidator> {
     resubmissions: u64,
     pending_blocks: VecDeque<Block>,
     staged: Option<StagedBlock>,
+    /// Blocks whose pre-validation was started ahead of the in-flight
+    /// block's commit ([`crate::pipeline::ValidationPipeline::Pipelined`]
+    /// only), in arrival order.
+    prepared: VecDeque<PreparedBlock>,
+    /// Pipelined runs: blocks that arrived with the peer idle (no
+    /// in-flight block to overlap with).
+    stalls: u64,
+    /// Pipelined runs: deepest `prepared` queue observed.
+    max_ahead_depth: u64,
     delivery: Box<dyn DeliveryLayer>,
     /// Orderer-cut blocks in cut order, recorded when enabled via
     /// [`Simulation::enable_block_log`].
@@ -392,6 +401,9 @@ impl<V: BlockValidator> Simulation<V> {
             resubmissions: 0,
             pending_blocks: VecDeque::new(),
             staged: None,
+            prepared: VecDeque::new(),
+            stalls: 0,
+            max_ahead_depth: 0,
             delivery,
             block_log: None,
             blocks_committed: 0,
@@ -451,6 +463,9 @@ impl<V: BlockValidator> Simulation<V> {
         self.blocks_committed = 0;
         self.end_time = SimTime::ZERO;
         self.armed_wakeups.clear();
+        self.prepared.clear();
+        self.stalls = 0;
+        self.max_ahead_depth = 0;
         for (i, (at, request)) in schedule.into_iter().enumerate() {
             self.requests.push(request);
             self.records.push(TxRecord::default());
@@ -478,6 +493,17 @@ impl<V: BlockValidator> Simulation<V> {
             _ => None,
         };
 
+        // Overlap/stall counters are scheduling-descriptive (host
+        // wall-clock concurrency), never simulation values, so they sit
+        // outside `RunMetrics` equality — pipelined runs stay
+        // metric-identical to sequential ones.
+        let pipelined = self.config.validation.is_pipelined().then(|| {
+            let mut stats = self.peer.take_pipeline_metrics();
+            stats.blocks_stalled = self.stalls;
+            stats.max_ahead_depth = self.max_ahead_depth;
+            stats
+        });
+
         RunMetrics {
             channel: self.config.channel,
             records: std::mem::take(&mut self.records),
@@ -489,6 +515,7 @@ impl<V: BlockValidator> Simulation<V> {
             ordering: self.ordering.take_ordering_metrics(),
             decode_cache,
             adversary: self.delivery.take_adversary(),
+            pipelined,
         }
     }
 
@@ -517,7 +544,34 @@ impl<V: BlockValidator> Simulation<V> {
                 self.apply_ordering(now, outcome);
             }
             Event::DeliverBlock(block) => {
-                self.pending_blocks.push_back(block);
+                // Pipelined mode: a block arriving while another is in
+                // flight starts its pure pre-validation immediately
+                // (on the worker pool), overlapping the in-flight
+                // block's finalize/commit. The duplicate context is the
+                // union of every in-flight block's transaction ids —
+                // exactly what `committed_ids` will hold by the time
+                // this block's own finalize runs.
+                let pipelined = self.config.validation.is_pipelined();
+                if pipelined && (self.staged.is_some() || !self.prepared.is_empty()) {
+                    let mut extra: HashSet<TxId> = HashSet::new();
+                    if let Some(staged) = &self.staged {
+                        extra.extend(staged.tx_ids());
+                    }
+                    for prep in &self.prepared {
+                        extra.extend(prep.tx_ids());
+                    }
+                    let prep = self.peer.prevalidate_ahead(block, &extra);
+                    self.prepared.push_back(prep);
+                    self.max_ahead_depth = self.max_ahead_depth.max(self.prepared.len() as u64);
+                } else {
+                    if pipelined {
+                        // Nothing in flight to overlap with: the
+                        // pipeline stalls and this block runs like a
+                        // sequential one.
+                        self.stalls += 1;
+                    }
+                    self.pending_blocks.push_back(block);
+                }
                 self.maybe_start_processing(now);
             }
             Event::CommitDone => {
@@ -701,14 +755,22 @@ impl<V: BlockValidator> Simulation<V> {
     }
 
     /// Starts processing the next queued block if the peer is idle.
+    /// Pre-validated (pipelined) blocks finish first; they always
+    /// precede anything still in `pending_blocks`, so arrival order is
+    /// preserved. The simulated cost derives from the work counters,
+    /// which are value-identical under every pipeline — so commit
+    /// times, and hence every simulation outcome, are too.
     fn maybe_start_processing(&mut self, now: SimTime) {
         if self.staged.is_some() {
             return;
         }
-        let Some(block) = self.pending_blocks.pop_front() else {
+        let staged = if let Some(prep) = self.prepared.pop_front() {
+            self.peer.finish_block(prep)
+        } else if let Some(block) = self.pending_blocks.pop_front() {
+            self.peer.process_block(block)
+        } else {
             return;
         };
-        let staged = self.peer.process_block(block);
         let cost = self.config.latency.cost.block_cost(&staged.work);
         self.staged = Some(staged);
         self.queue.schedule(now + cost, Event::CommitDone);

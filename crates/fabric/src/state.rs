@@ -27,7 +27,7 @@
 //! §4.10.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use fabriccrdt_jsoncrdt::op::fnv1a;
 use fabriccrdt_ledger::mvcc::ChainState;
@@ -46,7 +46,7 @@ type OverlayEntry = Option<VersionedValue>;
 /// docs).
 #[derive(Debug)]
 pub struct ShardedState {
-    base: WorldState,
+    base: Arc<WorldState>,
     shards: Vec<Mutex<HashMap<String, OverlayEntry>>>,
 }
 
@@ -58,8 +58,20 @@ impl ShardedState {
     /// Snapshots `world` as the immutable read base (one bulk clone;
     /// overlays start empty).
     pub fn from_world(world: &WorldState) -> Self {
+        Self::from_shared(Arc::new(world.clone()))
+    }
+
+    /// Uses an already-shared state epoch as the immutable read base —
+    /// *zero* clones up front. This is the pipelined peer's path: its
+    /// world state lives behind an `Arc` pointer that commits swap
+    /// (see [`crate::peer::Peer`]), so finalize borrows the same epoch
+    /// the lockless pre-validation snapshots point at. The bulk clone
+    /// that [`ShardedState::from_world`] pays on entry moves to
+    /// [`ShardedState::into_world`] (which clones only if the `Arc` is
+    /// still shared); total cost per block is unchanged.
+    pub fn from_shared(base: Arc<WorldState>) -> Self {
         ShardedState {
-            base: world.clone(),
+            base,
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
@@ -70,7 +82,7 @@ impl ShardedState {
     /// [`fabriccrdt_ledger::codec::encode_state`] — is independent of
     /// shard layout.
     pub fn into_world(self) -> WorldState {
-        let mut world = self.base;
+        let mut world = Arc::try_unwrap(self.base).unwrap_or_else(|shared| (*shared).clone());
         for shard in self.shards {
             let entries = shard.into_inner().expect("state shard poisoned");
             for (key, entry) in entries {
@@ -158,6 +170,24 @@ mod tests {
         let rebuilt = ShardedState::from_world(&world).into_world();
         assert_eq!(rebuilt, world);
         assert_eq!(codec::encode_state(&rebuilt), codec::encode_state(&world));
+    }
+
+    #[test]
+    fn shared_base_roundtrips_without_disturbing_the_epoch() {
+        let epoch = Arc::new(seeded_world(50));
+        let sharded = ShardedState::from_shared(epoch.clone());
+        sharded.put("key-3".into(), b"updated".to_vec(), Height::new(2, 0));
+        sharded.delete("key-7");
+        let world = sharded.into_world();
+        // The caller's epoch pointer still sees the pre-block state...
+        assert_eq!(epoch.version("key-3"), Some(Height::new(1, 3)));
+        assert_eq!(epoch.len(), 50);
+        // ...while the folded result matches the from_world path.
+        let reference = ShardedState::from_world(&epoch);
+        reference.put("key-3".into(), b"updated".to_vec(), Height::new(2, 0));
+        reference.delete("key-7");
+        assert_eq!(world, reference.into_world());
+        assert_eq!(world.len(), 49);
     }
 
     #[test]

@@ -138,6 +138,17 @@ pub struct DurableLedger {
     snapshot_interval: u64,
     gc: bool,
     latest_snapshot: Option<LedgerSnapshot>,
+    /// Highest block height this store knows to be *finalized*: the
+    /// maximum over every block appended via
+    /// [`DurableLedger::append_block`] and every installed snapshot's
+    /// `last_block` (a donor snapshot is another replica's finalized
+    /// ledger). The snapshot cadence and compaction key off this
+    /// watermark, never off arrival order — under the pipelined commit
+    /// path a block can be decoded and pre-validated well before its
+    /// conflict-chain finalize runs, and a snapshot cut at such an
+    /// in-flight height would capture a state the sequential path
+    /// never produces.
+    appended_tip: u64,
 }
 
 impl fmt::Debug for DurableLedger {
@@ -149,6 +160,7 @@ impl fmt::Debug for DurableLedger {
                 "latest_snapshot_block",
                 &self.latest_snapshot.as_ref().map(|s| s.last_block),
             )
+            .field("appended_tip", &self.appended_tip)
             .finish_non_exhaustive()
     }
 }
@@ -258,12 +270,21 @@ impl DurableLedger {
                 Box::new(AofStore::open_with_fsync(dir.join(file), config.fsync)?)
             }
         };
-        let latest_snapshot = store.load()?.snapshot;
+        let stored = store.load()?;
+        let latest_snapshot = stored.snapshot;
+        let appended_tip = stored
+            .blocks
+            .iter()
+            .map(|b| b.header.number)
+            .max()
+            .unwrap_or(0)
+            .max(latest_snapshot.as_ref().map_or(0, |s| s.last_block));
         Ok(DurableLedger {
             store,
             snapshot_interval: config.snapshot_interval,
             gc: config.gc,
             latest_snapshot,
+            appended_tip,
         })
     }
 
@@ -285,21 +306,39 @@ impl DurableLedger {
         Ok(self.store.load()?.blocks)
     }
 
-    /// Appends a committed block record.
+    /// Appends a committed block record and advances the finalized
+    /// watermark ([`DurableLedger::finalized_tip`]) to its height.
     ///
     /// # Errors
     ///
     /// Returns a [`StoreError`] when the backend cannot persist it.
     pub fn append_block(&mut self, block: &Block) -> Result<(), StoreError> {
-        self.store.append_block(block)
+        self.store.append_block(block)?;
+        self.appended_tip = self.appended_tip.max(block.header.number);
+        Ok(())
+    }
+
+    /// The highest block height this store knows to be finalized —
+    /// appended as a committed record or covered by an installed
+    /// snapshot. The snapshot cadence never fires above it.
+    pub fn finalized_tip(&self) -> u64 {
+        self.appended_tip
     }
 
     /// Whether a snapshot is due at committed height `last_block`:
     /// the cadence is enabled, the height is a positive multiple of
-    /// it, and no snapshot at or past that height exists yet.
+    /// it, no snapshot at or past that height exists yet, **and** the
+    /// height is finalized — its block record has actually been
+    /// appended (or a snapshot covering it installed). The last clause
+    /// keys the cadence off finalized height rather than arrival
+    /// order: a pipelined peer may hold block `last_block` fully
+    /// pre-validated while its finalize is still in flight, and
+    /// snapshotting there would capture a state no sequential replica
+    /// produces at that height.
     pub fn snapshot_due(&self, last_block: u64) -> bool {
         self.snapshot_interval > 0
             && last_block > 0
+            && last_block <= self.appended_tip
             && last_block.is_multiple_of(self.snapshot_interval)
             && self
                 .latest_snapshot
@@ -314,6 +353,10 @@ impl DurableLedger {
     /// Returns a [`StoreError`] when the backend cannot persist it.
     pub fn put_snapshot(&mut self, snapshot: LedgerSnapshot) -> Result<(), StoreError> {
         self.store.put_snapshot(&snapshot)?;
+        // A snapshot is finalized state by construction (ours or a
+        // donor replica's), so it advances the watermark even when the
+        // covered block records were never appended locally.
+        self.appended_tip = self.appended_tip.max(snapshot.last_block);
         if self
             .latest_snapshot
             .as_ref()
@@ -335,15 +378,18 @@ impl DurableLedger {
         self.gc
     }
 
-    /// Compacts block records at or below `block_num` (clamped to the
-    /// latest snapshot; see [`LedgerStore::compact_up_to`]). Returns
-    /// the number of block records dropped.
+    /// Compacts block records at or below `block_num` — clamped to the
+    /// latest snapshot (see [`LedgerStore::compact_up_to`]) *and* to
+    /// the finalized watermark, so a floor quoted against blocks that
+    /// merely arrived (but have not finalized here) can never drop
+    /// records the sequential path would still retain. Returns the
+    /// number of block records dropped.
     ///
     /// # Errors
     ///
     /// Returns a [`StoreError`] when the backend cannot rewrite itself.
     pub fn compact_up_to(&mut self, block_num: u64) -> Result<u64, StoreError> {
-        self.store.compact_up_to(block_num)
+        self.store.compact_up_to(block_num.min(self.appended_tip))
     }
 
     /// Rebuilds a peer from this store after a crash; see
@@ -804,6 +850,65 @@ mod tests {
         recovered.commit(staged_rec).unwrap();
         assert_eq!(recovered.state(), live.state());
         assert_eq!(recovered.chain().tip_hash(), live.chain().tip_hash());
+    }
+
+    /// The cadence keys off *finalized* height, not arrival order: a
+    /// pipelined peer holding block 2 fully pre-validated (it has
+    /// "arrived") must not trigger the interval-2 snapshot until block
+    /// 2's finalize has actually been appended — and the snapshot it
+    /// then writes is byte-identical to a sequential replica's at the
+    /// same height.
+    #[test]
+    fn snapshot_cadence_keys_off_finalized_height_not_arrival() {
+        use crate::pipeline::ValidationPipeline;
+
+        let config = StorageConfig::memory().with_snapshot_interval(2);
+        // Raw blocks as an ordering service would publish them; both
+        // replicas re-link and re-seal identically.
+        let blocks: Vec<Block> = (1..=2)
+            .map(|n| Block::assemble(n, [0; 32], vec![endorsed_tx(n, &["doc".to_string()])]))
+            .collect();
+
+        // Sequential reference replica.
+        let mut seq_store = DurableLedger::open(&config, 0).unwrap();
+        let mut seq = test_peer();
+        for block in &blocks {
+            let staged = seq.process_block(block.clone());
+            let tip = seq.commit(staged).unwrap().clone();
+            seq_store.append_block(&tip).unwrap();
+            if seq_store.snapshot_due(tip.header.number) {
+                seq_store.put_snapshot(seq.ledger_snapshot()).unwrap();
+            }
+        }
+        let reference = seq_store.latest_snapshot().unwrap().clone();
+        assert_eq!(reference.last_block, 2);
+
+        // Pipelined replica: block 2 arrives while block 1 is still
+        // in flight, so its pre-validation overlaps block 1's
+        // finalize. Snapshot-cadence queries at height 2 must refuse
+        // until block 2's finalize lands in the store.
+        let mut store = DurableLedger::open(&config, 1).unwrap();
+        let mut peer = test_peer().with_pipeline(ValidationPipeline::pipelined(2));
+        let prep1 = peer.prevalidate(blocks[0].clone());
+        let (staged1, prep2) = peer.finish_block_with_next(prep1, blocks[1].clone());
+        assert!(
+            !store.snapshot_due(2),
+            "a merely-arrived height must not snapshot"
+        );
+        let tip1 = peer.commit(staged1).unwrap().clone();
+        store.append_block(&tip1).unwrap();
+        assert_eq!(store.finalized_tip(), 1);
+        assert!(!store.snapshot_due(2), "block 2 is still mid-pipeline");
+        let staged2 = peer.finish_block(prep2);
+        let tip2 = peer.commit(staged2).unwrap().clone();
+        store.append_block(&tip2).unwrap();
+        assert!(store.snapshot_due(2), "finalized: the cadence fires");
+        store.put_snapshot(peer.ledger_snapshot()).unwrap();
+        assert_eq!(
+            store.latest_snapshot().unwrap(),
+            &reference,
+            "pipelined snapshot diverges from the sequential replica's"
+        );
     }
 
     #[test]

@@ -101,6 +101,31 @@ pub trait BlockValidator: Send + Sync + 'static {
         }
     }
 
+    /// Speculative MVCC read check against an immutable state snapshot
+    /// — the lockless read path of the cross-block pipeline
+    /// ([`crate::pipeline::ValidationPipeline::Pipelined`]).
+    ///
+    /// Called during the *overlapped* pre-validation of block N+1,
+    /// reading a published [`WorldState`] epoch (plain `BTreeMap`
+    /// lookups through an `Arc` pointer — no lock anywhere on the
+    /// path). Returns whether every read-set version still matches the
+    /// snapshot. The verdict is advisory only: the authoritative MVCC
+    /// check at finalize re-runs against the committed state and
+    /// decides the validation code, so a read that raced block N's
+    /// commit is caught there (counted as
+    /// [`crate::metrics::PipelineMetrics::speculation_overturned`]).
+    ///
+    /// The default mirrors vanilla Fabric's read predicate. Validators
+    /// whose MVCC stage exempts some transactions (FabricCRDT's merge
+    /// path exempts CRDT transactions wholesale, §4.3) should override
+    /// to predict what *their* finalize would conclude.
+    fn speculative_read_check(&self, tx: &Transaction, state: &WorldState) -> bool {
+        tx.rwset
+            .reads
+            .iter()
+            .all(|(key, entry)| state.version(key) == entry.version)
+    }
+
     /// Decode-cache counters attributable to this validator, if it uses
     /// the process-wide payload cache (`None` — rendered "n/a" — for
     /// validators that never decode, like vanilla Fabric's).
@@ -214,5 +239,30 @@ mod tests {
     #[test]
     fn fabric_validator_reports_no_decode_cache() {
         assert!(FabricValidator::new().decode_cache_stats().is_none());
+    }
+
+    #[test]
+    fn speculative_read_check_mirrors_mvcc_predicate() {
+        let mut state = WorldState::new();
+        state.put("hot".into(), b"0".to_vec(), Height::new(1, 0));
+        let v = FabricValidator::new();
+        // Fresh read: matches the snapshot.
+        assert!(v.speculative_read_check(&conflicting_tx(1), &state));
+        // The key moved on: the speculative verdict flips, exactly as
+        // the authoritative check at finalize would.
+        state.put("hot".into(), b"1".to_vec(), Height::new(2, 0));
+        assert!(!v.speculative_read_check(&conflicting_tx(1), &state));
+        // Write-only transactions never conflict.
+        let client = Identity::new("client", "org1");
+        let mut rwset = ReadWriteSet::new();
+        rwset.writes.put("hot", vec![9]);
+        let write_only = Transaction {
+            id: TxId::derive(&client, 9, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        };
+        assert!(v.speculative_read_check(&write_only, &state));
     }
 }

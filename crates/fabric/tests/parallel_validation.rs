@@ -131,6 +131,27 @@ fn parallel_validation_matches_sequential_over_seeded_sweep() {
                 "seed {seed}: metrics diverged at {workers} workers"
             );
         }
+        // Cross-block pipelining must be equally invisible (the
+        // simulation drives prevalidate_ahead/finish_block instead of
+        // process_block, with lockless snapshot reads).
+        let (pip_metrics, pip_snapshot) = run_with(
+            ValidationPipeline::pipelined(4),
+            block_size,
+            seed,
+            &schedule,
+        );
+        assert_eq!(
+            seq_snapshot.state, pip_snapshot.state,
+            "seed {seed}: world state diverged under pipelining"
+        );
+        assert_eq!(
+            seq_snapshot.chain, pip_snapshot.chain,
+            "seed {seed}: chain diverged under pipelining"
+        );
+        assert_eq!(
+            seq_metrics, pip_metrics,
+            "seed {seed}: metrics diverged under pipelining"
+        );
     });
 }
 
@@ -224,6 +245,10 @@ fn duplicates_and_policy_failures_identical_across_worker_counts() {
         assert_eq!(snap, seq_snap, "{workers} workers: snapshot diverged");
         assert_eq!(codes, seq_codes, "{workers} workers: codes diverged");
         assert_eq!(sigs, seq_sigs, "{workers} workers: work diverged");
+        let (snap, codes, sigs) = replay(ValidationPipeline::pipelined(workers), &blocks);
+        assert_eq!(snap, seq_snap, "{workers} pipelined: snapshot diverged");
+        assert_eq!(codes, seq_codes, "{workers} pipelined: codes diverged");
+        assert_eq!(sigs, seq_sigs, "{workers} pipelined: work diverged");
     }
 }
 
@@ -234,7 +259,7 @@ fn tampered_blocks_identical_across_worker_counts() {
     let mut block = Block::assemble(1, [0; 32], vec![endorsed_tx(1), endorsed_tx(2)]);
     block.header.data_hash = [0xAA; 32];
     let run = |pipeline: ValidationPipeline| {
-        let peer = Peer::new(FabricValidator::new(), policy()).with_pipeline(pipeline);
+        let mut peer = Peer::new(FabricValidator::new(), policy()).with_pipeline(pipeline);
         let staged = peer.process_block(block.clone());
         assert_eq!(staged.work.sigs_verified, 0);
         staged.block.validation_codes
@@ -243,5 +268,6 @@ fn tampered_blocks_identical_across_worker_counts() {
     assert_eq!(seq, vec![ValidationCode::TamperedBlock; 2]);
     for workers in 1..=8 {
         assert_eq!(run(ValidationPipeline::parallel(workers)), seq);
+        assert_eq!(run(ValidationPipeline::pipelined(workers)), seq);
     }
 }

@@ -21,6 +21,19 @@
 //!   Liveness survives quarantine because anti-entropy transfers and
 //!   orderer re-requests (which ship committed or canonical blocks)
 //!   bypass the push path.
+//! - **Probation release**: quarantine is no longer a life sentence.
+//!   A quarantined relay that serves
+//!   [`AdversaryConfig::probation_rounds`] consecutive gossip rounds
+//!   (one per block the lane publishes) without a fresh detection is
+//!   released and its pushes count
+//!   again — an honest peer that was spoofed *once* (the attacker named
+//!   it as `via`) recovers, while a genuinely hostile relay re-offends
+//!   on its next forged push and restarts its sentence from zero. The
+//!   release decision reads only the per-relay clean-round counter
+//!   advanced by [`LaneAdversary::end_round`]; it never touches the
+//!   lane's PRNG stream, so enabling or tuning probation changes zero
+//!   random draws. `probation_rounds == 0` restores the permanent
+//!   quarantine of earlier revisions.
 //!
 //! With no adversary configured the screen does not exist and the lane
 //! behaves byte-for-byte as before.
@@ -59,8 +72,11 @@ pub(crate) struct LaneAdversary {
     canonical: BTreeMap<u64, Digest>,
     /// Distinct divergent digests observed per height.
     evidence: BTreeSet<(u64, Digest)>,
-    /// Quarantined member positions.
-    quarantined: BTreeSet<usize>,
+    /// Quarantined member positions, each mapped to the number of
+    /// consecutive clean gossip rounds served so far.
+    quarantined: BTreeMap<usize, u64>,
+    /// Clean rounds required before release; 0 = permanent.
+    probation_rounds: u64,
     metrics: AdversaryMetrics,
 }
 
@@ -88,7 +104,8 @@ impl LaneAdversary {
             attacks,
             canonical: BTreeMap::new(),
             evidence: BTreeSet::new(),
-            quarantined: BTreeSet::new(),
+            quarantined: BTreeMap::new(),
+            probation_rounds: config.probation_rounds,
             metrics: AdversaryMetrics::default(),
         }
     }
@@ -120,7 +137,7 @@ impl LaneAdversary {
     /// evidence, and quarantine the relay.
     pub(crate) fn admit(&mut self, from: Option<usize>, block: &Block) -> bool {
         if let Some(relay) = from {
-            if self.quarantined.contains(&relay) {
+            if self.quarantined.contains_key(&relay) {
                 self.metrics.quarantine_drops += 1;
                 return false;
             }
@@ -146,7 +163,34 @@ impl LaneAdversary {
 
     fn quarantine(&mut self, from: Option<usize>) {
         if let Some(relay) = from {
-            self.quarantined.insert(relay);
+            // (Re-)insertion zeroes the clean-round counter, so a
+            // repeat offender restarts its probation from scratch.
+            self.quarantined.insert(relay, 0);
+        }
+    }
+
+    /// Advances every quarantined relay's probation clock by one clean
+    /// gossip round and releases those that have served
+    /// `probation_rounds` of them. Called once per lane round (at each
+    /// block publish, before new forgeries are registered); reads only
+    /// counters — no PRNG draws — so probation leaves the lane's
+    /// random stream untouched. With `probation_rounds == 0`
+    /// quarantine is permanent and this is a no-op.
+    pub(crate) fn end_round(&mut self) {
+        if self.probation_rounds == 0 || self.quarantined.is_empty() {
+            return;
+        }
+        let released: Vec<usize> = self
+            .quarantined
+            .iter_mut()
+            .filter_map(|(&relay, clean_rounds)| {
+                *clean_rounds += 1;
+                (*clean_rounds >= self.probation_rounds).then_some(relay)
+            })
+            .collect();
+        for relay in released {
+            self.quarantined.remove(&relay);
+            self.metrics.quarantine_releases += 1;
         }
     }
 
@@ -244,6 +288,7 @@ mod tests {
                 via: Some(1),
                 delay: SimTime::from_millis(2),
             }],
+            ..AdversaryConfig::none()
         }
     }
 
@@ -315,6 +360,69 @@ mod tests {
         let again = adv.take_metrics();
         assert_eq!(again.forged_rejected, 0);
         assert_eq!(again.quarantined_peers, 1);
+    }
+
+    #[test]
+    fn probation_releases_a_spoofed_relay_after_clean_rounds() {
+        let members = [0, 1, 3, 5];
+        let config = schedule(TamperMode::FlipPayloadByte);
+        assert_eq!(
+            config.probation_rounds,
+            AdversaryConfig::DEFAULT_PROBATION_ROUNDS
+        );
+        let mut adv = LaneAdversary::new(&config, &members);
+        let canonical = block(1, vec![tx(1), tx(2)]);
+        adv.injections_for(&canonical);
+
+        // Relay 1 is honest but spoofed once: a tampered block arrives
+        // "from" it and it lands in quarantine.
+        let tampered = forge(TamperMode::FlipPayloadByte, &canonical, 1);
+        assert!(!adv.admit(Some(1), &tampered));
+        assert!(!adv.admit(Some(1), &canonical), "quarantined push drops");
+        assert_eq!(adv.take_metrics().quarantine_drops, 1);
+
+        // Fewer clean rounds than the probation term: still quarantined.
+        for _ in 1..AdversaryConfig::DEFAULT_PROBATION_ROUNDS {
+            adv.end_round();
+        }
+        assert!(!adv.admit(Some(1), &canonical));
+        let mid = adv.take_metrics();
+        assert_eq!(mid.quarantine_drops, 1);
+        assert_eq!(mid.quarantine_releases, 0);
+        assert_eq!(mid.quarantined_peers, 1);
+
+        // The final clean round releases it; its pushes count again
+        // and quarantine_drops stops growing.
+        adv.end_round();
+        assert!(adv.admit(Some(1), &canonical), "released relay readmitted");
+        let released = adv.take_metrics();
+        assert_eq!(released.quarantine_drops, 0);
+        assert_eq!(released.quarantine_releases, 1);
+        assert_eq!(released.quarantined_peers, 0);
+
+        // A repeat offense restarts the sentence from zero.
+        assert!(!adv.admit(Some(1), &tampered));
+        adv.end_round();
+        assert!(!adv.admit(Some(1), &canonical), "one round is not enough");
+        assert_eq!(adv.take_metrics().quarantined_peers, 1);
+    }
+
+    #[test]
+    fn zero_probation_rounds_means_permanent_quarantine() {
+        let mut config = schedule(TamperMode::FlipPayloadByte);
+        config.probation_rounds = 0;
+        let mut adv = LaneAdversary::new(&config, &[0, 1, 3, 5]);
+        let canonical = block(1, vec![tx(1), tx(2)]);
+        adv.injections_for(&canonical);
+        let tampered = forge(TamperMode::FlipPayloadByte, &canonical, 1);
+        assert!(!adv.admit(Some(1), &tampered));
+        for _ in 0..100 {
+            adv.end_round();
+        }
+        assert!(!adv.admit(Some(1), &canonical), "no release at K = 0");
+        let metrics = adv.take_metrics();
+        assert_eq!(metrics.quarantine_releases, 0);
+        assert_eq!(metrics.quarantined_peers, 1);
     }
 
     #[test]

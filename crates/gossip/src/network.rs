@@ -748,7 +748,15 @@ impl<V: BlockValidator> ChannelLane<V> {
         // scheduled forgeries on the wire. Entirely PRNG-free, so the
         // lane's honest draw sequence is untouched.
         let injections = match self.adversary.as_mut() {
-            Some(adversary) => adversary.injections_for(&block),
+            Some(adversary) => {
+                // Each published block closes one dissemination round:
+                // quarantined relays that drew no fresh detection all
+                // round advance toward probation release (counter
+                // arithmetic only — no PRNG draws, so the honest draw
+                // sequence is still untouched).
+                adversary.end_round();
+                adversary.injections_for(&block)
+            }
             None => Vec::new(),
         };
         for (delay, victim, via, forged) in injections {
@@ -1120,18 +1128,68 @@ impl<V: BlockValidator> ChannelLane<V> {
 
     /// Commits buffered raw blocks as long as the next one is present,
     /// then persists, acknowledges, and GCs (see [`Self::note_commit`]).
+    ///
+    /// Under a [`ValidationPipeline::Pipelined`] peer the drain
+    /// overlaps stages across consecutive buffered blocks: while block
+    /// N finalizes on the replica thread, block N+1's pure
+    /// pre-validation runs on the worker pool against the lockless
+    /// state snapshot (see `fabriccrdt_fabric::peer`). Outcomes are
+    /// byte-identical to the sequential drain — in-flight duplicate
+    /// ids are threaded through and MVCC re-checks at finalize settle
+    /// any read that raced the predecessor's commit.
+    ///
+    /// [`ValidationPipeline::Pipelined`]: fabriccrdt_fabric::pipeline::ValidationPipeline::Pipelined
     fn commit_buffered(&mut self, i: usize) {
-        loop {
-            let next = self.committed(i) + 1;
-            let Some(block) = self.slots[i].buffer.remove(&next) else {
-                break;
-            };
-            let peer = self.slots[i].peer.as_mut().expect("caller checked");
-            let staged = peer.process_block(block);
-            peer.commit(staged)
-                .expect("buffered blocks extend the chain in order");
+        let pipelined = self.slots[i]
+            .peer
+            .as_ref()
+            .is_some_and(|peer| peer.pipeline().is_pipelined());
+        if pipelined {
+            self.commit_buffered_pipelined(i);
+        } else {
+            loop {
+                let next = self.committed(i) + 1;
+                let Some(block) = self.slots[i].buffer.remove(&next) else {
+                    break;
+                };
+                let peer = self.slots[i].peer.as_mut().expect("caller checked");
+                let staged = peer.process_block(block);
+                peer.commit(staged)
+                    .expect("buffered blocks extend the chain in order");
+            }
         }
         self.note_commit(i);
+    }
+
+    /// The overlapped drain behind [`Self::commit_buffered`]: each
+    /// successor block is pulled from the buffer *before* its
+    /// predecessor finalizes, so its pre-validation rides the worker
+    /// pool during the predecessor's conflict-chain commit.
+    fn commit_buffered_pipelined(&mut self, i: usize) {
+        let mut next = self.committed(i) + 1;
+        let slot = &mut self.slots[i];
+        let Some(first) = slot.buffer.remove(&next) else {
+            return;
+        };
+        let peer = slot.peer.as_mut().expect("caller checked");
+        let mut prep = peer.prevalidate(first);
+        loop {
+            next += 1;
+            match slot.buffer.remove(&next) {
+                Some(follow) => {
+                    let (staged, follow_prep) = peer.finish_block_with_next(prep, follow);
+                    peer.commit(staged)
+                        .expect("buffered blocks extend the chain in order");
+                    prep = follow_prep;
+                }
+                None => {
+                    let staged = peer.finish_block(prep);
+                    peer.commit(staged)
+                        .expect("buffered blocks extend the chain in order");
+                    break;
+                }
+            }
+        }
     }
 
     /// Post-commit bookkeeping for slot `i`: mirror newly committed

@@ -225,6 +225,23 @@ fn parallel_finalize_matches_sequential_under_raft_faults() {
             seq_snapshot.chain, par_snapshot.chain,
             "seed {seed}: chain diverged at {workers} workers"
         );
+        // The cross-block pipelined path (pre-validate block N+1 while
+        // block N finalizes) must be equally invisible under ordering
+        // faults: failovers reshuffle block boundaries, and pipelined
+        // pre-validation must still land on the same codes and times.
+        let (pip_metrics, pip_snapshot) = run(ValidationPipeline::pipelined(workers));
+        assert_eq!(
+            seq_metrics, pip_metrics,
+            "seed {seed}: metrics diverged under pipelining at {workers} workers"
+        );
+        assert_eq!(
+            seq_snapshot.state, pip_snapshot.state,
+            "seed {seed}: world state diverged under pipelining"
+        );
+        assert_eq!(
+            seq_snapshot.chain, pip_snapshot.chain,
+            "seed {seed}: chain diverged under pipelining"
+        );
     });
 }
 
