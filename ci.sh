@@ -81,6 +81,26 @@ grep -q '"clients_per_channel"' BENCH_multi_channel.json
 grep -q '"single_channel_identity": true' BENCH_multi_channel.json
 grep -q '"transfers_committed"' BENCH_multi_channel.json
 
+# The conflict-strategy bench sweeps CRDT merge-commit vs
+# abort-and-retry vs reorder+early-abort vs adaptive ordering across
+# Zipf skews and retry budgets; it self-asserts the acceptance shape
+# (FabricCRDT >= all at s=1.2, adaptive >= reorder at s=0.0) and
+# re-parses its own JSON. The gate checks the goodput/retry/wasted-work
+# fields landed in the artifact.
+echo "==> zipf_conflict smoke run + artifact check"
+rm -f BENCH_zipf_conflict.json
+cargo run --release -q -p fabriccrdt-bench --bin zipf -- --txs 600
+test -s BENCH_zipf_conflict.json
+grep -q '"bench": "zipf_conflict"' BENCH_zipf_conflict.json
+grep -q '"goodput_tps"' BENCH_zipf_conflict.json
+grep -q '"retries"' BENCH_zipf_conflict.json
+grep -q '"wasted_validation_work"' BENCH_zipf_conflict.json
+grep -q '"strategy": "fabriccrdt"' BENCH_zipf_conflict.json
+grep -q '"strategy": "fabric-retry"' BENCH_zipf_conflict.json
+grep -q '"strategy": "fabric-reorder"' BENCH_zipf_conflict.json
+grep -q '"strategy": "fabric-adaptive"' BENCH_zipf_conflict.json
+grep -q '"skew": 1.2' BENCH_zipf_conflict.json
+
 # The adversarial bench runs the byzantine attack schedule, 100 hostile
 # fuzz streams, and the offline merge-storm probes; it asserts honest
 # convergence, equivocation detection, and incremental < full-replay

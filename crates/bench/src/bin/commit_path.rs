@@ -42,6 +42,7 @@
 //!
 //! Run with: `cargo run --release --bin commit_path -- [--txs N] [--seed S]`
 
+use std::collections::{HashSet, VecDeque};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -49,6 +50,7 @@ use fabriccrdt::CrdtValidator;
 use fabriccrdt_bench::HarnessOptions;
 use fabriccrdt_crypto::{Identity, KeyPair};
 use fabriccrdt_fabric::metrics::PipelineMetrics;
+use fabriccrdt_fabric::peer::PreparedBlock;
 use fabriccrdt_fabric::peer::{Peer, PeerSnapshot, StageTimings};
 use fabriccrdt_fabric::pipeline::ValidationPipeline;
 use fabriccrdt_fabric::policy::EndorsementPolicy;
@@ -62,6 +64,9 @@ use fabriccrdt_workload::report::render_table;
 const BLOCK_SIZE: usize = 25;
 const ENDORSING_ORGS: [&str; 4] = ["org1", "org2", "org3", "org4"];
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Run-ahead depths for the deep-pipelined driver (depth 1 is the
+/// chained `finish_block_with_next` driver above).
+const AHEAD_DEPTHS: [usize; 2] = [2, 4];
 const REPEATS: usize = 3;
 /// Padding appended to every reading so payload bytes scale linearly
 /// with the reading count (≈40 B per reading).
@@ -176,6 +181,63 @@ fn replay_once(
     (peer.snapshot(), wall, stages, counters)
 }
 
+/// One timed replay with run-ahead depth `depth` > 1: a window of up
+/// to `depth` blocks pre-validates ahead (each against the union of
+/// every in-flight predecessor's transaction ids, exactly like the
+/// simulation's pipelined event driver) while the window's head
+/// finalizes and commits. Returns the deepest window observed.
+fn replay_depth_once(
+    workers: usize,
+    depth: usize,
+    blocks: &[Block],
+) -> (PeerSnapshot, f64, StageTotals, u64) {
+    cache::clear();
+    let mut peer = Peer::new(CrdtValidator::new(), policy())
+        .with_pipeline(ValidationPipeline::pipelined(workers));
+    let mut stages = StageTotals::default();
+    let mut window: VecDeque<PreparedBlock> = VecDeque::new();
+    let mut max_ahead = 0u64;
+    let start = Instant::now();
+    let mut stream = blocks.iter();
+    loop {
+        while window.len() < depth {
+            let Some(block) = stream.next() else { break };
+            let extra: HashSet<TxId> = window.iter().flat_map(PreparedBlock::tx_ids).collect();
+            window.push_back(peer.prevalidate_ahead(block.clone(), &extra));
+            max_ahead = max_ahead.max(window.len() as u64);
+        }
+        let Some(prep) = window.pop_front() else {
+            break;
+        };
+        let staged = peer.finish_block(prep);
+        stages.accumulate(&staged.timings);
+        peer.commit(staged).expect("blocks arrive in chain order");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let _ = peer.take_pipeline_metrics();
+    (peer.snapshot(), wall, stages, max_ahead)
+}
+
+/// Best-of-`REPEATS` depth replay; snapshots of every repeat must
+/// agree.
+fn replay_depth(
+    workers: usize,
+    depth: usize,
+    blocks: &[Block],
+) -> (PeerSnapshot, f64, StageTotals, u64) {
+    let (snapshot, mut best, mut stages, max_ahead) = replay_depth_once(workers, depth, blocks);
+    for _ in 1..REPEATS {
+        let (again, wall, repeat_stages, repeat_ahead) = replay_depth_once(workers, depth, blocks);
+        assert_eq!(again, snapshot, "depth-{depth} replay not deterministic");
+        assert_eq!(repeat_ahead, max_ahead);
+        if wall < best {
+            best = wall;
+            stages = repeat_stages;
+        }
+    }
+    (snapshot, best, stages, max_ahead)
+}
+
 /// Best-of-`REPEATS` replay; snapshots of every repeat must agree.
 /// Stage timings are taken from the best run so the per-stage split is
 /// consistent with the reported wall time. Overlap counters are
@@ -212,6 +274,10 @@ struct Cell {
     tps: f64,
     speedup: f64,
     finalize_speedup: f64,
+    /// Deepest pre-validated run-ahead window the driver reached: 0
+    /// for non-pipelined drivers, 1 for the chained pipelined driver,
+    /// up to the configured depth for the deep drivers.
+    max_ahead_depth: u64,
 }
 
 fn main() {
@@ -252,6 +318,7 @@ fn main() {
             tps: txs as f64 / seq_wall,
             speedup: 1.0,
             finalize_speedup: 1.0,
+            max_ahead_depth: 0,
         });
         let variants = WORKER_COUNTS
             .iter()
@@ -294,7 +361,47 @@ fn main() {
                 } else {
                     1.0
                 },
+                max_ahead_depth: u64::from(pipeline.is_pipelined()),
             });
+        }
+        if readings == default_doc {
+            // Deep run-ahead cells (ROADMAP item 3 residual): the
+            // window driver pre-validates up to D blocks ahead at 4
+            // workers; outcomes must stay byte-identical regardless of
+            // depth.
+            for &depth in &AHEAD_DEPTHS {
+                let (snapshot, wall, stages, max_ahead) = replay_depth(4, depth, &stream);
+                assert_eq!(
+                    snapshot.state, seq_snapshot.state,
+                    "{readings} readings, ahead-depth {depth}: world state diverged"
+                );
+                assert_eq!(
+                    snapshot.chain, seq_snapshot.chain,
+                    "{readings} readings, ahead-depth {depth}: chain diverged"
+                );
+                assert_eq!(
+                    max_ahead,
+                    depth.min(blocks) as u64,
+                    "window driver never filled its run-ahead depth"
+                );
+                cells.push(Cell {
+                    doc_readings: readings,
+                    label: format!("pipelined-ahead{depth}(4w)"),
+                    workers: 4,
+                    wall_secs: wall,
+                    pre_validate_secs: stages.pre_validate_secs,
+                    finalize_secs: stages.finalize_secs,
+                    overlap_secs: stages.overlap_secs,
+                    tps: txs as f64 / wall,
+                    speedup: seq_wall / wall,
+                    finalize_speedup: if stages.finalize_secs > 0.0 {
+                        seq_stages.finalize_secs / stages.finalize_secs
+                    } else {
+                        1.0
+                    },
+                    max_ahead_depth: max_ahead,
+                });
+            }
         }
     }
 
@@ -311,6 +418,7 @@ fn main() {
                 format!("{:.0}", c.tps),
                 format!("{:.2}x", c.speedup),
                 format!("{:.2}x", c.finalize_speedup),
+                c.max_ahead_depth.to_string(),
             ]
         })
         .collect();
@@ -328,6 +436,7 @@ fn main() {
                 "tps",
                 "speedup",
                 "fin-speedup",
+                "ahead",
             ],
             &rows
         )
@@ -417,7 +526,7 @@ fn main() {
              \"wall_secs\": {:.6}, \"pre_validate_secs\": {:.6}, \
              \"finalize_secs\": {:.6}, \"overlap_secs\": {:.6}, \
              \"tps\": {:.1}, \"speedup\": {:.3}, \
-             \"finalize_speedup\": {:.3}}}{}",
+             \"finalize_speedup\": {:.3}, \"max_ahead_depth\": {}}}{}",
             c.doc_readings,
             c.label,
             c.workers,
@@ -428,6 +537,7 @@ fn main() {
             c.tps,
             c.speedup,
             c.finalize_speedup,
+            c.max_ahead_depth,
             if i + 1 < cells.len() { "," } else { "" }
         );
     }
@@ -454,6 +564,7 @@ fn main() {
     assert!(first_cell.get("pre_validate_secs").is_some());
     assert!(first_cell.get("finalize_secs").is_some());
     assert!(first_cell.get("overlap_secs").is_some());
+    assert!(first_cell.get("max_ahead_depth").is_some());
     println!("wrote BENCH_commit_path.json ({cell_count} cells)");
 
     // The pipelined driver overlapped every block after the first with

@@ -16,7 +16,7 @@ use fabriccrdt_workload::experiment::{ExperimentConfig, ExperimentResult, System
 use fabriccrdt_workload::report::{figure_headers, figure_row, render_table};
 
 /// Command-line options shared by the figure binaries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessOptions {
     /// Transactions per experiment cell.
     pub total_txs: usize,
@@ -24,6 +24,13 @@ pub struct HarnessOptions {
     pub seed: u64,
     /// Optional CSV output path for plotting pipelines.
     pub csv: Option<String>,
+    /// Arrival rate override in transactions per second (binaries that
+    /// hardcode a rate use this instead when set).
+    pub rate_tps: Option<f64>,
+    /// Block-cut size override (max transactions per block).
+    pub block_cut: Option<usize>,
+    /// Key-space size override for contention sweeps.
+    pub keys: Option<usize>,
 }
 
 impl Default for HarnessOptions {
@@ -32,12 +39,16 @@ impl Default for HarnessOptions {
             total_txs: 10_000,
             seed: 42,
             csv: None,
+            rate_tps: None,
+            block_cut: None,
+            keys: None,
         }
     }
 }
 
 impl HarnessOptions {
-    /// Parses `--txs N` and `--seed S` from the process arguments.
+    /// Parses `--txs N`, `--seed S`, `--csv PATH`, `--rate TPS`,
+    /// `--block-cut N` and `--keys N` from the process arguments.
     ///
     /// # Panics
     ///
@@ -67,8 +78,36 @@ impl HarnessOptions {
                         Some(args.get(i + 1).expect("--csv requires a file path").clone());
                     i += 2;
                 }
+                "--rate" => {
+                    let rate: f64 = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--rate requires a positive number (tps)");
+                    assert!(rate > 0.0, "--rate requires a positive number (tps)");
+                    options.rate_tps = Some(rate);
+                    i += 2;
+                }
+                "--block-cut" => {
+                    options.block_cut = Some(
+                        args.get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .expect("--block-cut requires a positive integer"),
+                    );
+                    i += 2;
+                }
+                "--keys" => {
+                    options.keys = Some(
+                        args.get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .expect("--keys requires a positive integer"),
+                    );
+                    i += 2;
+                }
                 other => {
-                    panic!("unknown argument {other:?}; supported: --txs N, --seed S, --csv PATH")
+                    panic!(
+                        "unknown argument {other:?}; supported: --txs N, --seed S, --csv PATH, \
+                         --rate TPS, --block-cut N, --keys N"
+                    )
                 }
             }
         }
@@ -150,7 +189,7 @@ mod tests {
         let o = HarnessOptions {
             total_txs: 123,
             seed: 9,
-            csv: None,
+            ..HarnessOptions::default()
         };
         let cfg = o.base_config();
         assert_eq!(cfg.total_txs, 123);

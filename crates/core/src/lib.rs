@@ -66,9 +66,9 @@ pub mod types;
 pub mod validator;
 
 pub use network::{
-    fabric_reordering_simulation, fabric_simulation, fabric_simulation_with_delivery,
-    fabric_simulation_with_ordering, fabriccrdt_simulation, fabriccrdt_simulation_with_delivery,
-    fabriccrdt_simulation_with_ordering,
+    fabric_adaptive_simulation, fabric_reordering_simulation, fabric_simulation,
+    fabric_simulation_with_delivery, fabric_simulation_with_ordering, fabriccrdt_simulation,
+    fabriccrdt_simulation_with_delivery, fabriccrdt_simulation_with_ordering,
 };
 pub use types::{TypedCrdt, TypedCrdtError};
 pub use validator::CrdtValidator;

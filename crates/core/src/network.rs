@@ -102,6 +102,22 @@ pub fn fabric_reordering_simulation(
     Simulation::new(config.with_reordering(), FabricValidator::new(), registry)
 }
 
+/// Builds a Fabric network with the conflict-aware *adaptive* ordering
+/// policy: the orderer tracks per-key conflict heat from finalize
+/// feedback and applies dependency-graph reordering only to batches
+/// whose conflict density crosses the calibrated threshold — cold
+/// traffic skips the Tarjan/Kahn cost entirely.
+pub fn fabric_adaptive_simulation(
+    config: PipelineConfig,
+    registry: ChaincodeRegistry,
+) -> Simulation<FabricValidator> {
+    Simulation::new(
+        config.with_adaptive_ordering(),
+        FabricValidator::new(),
+        registry,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

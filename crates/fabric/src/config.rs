@@ -192,6 +192,130 @@ impl RaftConfig {
     }
 }
 
+/// Tuning of the adaptive conflict-aware ordering policy
+/// ([`OrderingPolicy::Adaptive`]). Interpreted by the orderer's
+/// [`crate::conflict::ConflictTracker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Per-round EWMA decay of the conflict tracker's key scores
+    /// (must be in `(0, 1)`; closer to 1 = longer memory).
+    pub decay: f64,
+    /// A key is *hot* once its decayed conflict score reaches this
+    /// (scores are in conflicts-per-block units).
+    pub hot_key_threshold: f64,
+    /// Dependency-graph reordering engages for a batch once the
+    /// fraction of its transactions touching a hot key reaches this;
+    /// below it the batch is cut FIFO and the Tarjan/Kahn pass is
+    /// skipped entirely (the cold-traffic hot-path win).
+    pub density_threshold: f64,
+    /// `Some(t)`: on FIFO-cut batches, early-abort every
+    /// read-modify-write transaction beyond the first on any key whose
+    /// conflict score is at least `t` (predicted doomed by history —
+    /// they would fail MVCC or be cycle-aborted anyway). `None`
+    /// disables predictive aborts.
+    pub predict_abort_threshold: Option<f64>,
+}
+
+impl AdaptiveConfig {
+    /// Calibrated defaults: decay 0.8 (~5-block memory), hot at half a
+    /// conflict/block (uniform-but-contended traffic — a few collisions
+    /// per key per block — must keep the gate open, not just single-key
+    /// hotspots), reorder at 10% hot transactions, no predictive
+    /// aborts.
+    pub fn calibrated() -> Self {
+        AdaptiveConfig {
+            decay: 0.8,
+            hot_key_threshold: 0.5,
+            density_threshold: 0.1,
+            predict_abort_threshold: None,
+        }
+    }
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig::calibrated()
+    }
+}
+
+/// How the ordering service treats each pending batch at block cut.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OrderingPolicy {
+    /// Arrival order, untouched — the seed pipeline.
+    #[default]
+    Fifo,
+    /// Fabric++-style dependency-graph reordering with cycle early
+    /// aborts on every batch (see [`crate::reorder`]) — equivalent to
+    /// the legacy [`PipelineConfig::reorder`] flag.
+    Reorder,
+    /// Conflict-aware routing: reorder only batches whose measured
+    /// conflict density crosses the configured threshold; cut cold
+    /// batches FIFO without paying the graph cost. Driven by finalize
+    /// feedback through the [`crate::conflict::ConflictTracker`].
+    Adaptive(AdaptiveConfig),
+}
+
+impl OrderingPolicy {
+    /// The policy the legacy `reorder: bool` flag denotes.
+    pub fn from_legacy(reorder: bool) -> Self {
+        if reorder {
+            OrderingPolicy::Reorder
+        } else {
+            OrderingPolicy::Fifo
+        }
+    }
+
+    /// Whether this policy ever consults finalize feedback.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, OrderingPolicy::Adaptive(_))
+    }
+}
+
+/// Client-side abort-and-retry tuning: how failed (MVCC-conflicted or
+/// early-aborted) transactions are re-submitted.
+///
+/// The legacy [`PipelineConfig::client_retries`] knob retries
+/// immediately after the failure notification; this policy adds the
+/// deterministic seeded exponential backoff real deployments use, so
+/// retry storms on a hot key spread out instead of re-colliding in the
+/// next block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum resubmissions per transaction (the retry budget).
+    pub budget: usize,
+    /// Base backoff before the first retry; doubles per attempt
+    /// (capped at `base << 6`).
+    pub backoff_base: SimTime,
+    /// Uniform jitter fraction: each backoff is scaled by a factor
+    /// drawn deterministically from `[1, 1 + jitter)` off the run
+    /// seed's PRNG stream.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// Calibrated defaults for a given budget: 50 ms base, 50% jitter.
+    pub fn calibrated(budget: usize) -> Self {
+        RetryPolicy {
+            budget,
+            backoff_base: SimTime::from_millis(50),
+            jitter: 0.5,
+        }
+    }
+
+    /// The deterministic backoff before retry attempt `attempt`
+    /// (1-based), drawing the jitter factor from `rng`.
+    pub fn backoff_delay(&self, attempt: usize, rng: &mut fabriccrdt_sim::rng::SimRng) -> SimTime {
+        let exp = (attempt.saturating_sub(1)).min(6) as u32;
+        let base = self.backoff_base.as_micros().saturating_mul(1u64 << exp);
+        let factor = if self.jitter > 0.0 {
+            rng.gen_range_f64(1.0, 1.0 + self.jitter)
+        } else {
+            1.0
+        };
+        SimTime::from_micros((base as f64 * factor) as u64)
+    }
+}
+
 /// Per-link message faults applied to every gossip hop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkFaults {
@@ -394,7 +518,22 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Enable Fabric++-style dependency-graph reordering (and early
     /// abort) at the orderer — the baseline of the paper's §8.
+    ///
+    /// Legacy flag, equivalent to `ordering_policy:
+    /// OrderingPolicy::Reorder`; see
+    /// [`PipelineConfig::effective_ordering_policy`] for how the two
+    /// compose.
     pub reorder: bool,
+    /// How the orderer treats each batch at block cut. The default,
+    /// [`OrderingPolicy::Fifo`], is byte-for-byte the seed pipeline;
+    /// the legacy [`PipelineConfig::reorder`] flag maps onto
+    /// [`OrderingPolicy::Reorder`].
+    pub ordering_policy: OrderingPolicy,
+    /// Client-side abort-and-retry policy with deterministic seeded
+    /// backoff. `None` (the default everywhere) keeps the legacy
+    /// immediate-retry behaviour of
+    /// [`PipelineConfig::client_retries`], byte-for-byte.
+    pub retry: Option<RetryPolicy>,
     /// How many times clients resubmit a transaction that failed MVCC
     /// validation (§1: "the only option for clients is to create a new
     /// transaction and resubmit"). 0 = no retries (the paper's
@@ -458,6 +597,8 @@ impl PipelineConfig {
             latency: LatencyConfig::calibrated(),
             seed,
             reorder: false,
+            ordering_policy: OrderingPolicy::Fifo,
+            retry: None,
             client_retries: 0,
             gossip: None,
             faults: FaultConfig::none(),
@@ -563,6 +704,46 @@ impl PipelineConfig {
         self.client_retries = retries;
         self
     }
+
+    /// Selects an explicit ordering policy (see [`OrderingPolicy`]).
+    pub fn with_ordering_policy(mut self, policy: OrderingPolicy) -> Self {
+        self.ordering_policy = policy;
+        self
+    }
+
+    /// Enables conflict-aware adaptive ordering with the calibrated
+    /// thresholds ([`AdaptiveConfig::calibrated`]).
+    pub fn with_adaptive_ordering(mut self) -> Self {
+        self.ordering_policy = OrderingPolicy::Adaptive(AdaptiveConfig::calibrated());
+        self
+    }
+
+    /// Enables client-side abort-and-retry with deterministic seeded
+    /// backoff. Overrides [`PipelineConfig::client_retries`] as the
+    /// retry budget.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// The ordering policy this configuration denotes: the explicit
+    /// [`PipelineConfig::ordering_policy`] when set, otherwise the
+    /// legacy [`PipelineConfig::reorder`] flag mapped onto
+    /// [`OrderingPolicy::Reorder`]/[`OrderingPolicy::Fifo`]. An
+    /// explicit non-FIFO policy wins over the flag.
+    pub fn effective_ordering_policy(&self) -> OrderingPolicy {
+        match self.ordering_policy {
+            OrderingPolicy::Fifo => OrderingPolicy::from_legacy(self.reorder),
+            policy => policy,
+        }
+    }
+
+    /// The client retry budget: the [`RetryPolicy`] budget when one is
+    /// configured, otherwise the legacy
+    /// [`PipelineConfig::client_retries`].
+    pub fn retry_budget(&self) -> usize {
+        self.retry.map_or(self.client_retries, |r| r.budget)
+    }
 }
 
 #[cfg(test)]
@@ -657,6 +838,61 @@ mod tests {
             adversary.probation_rounds,
             AdversaryConfig::DEFAULT_PROBATION_ROUNDS
         );
+    }
+
+    #[test]
+    fn ordering_policy_resolution() {
+        let cfg = PipelineConfig::paper(25, 1);
+        assert_eq!(cfg.effective_ordering_policy(), OrderingPolicy::Fifo);
+        // Legacy flag maps onto the Reorder policy.
+        let legacy = PipelineConfig::paper(25, 1).with_reordering();
+        assert_eq!(legacy.effective_ordering_policy(), OrderingPolicy::Reorder);
+        // Explicit policy wins over the flag.
+        let adaptive = PipelineConfig::paper(25, 1)
+            .with_reordering()
+            .with_adaptive_ordering();
+        assert!(adaptive.effective_ordering_policy().is_adaptive());
+        // Explicit FIFO alongside the flag still honours the flag (an
+        // unset enum must not silently disable a requested reorder).
+        let both = PipelineConfig::paper(25, 1)
+            .with_ordering_policy(OrderingPolicy::Fifo)
+            .with_reordering();
+        assert_eq!(both.effective_ordering_policy(), OrderingPolicy::Reorder);
+    }
+
+    #[test]
+    fn retry_budget_resolution() {
+        let cfg = PipelineConfig::paper(25, 1).with_client_retries(3);
+        assert_eq!(cfg.retry_budget(), 3);
+        assert!(cfg.retry.is_none());
+        let cfg = cfg.with_retry_policy(RetryPolicy::calibrated(5));
+        assert_eq!(cfg.retry_budget(), 5);
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_deterministic() {
+        use fabriccrdt_sim::rng::SimRng;
+        let policy = RetryPolicy {
+            budget: 8,
+            backoff_base: SimTime::from_millis(10),
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::seed_from(7);
+        assert_eq!(policy.backoff_delay(1, &mut rng), SimTime::from_millis(10));
+        assert_eq!(policy.backoff_delay(2, &mut rng), SimTime::from_millis(20));
+        assert_eq!(policy.backoff_delay(3, &mut rng), SimTime::from_millis(40));
+        // The exponent caps at 6 doublings.
+        assert_eq!(
+            policy.backoff_delay(50, &mut rng),
+            SimTime::from_millis(640)
+        );
+        // With jitter, two identically seeded streams agree.
+        let jittered = RetryPolicy::calibrated(2);
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let da = jittered.backoff_delay(1, &mut a);
+        assert_eq!(da, jittered.backoff_delay(1, &mut b));
+        assert!(da >= jittered.backoff_base);
     }
 
     #[test]

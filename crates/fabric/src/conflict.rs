@@ -1,0 +1,360 @@
+//! Conflict-aware ordering support: the decayed per-key write/conflict
+//! tracker behind [`crate::config::OrderingPolicy::Adaptive`].
+//!
+//! "Performance Optimization of High-Conflict Transactions within the
+//! Hyperledger Fabric Blockchain" (arXiv 2407.19732) observes that
+//! under hot-key skew the orderer should *know* which keys are hot and
+//! spend reordering effort only where it pays. This module implements
+//! the measurement half of that idea:
+//!
+//! - [`ConflictTracker`] keeps one exponentially decayed moving average
+//!   per key for *writes* (how often the key is written by committed
+//!   transactions) and *conflicts* (how often a transaction touching
+//!   the key failed MVCC validation or was early-aborted at the
+//!   orderer). Finalize results flow back from the committing peer as
+//!   [`BlockFeedback`] via `OrderingBackend::observe_finalized`.
+//! - [`ConflictTracker::batch_conflict_density`] scores a pending batch
+//!   as the fraction of its transactions touching a hot key — the
+//!   signal the adaptive orderer compares against its density threshold
+//!   to decide whether the Tarjan/Kahn reordering pass is worth its
+//!   cost for this batch.
+//!
+//! Everything here is deterministic plain data: the tracker draws no
+//! randomness, iterates keys in `BTreeMap` order, and can be cloned
+//! wholesale — the Raft cluster keeps a master copy that survives
+//! leader crashes and installs a clone into every freshly elected
+//! leader's orderer (failover-safe hot-key state).
+
+use std::collections::BTreeMap;
+
+use fabriccrdt_ledger::block::Block;
+use fabriccrdt_ledger::transaction::Transaction;
+
+/// Scores below this are pruned after decay: a key nobody has touched
+/// for a few dozen blocks costs nothing.
+const PRUNE_BELOW: f64 = 1e-3;
+
+/// Decayed per-key activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KeyHeat {
+    /// Decayed writes-per-block EWMA.
+    pub writes: f64,
+    /// Decayed conflicts-per-block EWMA (MVCC failures at finalize plus
+    /// early aborts at the orderer).
+    pub conflicts: f64,
+}
+
+/// Per-block finalize results, reduced to what the conflict tracker
+/// needs: which keys were written by committed transactions and which
+/// keys were touched by transactions that failed MVCC validation.
+///
+/// Built by the simulation driver from the committed tip block (one
+/// entry per key *occurrence*, so a block with three failures on `hot`
+/// bumps `hot` three times).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockFeedback {
+    /// Keys written by successfully committed transactions.
+    pub writes: Vec<String>,
+    /// Keys read or written by transactions that failed MVCC
+    /// validation.
+    pub conflicts: Vec<String>,
+}
+
+impl BlockFeedback {
+    /// Reduces a committed block (transactions zipped with their
+    /// validation codes) to tracker feedback.
+    pub fn from_block(block: &Block) -> Self {
+        let mut feedback = BlockFeedback::default();
+        for (tx, code) in block.transactions.iter().zip(&block.validation_codes) {
+            if code.is_success() {
+                for (key, _) in tx.rwset.writes.iter() {
+                    feedback.writes.push(key.to_owned());
+                }
+            } else if matches!(code, fabriccrdt_ledger::block::ValidationCode::MvccConflict) {
+                for (key, _) in tx.rwset.reads.iter() {
+                    feedback.conflicts.push(key.to_owned());
+                }
+                for (key, _) in tx.rwset.writes.iter() {
+                    if tx.rwset.reads.get(key).is_none() {
+                        feedback.conflicts.push(key.to_owned());
+                    }
+                }
+            }
+        }
+        feedback
+    }
+}
+
+/// Decayed per-key write/conflict EWMA at the ordering service.
+///
+/// One observation round per finalized block: every tracked score is
+/// multiplied by `decay`, then the round's occurrences are added with
+/// weight `1 - decay` each (a standard EWMA, so a key conflicting `c`
+/// times per block converges to a conflict score of `c · (1 − decay)
+/// / (1 − decay) = c`... scores are in units of occurrences-per-block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConflictTracker {
+    decay: f64,
+    keys: BTreeMap<String, KeyHeat>,
+    blocks_observed: u64,
+}
+
+impl ConflictTracker {
+    /// Creates a tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < decay < 1`.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "EWMA decay must be in (0, 1), got {decay}"
+        );
+        ConflictTracker {
+            decay,
+            keys: BTreeMap::new(),
+            blocks_observed: 0,
+        }
+    }
+
+    /// Observation rounds absorbed so far.
+    pub fn blocks_observed(&self) -> u64 {
+        self.blocks_observed
+    }
+
+    /// Number of keys currently tracked (pruned of cold entries).
+    pub fn tracked_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The decayed scores for `key` (zeros when untracked).
+    pub fn heat(&self, key: &str) -> KeyHeat {
+        self.keys.get(key).copied().unwrap_or_default()
+    }
+
+    /// Absorbs one finalized block's feedback: one decay round plus the
+    /// fresh write/conflict occurrences.
+    pub fn observe(&mut self, feedback: &BlockFeedback) {
+        self.decay_round();
+        let fresh = 1.0 - self.decay;
+        for key in &feedback.writes {
+            self.keys.entry(key.clone()).or_default().writes += fresh;
+        }
+        for key in &feedback.conflicts {
+            self.keys.entry(key.clone()).or_default().conflicts += fresh;
+        }
+        self.blocks_observed += 1;
+    }
+
+    /// Absorbs the orderer's own early aborts (conflicts discovered at
+    /// block cut, before validation). Counting them keeps hot keys hot
+    /// while reordering is engaged — otherwise conflicts converted to
+    /// early aborts would decay the very signal that triggered
+    /// reordering, and the adaptive policy would oscillate.
+    ///
+    /// Not a decay round: the aborts belong to the batch whose
+    /// finalize feedback will perform the round.
+    pub fn observe_aborts(&mut self, aborted: &[Transaction]) {
+        let fresh = 1.0 - self.decay;
+        for tx in aborted {
+            for (key, _) in tx.rwset.reads.iter() {
+                self.keys.entry(key.to_owned()).or_default().conflicts += fresh;
+            }
+        }
+    }
+
+    fn decay_round(&mut self) {
+        let decay = self.decay;
+        for heat in self.keys.values_mut() {
+            heat.writes *= decay;
+            heat.conflicts *= decay;
+        }
+        self.keys
+            .retain(|_, h| h.writes >= PRUNE_BELOW || h.conflicts >= PRUNE_BELOW);
+    }
+
+    /// Fraction of `batch` whose transactions touch at least one key
+    /// with a conflict score of `hot_key_threshold` or more. 0.0 for an
+    /// empty batch or a cold tracker — the adaptive orderer then skips
+    /// the reordering pass entirely.
+    pub fn batch_conflict_density(&self, batch: &[Transaction], hot_key_threshold: f64) -> f64 {
+        if batch.is_empty() || self.keys.is_empty() {
+            return 0.0;
+        }
+        let hot = batch
+            .iter()
+            .filter(|tx| {
+                tx.rwset
+                    .reads
+                    .iter()
+                    .map(|(key, _)| key)
+                    .chain(tx.rwset.writes.iter().map(|(key, _)| key))
+                    .any(|key| self.heat(key).conflicts >= hot_key_threshold)
+            })
+            .count();
+        hot as f64 / batch.len() as f64
+    }
+
+    /// Transactions of `batch` predicted doomed by history: for every
+    /// key with a conflict score at or above `threshold`, all but the
+    /// first read-modify-write transaction on that key are marked (the
+    /// first can still commit; the rest form the conflict clique that
+    /// reordering would abort anyway — this catches them in one linear
+    /// pass). Returns batch indices in ascending order.
+    pub fn predicted_doomed(&self, batch: &[Transaction], threshold: f64) -> Vec<usize> {
+        let mut first_rmw: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut doomed = Vec::new();
+        for (i, tx) in batch.iter().enumerate() {
+            let mut is_doomed = false;
+            for (key, _) in tx.rwset.reads.iter() {
+                if tx.rwset.writes.get(key).is_none() {
+                    continue; // not a read-modify-write on this key
+                }
+                if self.heat(key).conflicts < threshold {
+                    continue;
+                }
+                match first_rmw.get(key as &str) {
+                    None => {
+                        first_rmw.insert(key, i);
+                    }
+                    Some(_) => is_doomed = true,
+                }
+            }
+            if is_doomed {
+                doomed.push(i);
+            }
+        }
+        doomed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabriccrdt_crypto::Identity;
+    use fabriccrdt_ledger::block::ValidationCode;
+    use fabriccrdt_ledger::rwset::ReadWriteSet;
+    use fabriccrdt_ledger::transaction::TxId;
+    use fabriccrdt_ledger::version::Height;
+
+    fn tx(n: u64, reads: &[&str], writes: &[&str]) -> Transaction {
+        let client = Identity::new("client", "org1");
+        let mut rwset = ReadWriteSet::new();
+        for key in reads {
+            rwset.reads.record(*key, Some(Height::new(1, 0)));
+        }
+        for key in writes {
+            rwset.writes.put(*key, vec![n as u8]);
+        }
+        Transaction {
+            id: TxId::derive(&client, n, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn conflicts_accumulate_and_decay() {
+        let mut tracker = ConflictTracker::new(0.5);
+        let feedback = BlockFeedback {
+            writes: vec!["w".into()],
+            conflicts: vec!["hot".into(), "hot".into()],
+        };
+        tracker.observe(&feedback);
+        let after_one = tracker.heat("hot").conflicts;
+        assert!((after_one - 1.0).abs() < 1e-9); // 2 × (1 − 0.5)
+        assert!((tracker.heat("w").writes - 0.5).abs() < 1e-9);
+        // A quiet round halves the scores.
+        tracker.observe(&BlockFeedback::default());
+        assert!((tracker.heat("hot").conflicts - 0.5).abs() < 1e-9);
+        assert_eq!(tracker.blocks_observed(), 2);
+    }
+
+    #[test]
+    fn cold_keys_are_pruned() {
+        let mut tracker = ConflictTracker::new(0.2);
+        tracker.observe(&BlockFeedback {
+            writes: Vec::new(),
+            conflicts: vec!["k".into()],
+        });
+        assert_eq!(tracker.tracked_keys(), 1);
+        for _ in 0..20 {
+            tracker.observe(&BlockFeedback::default());
+        }
+        assert_eq!(tracker.tracked_keys(), 0, "decayed-out keys must not leak");
+        assert_eq!(tracker.heat("k"), KeyHeat::default());
+    }
+
+    #[test]
+    fn density_is_fraction_of_hot_transactions() {
+        let mut tracker = ConflictTracker::new(0.5);
+        for _ in 0..8 {
+            tracker.observe(&BlockFeedback {
+                writes: Vec::new(),
+                conflicts: vec!["hot".into(), "hot".into()],
+            });
+        }
+        assert!(tracker.heat("hot").conflicts > 1.0);
+        let batch = vec![
+            tx(0, &["hot"], &["hot"]),
+            tx(1, &["cold"], &["cold"]),
+            tx(2, &[], &["hot"]),
+            tx(3, &["other"], &["other"]),
+        ];
+        let density = tracker.batch_conflict_density(&batch, 1.0);
+        assert!((density - 0.5).abs() < 1e-9, "2 of 4 touch the hot key");
+        // A cold tracker reports zero density without iterating.
+        assert_eq!(
+            ConflictTracker::new(0.5).batch_conflict_density(&batch, 1.0),
+            0.0
+        );
+        assert_eq!(tracker.batch_conflict_density(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn predicted_doomed_keeps_first_rmw_per_hot_key() {
+        let mut tracker = ConflictTracker::new(0.5);
+        for _ in 0..8 {
+            tracker.observe(&BlockFeedback {
+                writes: Vec::new(),
+                conflicts: vec!["hot".into()],
+            });
+        }
+        let batch = vec![
+            tx(0, &["hot"], &["hot"]),   // first RMW: survives
+            tx(1, &["hot"], &["p"]),     // pure reader: not doomed
+            tx(2, &["hot"], &["hot"]),   // second RMW: doomed
+            tx(3, &["cold"], &["cold"]), // cold key: untouched
+            tx(4, &["hot"], &["hot"]),   // third RMW: doomed
+        ];
+        assert_eq!(tracker.predicted_doomed(&batch, 0.9), vec![2, 4]);
+        // Below-threshold history dooms nothing.
+        assert!(tracker.predicted_doomed(&batch, 10.0).is_empty());
+    }
+
+    #[test]
+    fn feedback_from_block_splits_writes_and_conflicts() {
+        use fabriccrdt_ledger::block::Block;
+        let mut block =
+            Block::assemble(1, [0; 32], vec![tx(0, &[], &["a"]), tx(1, &["b"], &["c"])]);
+        block.validation_codes = vec![ValidationCode::Valid, ValidationCode::MvccConflict];
+        let feedback = BlockFeedback::from_block(&block);
+        assert_eq!(feedback.writes, vec!["a".to_owned()]);
+        assert_eq!(feedback.conflicts, vec!["b".to_owned(), "c".to_owned()]);
+    }
+
+    #[test]
+    fn observe_aborts_heats_read_keys() {
+        let mut tracker = ConflictTracker::new(0.5);
+        tracker.observe_aborts(&[tx(0, &["hot"], &["hot"])]);
+        assert!((tracker.heat("hot").conflicts - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn bad_decay_panics() {
+        ConflictTracker::new(1.0);
+    }
+}

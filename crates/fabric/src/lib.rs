@@ -12,6 +12,10 @@
 //! Modules:
 //!
 //! - [`config`]: network topology and block-cutting parameters.
+//! - [`conflict`]: the decayed per-key conflict tracker behind
+//!   [`config::OrderingPolicy::Adaptive`] — hot-key EWMA fed back from
+//!   finalize results, batch conflict-density scoring and
+//!   predicted-doomed detection.
 //! - [`channel`]: multi-channel sharding — channel identities,
 //!   per-channel pipeline derivation, cross-channel transfer records
 //!   and per-channel metric rollups.
@@ -55,6 +59,7 @@
 pub mod chaincode;
 pub mod channel;
 pub mod config;
+pub mod conflict;
 pub mod cost;
 pub mod latency;
 pub mod metrics;
@@ -75,7 +80,11 @@ pub use channel::{
     ChannelId, ChannelRunMetrics, ChannelSpec, MultiChannelConfig, MultiChannelMetrics, TransferId,
     TransferOutcome, TransferReport, TransferSpec,
 };
-pub use config::{BlockCutConfig, PipelineConfig, RaftConfig, Topology};
+pub use config::{
+    AdaptiveConfig, BlockCutConfig, OrderingPolicy, PipelineConfig, RaftConfig, RetryPolicy,
+    Topology,
+};
+pub use conflict::{BlockFeedback, ConflictTracker};
 pub use cost::{CostModel, ValidationWork};
 pub use latency::LatencyConfig;
 pub use metrics::{OrderingMetrics, RunMetrics, TxRecord};

@@ -343,6 +343,80 @@ impl OrderingMetrics {
     }
 }
 
+/// Counters of the conflict-aware ordering policy
+/// ([`crate::config::OrderingPolicy`]). Populated whenever the run's
+/// effective policy is not FIFO; FIFO runs report `None` in
+/// [`RunMetrics::conflict_policy`].
+///
+/// Deterministic (the policy decisions read only tracker state derived
+/// from finalize feedback), so these counters participate in
+/// [`RunMetrics`] equality like the adversary counters do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConflictPolicyMetrics {
+    /// Batches that went through the dependency-graph reordering pass.
+    pub batches_reordered: u64,
+    /// Batches cut FIFO because their measured conflict density stayed
+    /// below the adaptive threshold (the skipped Tarjan/Kahn cost).
+    pub batches_fifo: u64,
+    /// Transactions early-aborted as conflict-cycle members by the
+    /// reordering pass.
+    pub cycle_aborts: u64,
+    /// Transactions early-aborted as predicted-doomed by the conflict
+    /// tracker (hot-key read-modify-write duplicates on FIFO-cut
+    /// batches).
+    pub predicted_aborts: u64,
+    /// Keys the conflict tracker held when the run ended.
+    pub tracked_keys: u64,
+}
+
+impl ConflictPolicyMetrics {
+    /// Accumulates another counter set (used by the Raft cluster to
+    /// carry counters across leader hand-offs).
+    pub fn absorb(&mut self, other: ConflictPolicyMetrics) {
+        self.batches_reordered += other.batches_reordered;
+        self.batches_fifo += other.batches_fifo;
+        self.cycle_aborts += other.cycle_aborts;
+        self.predicted_aborts += other.predicted_aborts;
+        self.tracked_keys = self.tracked_keys.max(other.tracked_keys);
+    }
+
+    /// Total early aborts the ordering policy performed.
+    pub fn early_aborts(&self) -> u64 {
+        self.cycle_aborts + self.predicted_aborts
+    }
+}
+
+/// Client-side abort-and-retry accounting (tentpole of the
+/// conflict-aware ordering work): what the retry loop cost and what it
+/// recovered. Always populated — a run with no retries reports zeros —
+/// and part of [`RunMetrics`] equality (fully deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetryMetrics {
+    /// Resubmissions performed (every retry is a full extra
+    /// execute/endorse/order round trip).
+    pub retries: u64,
+    /// Transactions that eventually committed successfully after at
+    /// least one retry.
+    pub retry_success: u64,
+    /// Submit-to-final-commit latency of each retry success (measured
+    /// from the *original* submission, so it includes every backoff).
+    pub retry_latency: Vec<SimTime>,
+    /// Validation work units the committing peer spent on transactions
+    /// whose final verdict was a failure: one unit per endorsement
+    /// signature verified plus one per read-set version checked.
+    /// Early-aborted transactions contribute nothing — they never
+    /// reach validation, which is exactly the point of early abort.
+    pub wasted_validation_work: u64,
+}
+
+impl RetryMetrics {
+    /// Distribution of retry-success latencies (for percentile
+    /// reporting).
+    pub fn retry_latency_summary(&self) -> Summary {
+        Summary::from_times(&self.retry_latency)
+    }
+}
+
 /// Metrics for one experiment run.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
@@ -381,6 +455,13 @@ pub struct RunMetrics {
     /// [`crate::pipeline::ValidationPipeline::Pipelined`]; `None`
     /// otherwise.
     pub pipelined: Option<PipelineMetrics>,
+    /// Abort-and-retry loop accounting. All-zero when the run
+    /// configured no retry policy and nothing failed.
+    pub retry: RetryMetrics,
+    /// Ordering-policy counters when the run's effective
+    /// [`crate::config::OrderingPolicy`] was not FIFO; `None` for FIFO
+    /// runs.
+    pub conflict_policy: Option<ConflictPolicyMetrics>,
 }
 
 /// Equality deliberately ignores [`RunMetrics::decode_cache`]: the
@@ -403,6 +484,8 @@ impl PartialEq for RunMetrics {
             && self.dissemination == other.dissemination
             && self.ordering == other.ordering
             && self.adversary == other.adversary
+            && self.retry == other.retry
+            && self.conflict_policy == other.conflict_policy
     }
 }
 
@@ -517,6 +600,8 @@ mod tests {
             decode_cache: None,
             adversary: None,
             pipelined: None,
+            retry: RetryMetrics::default(),
+            conflict_policy: None,
         };
         assert_eq!(metrics.submitted(), 4);
         assert_eq!(metrics.successful(), 2);
@@ -546,6 +631,8 @@ mod tests {
             decode_cache: None,
             adversary: None,
             pipelined: None,
+            retry: RetryMetrics::default(),
+            conflict_policy: None,
         };
         let series = metrics.throughput_series(SimTime::from_secs(1));
         assert_eq!(series.counts(), &[2, 1]);

@@ -13,7 +13,9 @@ use fabriccrdt_ledger::block::Block;
 use fabriccrdt_ledger::transaction::Transaction;
 use fabriccrdt_sim::time::SimTime;
 
-use crate::config::BlockCutConfig;
+use crate::config::{BlockCutConfig, OrderingPolicy};
+use crate::conflict::{BlockFeedback, ConflictTracker};
+use crate::metrics::ConflictPolicyMetrics;
 
 /// A timeout the caller must arm: fires at `at` for batch `batch_id`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,17 +53,40 @@ pub struct Orderer {
     next_block_number: u64,
     previous_hash: Digest,
     blocks_cut: u64,
-    /// Fabric++-style dependency-graph reordering at block cut
-    /// (see [`crate::reorder`]).
-    reorder: bool,
-    /// Transactions early-aborted by reordering since the last drain.
+    /// What happens at block cut: FIFO, unconditional Fabric++-style
+    /// reordering (see [`crate::reorder`]), or conflict-density-gated
+    /// adaptive reordering.
+    policy: OrderingPolicy,
+    /// Decayed per-key conflict heat, fed back from finalize results
+    /// via [`Orderer::observe_finalized`]. Only consulted (and only
+    /// updated) under [`OrderingPolicy::Adaptive`].
+    tracker: ConflictTracker,
+    /// Policy decision counters since construction.
+    stats: ConflictPolicyMetrics,
+    /// Transactions early-aborted by the policy since the last drain.
     early_aborted: Vec<Transaction>,
 }
 
 impl Orderer {
     /// Creates an orderer with the given cutting rules.
     pub fn new(config: BlockCutConfig) -> Self {
+        Orderer::with_policy(config, OrderingPolicy::Fifo)
+    }
+
+    /// Creates an orderer that reorders each batch by its conflict
+    /// dependency graph and early-aborts unsalvageable cycles — the
+    /// Fabric++ baseline (paper §8, Sharma et al.).
+    pub fn with_reordering(config: BlockCutConfig) -> Self {
+        Orderer::with_policy(config, OrderingPolicy::Reorder)
+    }
+
+    /// Creates an orderer with an explicit [`OrderingPolicy`].
+    pub fn with_policy(config: BlockCutConfig, policy: OrderingPolicy) -> Self {
         assert!(config.max_tx_count > 0, "block size must be positive");
+        let tracker = match policy {
+            OrderingPolicy::Adaptive(cfg) => ConflictTracker::new(cfg.decay),
+            _ => ConflictTracker::new(crate::config::AdaptiveConfig::calibrated().decay),
+        };
         // Block 0 is the genesis block every peer starts from; ordered
         // transaction blocks begin at 1 and chain onto it.
         let genesis = Block::genesis();
@@ -73,18 +98,11 @@ impl Orderer {
             next_block_number: 1,
             previous_hash: genesis.hash(),
             blocks_cut: 0,
-            reorder: false,
+            policy,
+            tracker,
+            stats: ConflictPolicyMetrics::default(),
             early_aborted: Vec::new(),
         }
-    }
-
-    /// Creates an orderer that reorders each batch by its conflict
-    /// dependency graph and early-aborts unsalvageable cycles — the
-    /// Fabric++ baseline (paper §8, Sharma et al.).
-    pub fn with_reordering(config: BlockCutConfig) -> Self {
-        let mut orderer = Orderer::new(config);
-        orderer.reorder = true;
-        orderer
     }
 
     /// Creates an orderer that resumes cutting on top of an existing
@@ -103,16 +121,81 @@ impl Orderer {
         next_block_number: u64,
         previous_hash: Digest,
     ) -> Self {
+        Orderer::resuming_with_policy(
+            config,
+            OrderingPolicy::from_legacy(reorder),
+            next_block_number,
+            previous_hash,
+        )
+    }
+
+    /// [`Orderer::resuming`] with an explicit [`OrderingPolicy`]. A
+    /// freshly elected Raft leader running the adaptive policy pairs
+    /// this with [`Orderer::install_tracker`] to inherit the cluster's
+    /// replicated conflict heat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_tx_count` is zero or `next_block_number`
+    /// is zero (block 0 is the genesis block).
+    pub fn resuming_with_policy(
+        config: BlockCutConfig,
+        policy: OrderingPolicy,
+        next_block_number: u64,
+        previous_hash: Digest,
+    ) -> Self {
         assert!(next_block_number > 0, "block 0 is the genesis block");
-        let mut orderer = Orderer::new(config);
-        orderer.reorder = reorder;
+        let mut orderer = Orderer::with_policy(config, policy);
         orderer.next_block_number = next_block_number;
         orderer.previous_hash = previous_hash;
         orderer
     }
 
-    /// Drains the transactions early-aborted by reordering since the
-    /// last call (empty for a non-reordering orderer).
+    /// The orderer's cut policy.
+    pub fn policy(&self) -> OrderingPolicy {
+        self.policy
+    }
+
+    /// Feeds a committed block's validation outcome back into the
+    /// conflict tracker. No-op unless the policy is
+    /// [`OrderingPolicy::Adaptive`] — FIFO and unconditional reordering
+    /// never consult the tracker, and skipping the update keeps them
+    /// byte-identical to their pre-tracker behaviour.
+    pub fn observe_finalized(&mut self, feedback: &BlockFeedback) {
+        if self.policy.is_adaptive() {
+            self.tracker.observe(feedback);
+        }
+    }
+
+    /// Read access to the conflict tracker (adaptive policy state).
+    pub fn tracker(&self) -> &ConflictTracker {
+        &self.tracker
+    }
+
+    /// Replaces the conflict tracker wholesale. A new Raft leader
+    /// installs the cluster-maintained tracker so adaptive decisions
+    /// survive failover instead of restarting cold.
+    pub fn install_tracker(&mut self, tracker: ConflictTracker) {
+        self.tracker = tracker;
+    }
+
+    /// Policy decision counters accumulated since construction.
+    pub fn policy_stats(&self) -> ConflictPolicyMetrics {
+        let mut stats = self.stats;
+        stats.tracked_keys = self.tracker.tracked_keys() as u64;
+        stats
+    }
+
+    /// Drains the policy decision counters (the Raft cluster harvests
+    /// them from deposed leaders into a cluster-wide accumulator).
+    pub fn take_policy_stats(&mut self) -> ConflictPolicyMetrics {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.tracked_keys = self.tracker.tracked_keys() as u64;
+        stats
+    }
+
+    /// Drains the transactions early-aborted by the cut policy since
+    /// the last call (always empty under [`OrderingPolicy::Fifo`]).
     pub fn take_early_aborted(&mut self) -> Vec<Transaction> {
         std::mem::take(&mut self.early_aborted)
     }
@@ -164,10 +247,61 @@ impl Orderer {
     /// Cuts the pending batch into a block.
     fn cut(&mut self) -> Block {
         let mut transactions = std::mem::take(&mut self.pending);
-        if self.reorder {
-            let outcome = crate::reorder::reorder_batch(transactions);
-            transactions = outcome.ordered;
-            self.early_aborted.extend(outcome.aborted);
+        match self.policy {
+            OrderingPolicy::Fifo => {}
+            OrderingPolicy::Reorder => {
+                let outcome = crate::reorder::reorder_batch(transactions);
+                transactions = outcome.ordered;
+                self.stats.batches_reordered += 1;
+                self.stats.cycle_aborts += outcome.aborted.len() as u64;
+                self.early_aborted.extend(outcome.aborted);
+            }
+            OrderingPolicy::Adaptive(cfg) => {
+                if let Some(threshold) = cfg.predict_abort_threshold {
+                    let doomed = self.tracker.predicted_doomed(&transactions, threshold);
+                    if !doomed.is_empty() {
+                        self.stats.predicted_aborts += doomed.len() as u64;
+                        let mut next = doomed.iter().copied().peekable();
+                        let mut kept = Vec::with_capacity(transactions.len() - doomed.len());
+                        let mut aborted = Vec::with_capacity(doomed.len());
+                        for (i, tx) in transactions.into_iter().enumerate() {
+                            if next.peek() == Some(&i) {
+                                next.next();
+                                aborted.push(tx);
+                            } else {
+                                kept.push(tx);
+                            }
+                        }
+                        transactions = kept;
+                        self.tracker.observe_aborts(&aborted);
+                        self.early_aborted.extend(aborted);
+                    }
+                }
+                // Until the first finalize feedback arrives the tracker
+                // cannot distinguish cold traffic from hot, so the
+                // bootstrap batches pay the reordering cost rather than
+                // risk shipping a conflict clique FIFO; the first
+                // feedback round either proves the traffic cold (the
+                // gate opens and batches cut FIFO) or confirms the heat.
+                let bootstrap = self.tracker.blocks_observed() == 0;
+                let density = self
+                    .tracker
+                    .batch_conflict_density(&transactions, cfg.hot_key_threshold);
+                if bootstrap || density >= cfg.density_threshold {
+                    let outcome = crate::reorder::reorder_batch(transactions);
+                    transactions = outcome.ordered;
+                    self.stats.batches_reordered += 1;
+                    self.stats.cycle_aborts += outcome.aborted.len() as u64;
+                    // Reordering converts would-be MVCC conflicts into
+                    // early aborts that never reach finalize feedback;
+                    // record them here so the keys stay hot and the
+                    // density gate doesn't oscillate open and shut.
+                    self.tracker.observe_aborts(&outcome.aborted);
+                    self.early_aborted.extend(outcome.aborted);
+                } else {
+                    self.stats.batches_fifo += 1;
+                }
+            }
         }
         self.pending_bytes = 0;
         self.batch_id += 1;
@@ -374,5 +508,141 @@ mod tests {
     #[should_panic(expected = "genesis")]
     fn resuming_at_genesis_number_panics() {
         Orderer::resuming(cfg(1), false, 0, Block::genesis().hash());
+    }
+
+    fn rmw(n: u64, key: &str) -> Transaction {
+        use fabriccrdt_ledger::version::Height;
+        let client = Identity::new("client", "org1");
+        let mut rwset = ReadWriteSet::new();
+        rwset.reads.record(key, Some(Height::new(1, 0)));
+        rwset.writes.put(key.to_string(), vec![0u8; 16]);
+        Transaction {
+            id: TxId::derive(&client, n, "cc"),
+            client,
+            chaincode: "cc".into(),
+            rwset,
+            endorsements: Vec::new(),
+        }
+    }
+
+    fn adaptive() -> crate::config::AdaptiveConfig {
+        crate::config::AdaptiveConfig::calibrated()
+    }
+
+    #[test]
+    fn adaptive_bootstraps_reordering_then_cold_feedback_cuts_fifo() {
+        let mut o = Orderer::with_policy(cfg(3), OrderingPolicy::Adaptive(adaptive()));
+        // No feedback yet: the bootstrap batch pays the reordering cost
+        // rather than risk shipping a conflict clique FIFO — the RMW
+        // clique on one key collapses to a single survivor.
+        let _ = o.receive(rmw(1, "hot"), SimTime::ZERO);
+        let _ = o.receive(rmw(2, "hot"), SimTime::ZERO);
+        let (block, _) = o.receive(rmw(3, "hot"), SimTime::ZERO);
+        assert_eq!(block.unwrap().len(), 1);
+        assert_eq!(o.take_early_aborted().len(), 2);
+        assert_eq!(o.policy_stats().batches_reordered, 1);
+        // Conflict-free finalize feedback proves the traffic cold; the
+        // density gate opens and subsequent batches ship FIFO intact
+        // even though the bootstrap aborts left some residual heat.
+        for _ in 0..4 {
+            o.observe_finalized(&BlockFeedback {
+                writes: vec!["elsewhere".into()],
+                conflicts: vec![],
+            });
+        }
+        let _ = o.receive(rmw(4, "k4"), SimTime::ZERO);
+        let _ = o.receive(rmw(5, "k5"), SimTime::ZERO);
+        let (block, _) = o.receive(rmw(6, "k6"), SimTime::ZERO);
+        assert_eq!(block.unwrap().len(), 3);
+        assert!(o.take_early_aborted().is_empty());
+        let stats = o.policy_stats();
+        assert_eq!(stats.batches_fifo, 1);
+        assert_eq!(stats.batches_reordered, 1);
+    }
+
+    #[test]
+    fn adaptive_reorders_once_conflicts_accumulate() {
+        let cfg_a = adaptive();
+        let mut o = Orderer::with_policy(cfg(3), OrderingPolicy::Adaptive(cfg_a));
+        // Finalize feedback reports repeated MVCC conflicts on "hot".
+        for _ in 0..4 {
+            o.observe_finalized(&BlockFeedback {
+                writes: vec![],
+                conflicts: vec!["hot".into(), "hot".into()],
+            });
+        }
+        assert!(o.tracker().heat("hot").conflicts >= cfg_a.hot_key_threshold);
+        // The next hot batch trips the density gate: an RMW clique on a
+        // single key is one big SCC, so all but one transaction aborts.
+        let _ = o.receive(rmw(1, "hot"), SimTime::ZERO);
+        let _ = o.receive(rmw(2, "hot"), SimTime::ZERO);
+        let (block, _) = o.receive(rmw(3, "hot"), SimTime::ZERO);
+        assert_eq!(block.unwrap().len(), 1);
+        assert_eq!(o.take_early_aborted().len(), 2);
+        let stats = o.policy_stats();
+        assert_eq!(stats.batches_reordered, 1);
+        assert_eq!(stats.cycle_aborts, 2);
+    }
+
+    #[test]
+    fn adaptive_predictive_abort_drops_doomed_rmws() {
+        let mut cfg_a = adaptive();
+        cfg_a.predict_abort_threshold = Some(1.0);
+        let mut o = Orderer::with_policy(cfg(3), OrderingPolicy::Adaptive(cfg_a));
+        for _ in 0..6 {
+            o.observe_finalized(&BlockFeedback {
+                writes: vec![],
+                conflicts: vec!["hot".into(), "hot".into()],
+            });
+        }
+        let _ = o.receive(rmw(1, "hot"), SimTime::ZERO);
+        let _ = o.receive(rmw(2, "hot"), SimTime::ZERO);
+        let (block, _) = o.receive(rmw(3, "hot"), SimTime::ZERO);
+        // The predictive pass keeps the first RMW and drops the rest
+        // before the (now trivially acyclic) batch even reaches the
+        // density gate.
+        assert_eq!(block.unwrap().len(), 1);
+        assert_eq!(o.take_early_aborted().len(), 2);
+        assert_eq!(o.policy_stats().predicted_aborts, 2);
+    }
+
+    #[test]
+    fn fifo_and_reorder_policies_never_touch_the_tracker() {
+        for policy in [OrderingPolicy::Fifo, OrderingPolicy::Reorder] {
+            let mut o = Orderer::with_policy(cfg(10), policy);
+            o.observe_finalized(&BlockFeedback {
+                writes: vec!["a".into()],
+                conflicts: vec!["b".into()],
+            });
+            assert_eq!(o.tracker().tracked_keys(), 0);
+        }
+    }
+
+    #[test]
+    fn install_tracker_carries_heat_across_orderers() {
+        let cfg_a = adaptive();
+        let mut first = Orderer::with_policy(cfg(3), OrderingPolicy::Adaptive(cfg_a));
+        for _ in 0..4 {
+            first.observe_finalized(&BlockFeedback {
+                writes: vec![],
+                conflicts: vec!["hot".into(), "hot".into()],
+            });
+        }
+        // Failover: the successor inherits the tracker and keeps the
+        // density gate open without relearning.
+        let mut second = Orderer::resuming_with_policy(
+            cfg(3),
+            OrderingPolicy::Adaptive(cfg_a),
+            5,
+            Block::genesis().hash(),
+        );
+        second.install_tracker(first.tracker().clone());
+        let _ = second.receive(rmw(1, "hot"), SimTime::ZERO);
+        let _ = second.receive(rmw(2, "hot"), SimTime::ZERO);
+        let (block, _) = second.receive(rmw(3, "hot"), SimTime::ZERO);
+        let block = block.unwrap();
+        assert_eq!(block.header.number, 5);
+        assert_eq!(block.len(), 1);
+        assert_eq!(second.policy_stats().batches_reordered, 1);
     }
 }

@@ -32,10 +32,11 @@ use fabriccrdt_sim::time::SimTime;
 
 use crate::chaincode::{ChaincodeEvent, ChaincodeRegistry, ChaincodeStub};
 use crate::config::PipelineConfig;
+use crate::conflict::BlockFeedback;
 use crate::latency::LatencyConfig;
 use crate::metrics::{
-    AdversaryMetrics, CommittedEvent, DecodeCacheMetrics, DisseminationMetrics, OrderingMetrics,
-    RunMetrics, TxRecord,
+    AdversaryMetrics, CommittedEvent, ConflictPolicyMetrics, DecodeCacheMetrics,
+    DisseminationMetrics, OrderingMetrics, RetryMetrics, RunMetrics, TxRecord,
 };
 use crate::orderer::{Orderer, TimeoutRequest};
 use crate::peer::{Peer, PreparedBlock, StagedBlock};
@@ -170,6 +171,18 @@ pub trait OrderingBackend {
     fn take_ordering_metrics(&mut self) -> Option<OrderingMetrics> {
         None
     }
+
+    /// Feeds a committed block's validation outcome back to the
+    /// ordering service's conflict tracker. Only called when the run's
+    /// effective policy is [`crate::config::OrderingPolicy::Adaptive`];
+    /// backends without a tracker ignore it.
+    fn observe_finalized(&mut self, _feedback: &BlockFeedback) {}
+
+    /// Hands over ordering-policy decision counters, if this backend
+    /// runs a non-FIFO cut policy.
+    fn take_policy_metrics(&mut self) -> Option<ConflictPolicyMetrics> {
+        None
+    }
 }
 
 /// The original single in-process ordering service behind the
@@ -188,13 +201,13 @@ impl SingleOrderer {
     }
 
     /// Builds the backend a pipeline configuration asks for (honoring
-    /// `config.reorder`).
+    /// [`PipelineConfig::effective_ordering_policy`], which folds the
+    /// legacy `config.reorder` flag in).
     pub fn from_config(config: &PipelineConfig) -> Self {
-        SingleOrderer::new(if config.reorder {
-            Orderer::with_reordering(config.block_cut)
-        } else {
-            Orderer::new(config.block_cut)
-        })
+        SingleOrderer::new(Orderer::with_policy(
+            config.block_cut,
+            config.effective_ordering_policy(),
+        ))
     }
 }
 
@@ -223,6 +236,17 @@ impl OrderingBackend for SingleOrderer {
 
     fn take_early_aborted(&mut self) -> Vec<Transaction> {
         self.orderer.take_early_aborted()
+    }
+
+    fn observe_finalized(&mut self, feedback: &BlockFeedback) {
+        self.orderer.observe_finalized(feedback);
+    }
+
+    fn take_policy_metrics(&mut self) -> Option<ConflictPolicyMetrics> {
+        match self.orderer.policy() {
+            crate::config::OrderingPolicy::Fifo => None,
+            _ => Some(self.orderer.take_policy_stats()),
+        }
     }
 }
 
@@ -304,6 +328,8 @@ pub struct Simulation<V: BlockValidator> {
     /// Total resubmissions this run (reported via
     /// [`RunMetrics::resubmissions`]).
     resubmissions: u64,
+    /// Abort-and-retry accounting (reported via [`RunMetrics::retry`]).
+    retry: RetryMetrics,
     pending_blocks: VecDeque<Block>,
     staged: Option<StagedBlock>,
     /// Blocks whose pre-validation was started ahead of the in-flight
@@ -399,6 +425,7 @@ impl<V: BlockValidator> Simulation<V> {
             pending_events: Vec::new(),
             committed_events: Vec::new(),
             resubmissions: 0,
+            retry: RetryMetrics::default(),
             pending_blocks: VecDeque::new(),
             staged: None,
             prepared: VecDeque::new(),
@@ -460,6 +487,7 @@ impl<V: BlockValidator> Simulation<V> {
         self.pending_events.clear();
         self.committed_events.clear();
         self.resubmissions = 0;
+        self.retry = RetryMetrics::default();
         self.blocks_committed = 0;
         self.end_time = SimTime::ZERO;
         self.armed_wakeups.clear();
@@ -516,6 +544,8 @@ impl<V: BlockValidator> Simulation<V> {
             decode_cache,
             adversary: self.delivery.take_adversary(),
             pipelined,
+            retry: std::mem::take(&mut self.retry),
+            conflict_policy: self.ordering.take_policy_metrics(),
         }
     }
 
@@ -581,18 +611,39 @@ impl<V: BlockValidator> Simulation<V> {
                     .peer
                     .commit(staged)
                     .expect("orderer blocks extend the chain in order");
-                let updates: Vec<(usize, _)> = tip
+                let adaptive = self.config.effective_ordering_policy().is_adaptive();
+                let feedback = adaptive.then(|| BlockFeedback::from_block(tip));
+                let updates: Vec<(usize, _, u64)> = tip
                     .transactions
                     .iter()
                     .zip(&tip.validation_codes)
-                    .filter_map(|(tx, code)| self.index_by_id.get(&tx.id).map(|&idx| (idx, *code)))
+                    .filter_map(|(tx, code)| {
+                        self.index_by_id.get(&tx.id).map(|&idx| {
+                            // Validation work the peer spent on this
+                            // transaction: one unit per endorsement
+                            // signature plus one per read-version check.
+                            // Charged to `wasted_validation_work` when
+                            // the verdict is a failure.
+                            let work = (tx.endorsements.len() + tx.rwset.reads.len()) as u64;
+                            (idx, *code, work)
+                        })
+                    })
                     .collect();
-                for (idx, code) in updates {
+                if let Some(feedback) = feedback {
+                    self.ordering.observe_finalized(&feedback);
+                }
+                for (idx, code, work) in updates {
                     self.records[idx].committed_at = Some(now);
                     self.records[idx].code = Some(code);
                     // Fabric's event service: chaincode events fire only
                     // for successfully committed transactions.
                     if code.is_success() {
+                        if self.attempts[idx] > 0 {
+                            self.retry.retry_success += 1;
+                            self.retry
+                                .retry_latency
+                                .push(now - self.records[idx].submitted_at);
+                        }
                         if let Some(event) = self.pending_events[idx].take() {
                             self.committed_events.push(CommittedEvent {
                                 request: idx,
@@ -601,6 +652,8 @@ impl<V: BlockValidator> Simulation<V> {
                                 at: now,
                             });
                         }
+                    } else {
+                        self.retry.wasted_validation_work += work;
                     }
                     self.maybe_retry(now, idx, code);
                 }
@@ -728,18 +781,27 @@ impl<V: BlockValidator> Simulation<V> {
             code,
             ValidationCode::MvccConflict | ValidationCode::EarlyAborted
         );
-        if !retryable || self.attempts[idx] >= self.config.client_retries {
+        if !retryable || self.attempts[idx] >= self.config.retry_budget() {
             return;
         }
         self.attempts[idx] += 1;
         self.resubmissions += 1;
+        self.retry.retries += 1;
         // Pending again until the retry resolves.
         self.records[idx].committed_at = None;
         self.records[idx].code = None;
         let notify = self.config.latency.peer_to_client.sample(&mut self.rng);
         let resubmit = self.config.latency.client_to_peer.sample(&mut self.rng);
+        // Seeded exponential backoff when a retry policy is configured.
+        // The legacy `client_retries` path resubmits immediately and
+        // draws nothing extra from the rng, so pre-policy runs stay
+        // byte-identical.
+        let backoff = match &self.config.retry {
+            Some(policy) => policy.backoff_delay(self.attempts[idx], &mut self.rng),
+            None => SimTime::ZERO,
+        };
         self.queue
-            .schedule(now + notify + resubmit, Event::Endorse(idx));
+            .schedule(now + notify + backoff + resubmit, Event::Endorse(idx));
     }
 
     /// Broadcasts a cut block to the committing peer through the

@@ -1,0 +1,267 @@
+//! Randomized property tests for `fabriccrdt_fabric::reorder::reorder_batch`,
+//! driven by the deterministic in-repo generator (`fabriccrdt_sim::gen`):
+//!
+//! 1. the emitted order is a valid topological order of the conflict
+//!    graph restricted to survivors (every surviving reader of a key
+//!    precedes every other surviving writer of that key),
+//! 2. reordering is deterministic across runs,
+//! 3. every early-aborted transaction sits on a non-trivial strongly
+//!    connected component of the conflict graph (verified against an
+//!    independent Kosaraju SCC computed here), and
+//! 4. an acyclic batch loses zero transactions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fabriccrdt_crypto::Identity;
+use fabriccrdt_fabric::reorder::reorder_batch;
+use fabriccrdt_ledger::rwset::ReadWriteSet;
+use fabriccrdt_ledger::transaction::{Transaction, TxId};
+use fabriccrdt_ledger::version::Height;
+use fabriccrdt_sim::gen;
+
+fn tx(nonce: u64, reads: &[String], writes: &[String]) -> Transaction {
+    let client = Identity::new("client", "org1");
+    let mut rwset = ReadWriteSet::new();
+    for key in reads {
+        rwset.reads.record(key.clone(), Some(Height::new(1, 0)));
+    }
+    for key in writes {
+        rwset.writes.put(key.clone(), vec![nonce as u8]);
+    }
+    Transaction {
+        id: TxId::derive(&client, nonce, "cc"),
+        client,
+        chaincode: "cc".into(),
+        rwset,
+        endorsements: Vec::new(),
+    }
+}
+
+/// A random batch over a deliberately small key pool, so read/write
+/// collisions — and therefore conflict cycles — are common.
+fn random_batch(g: &mut gen::Gen) -> Vec<Transaction> {
+    let n = g.size(2, 32);
+    let pool: Vec<String> = (0..g.size(1, 8)).map(|k| format!("k{k}")).collect();
+    (0..n as u64)
+        .map(|nonce| {
+            let mut reads: BTreeSet<String> = BTreeSet::new();
+            for _ in 0..g.size(0, 2) {
+                reads.insert(g.pick(&pool).clone());
+            }
+            let mut writes: BTreeSet<String> = BTreeSet::new();
+            for _ in 0..g.size(1, 2) {
+                writes.insert(g.pick(&pool).clone());
+            }
+            // Read-modify-writes (the conflict-clique makers) with
+            // coin-flip probability.
+            if g.flip() {
+                if let Some(k) = writes.iter().next().cloned() {
+                    reads.insert(k);
+                }
+            }
+            let reads: Vec<String> = reads.into_iter().collect();
+            let writes: Vec<String> = writes.into_iter().collect();
+            tx(nonce, &reads, &writes)
+        })
+        .collect()
+}
+
+/// Conflict-graph edges, reader → writer, matching the documented
+/// contract: a transaction reading key `k` must precede every *other*
+/// transaction writing `k`.
+fn conflict_edges(batch: &[Transaction]) -> Vec<BTreeSet<usize>> {
+    let mut writers: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, t) in batch.iter().enumerate() {
+        for (key, _) in t.rwset.writes.iter() {
+            writers.entry(key).or_default().push(i);
+        }
+    }
+    let mut successors = vec![BTreeSet::new(); batch.len()];
+    for (r, t) in batch.iter().enumerate() {
+        for (key, _) in t.rwset.reads.iter() {
+            for &w in writers.get(key as &str).map_or(&[][..], Vec::as_slice) {
+                if r != w {
+                    successors[r].insert(w);
+                }
+            }
+        }
+    }
+    successors
+}
+
+/// Independent SCC computation (Kosaraju, iterative) — deliberately a
+/// different algorithm from the Tarjan inside `reorder_batch`.
+fn kosaraju_scc(successors: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
+    let n = successors.len();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    for root in 0..n {
+        if visited[root] {
+            continue;
+        }
+        let mut stack = vec![(root, successors[root].iter())];
+        visited[root] = true;
+        while let Some((node, iter)) = stack.last_mut() {
+            match iter.next() {
+                Some(&next) if !visited[next] => {
+                    visited[next] = true;
+                    stack.push((next, successors[next].iter()));
+                }
+                Some(_) => {}
+                None => {
+                    order.push(*node);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    let mut reversed = vec![BTreeSet::new(); n];
+    for (from, succs) in successors.iter().enumerate() {
+        for &to in succs {
+            reversed[to].insert(from);
+        }
+    }
+    let mut component = vec![usize::MAX; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for &root in order.iter().rev() {
+        if component[root] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = vec![root];
+        component[root] = id;
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            for &next in &reversed[node] {
+                if component[next] == usize::MAX {
+                    component[next] = id;
+                    members.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        components.push(members);
+    }
+    components
+}
+
+fn ids(txs: &[Transaction]) -> Vec<TxId> {
+    txs.iter().map(|t| t.id).collect()
+}
+
+/// Properties 1–3 on randomly generated (frequently cyclic) batches.
+#[test]
+fn reorder_batch_properties_hold_on_random_batches() {
+    gen::cases(256, |g| {
+        let batch = random_batch(g);
+        let index_of: BTreeMap<TxId, usize> =
+            batch.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        let successors = conflict_edges(&batch);
+        let sccs = kosaraju_scc(&successors);
+        let nontrivial: BTreeSet<usize> = sccs
+            .iter()
+            .filter(|c| c.len() > 1)
+            .flat_map(|c| c.iter().copied())
+            .collect();
+
+        let outcome = reorder_batch(batch.clone());
+
+        // Conservation: survivors + aborts partition the input.
+        let mut seen: BTreeSet<TxId> = BTreeSet::new();
+        for t in outcome.ordered.iter().chain(&outcome.aborted) {
+            assert!(seen.insert(t.id), "transaction emitted twice: {:?}", t.id);
+        }
+        assert_eq!(seen.len(), batch.len(), "transactions lost");
+
+        // Property 3: every aborted transaction sits on a non-trivial
+        // SCC, and enough of each non-trivial SCC is aborted to break
+        // it (all but one member).
+        for t in &outcome.aborted {
+            assert!(
+                nontrivial.contains(&index_of[&t.id]),
+                "aborted a transaction outside every conflict cycle"
+            );
+        }
+        for component in sccs.iter().filter(|c| c.len() > 1) {
+            let survivors = outcome
+                .ordered
+                .iter()
+                .filter(|t| component.contains(&index_of[&t.id]))
+                .count();
+            assert_eq!(
+                survivors, 1,
+                "a non-trivial SCC must keep exactly one representative"
+            );
+        }
+
+        // Property 4 (corollary): an acyclic batch loses nothing.
+        if nontrivial.is_empty() {
+            assert!(
+                outcome.aborted.is_empty(),
+                "acyclic batch lost transactions"
+            );
+        }
+
+        // Property 1: the emitted order is a topological order of the
+        // survivor subgraph — every surviving reader of a key precedes
+        // every other surviving writer of that key.
+        let position: BTreeMap<TxId, usize> = outcome
+            .ordered
+            .iter()
+            .enumerate()
+            .map(|(pos, t)| (t.id, pos))
+            .collect();
+        for (from, succs) in successors.iter().enumerate() {
+            let Some(&from_pos) = position.get(&batch[from].id) else {
+                continue; // aborted
+            };
+            for &to in succs {
+                if let Some(&to_pos) = position.get(&batch[to].id) {
+                    assert!(
+                        from_pos < to_pos,
+                        "reader at output position {from_pos} follows a writer \
+                         of one of its read keys at {to_pos}"
+                    );
+                }
+            }
+        }
+
+        // Property 2: byte-for-byte determinism.
+        let again = reorder_batch(batch);
+        assert_eq!(ids(&outcome.ordered), ids(&again.ordered));
+        assert_eq!(ids(&outcome.aborted), ids(&again.aborted));
+    });
+}
+
+/// Property 4, directed: batches that are acyclic *by construction*
+/// (transaction `i` only reads keys written by higher-indexed
+/// transactions, so all conflict edges point forward) never lose a
+/// transaction, at any size.
+#[test]
+fn acyclic_batches_lose_nothing() {
+    gen::cases(128, |g| {
+        let n = g.size(1, 24);
+        let batch: Vec<Transaction> = (0..n)
+            .map(|i| {
+                let mut reads = Vec::new();
+                for _ in 0..g.size(0, 2) {
+                    if i + 1 < n {
+                        reads.push(format!("k{}", g.range(i as u64 + 1, n as u64)));
+                    }
+                }
+                tx(i as u64, &reads, std::slice::from_ref(&format!("k{i}")))
+            })
+            .collect();
+        let expected = ids(&batch);
+        let outcome = reorder_batch(batch);
+        assert!(
+            outcome.aborted.is_empty(),
+            "acyclic batch lost transactions"
+        );
+        let mut emitted = ids(&outcome.ordered);
+        emitted.sort();
+        let mut expected = expected;
+        expected.sort();
+        assert_eq!(emitted, expected);
+    });
+}

@@ -3,8 +3,9 @@
 //! gossip crate's.
 
 use fabriccrdt_fabric::chaincode::ChaincodeRegistry;
-use fabriccrdt_fabric::config::PipelineConfig;
-use fabriccrdt_fabric::metrics::OrderingMetrics;
+use fabriccrdt_fabric::config::{OrderingPolicy, PipelineConfig};
+use fabriccrdt_fabric::conflict::BlockFeedback;
+use fabriccrdt_fabric::metrics::{ConflictPolicyMetrics, OrderingMetrics};
 use fabriccrdt_fabric::orderer::TimeoutRequest;
 use fabriccrdt_fabric::simulation::{OrderingBackend, OrderingOutcome, Simulation};
 use fabriccrdt_fabric::validator::FabricValidator;
@@ -70,6 +71,17 @@ impl OrderingBackend for RaftOrderingBackend {
 
     fn take_ordering_metrics(&mut self) -> Option<OrderingMetrics> {
         Some(self.cluster.take_metrics())
+    }
+
+    fn observe_finalized(&mut self, feedback: &BlockFeedback) {
+        self.cluster.observe_finalized(feedback);
+    }
+
+    fn take_policy_metrics(&mut self) -> Option<ConflictPolicyMetrics> {
+        match self.cluster.policy() {
+            OrderingPolicy::Fifo => None,
+            _ => Some(self.cluster.take_policy_metrics()),
+        }
     }
 }
 

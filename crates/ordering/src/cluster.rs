@@ -19,8 +19,9 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use fabriccrdt_fabric::config::{BlockCutConfig, PipelineConfig, RaftConfig};
-use fabriccrdt_fabric::metrics::OrderingMetrics;
+use fabriccrdt_fabric::config::{BlockCutConfig, OrderingPolicy, PipelineConfig, RaftConfig};
+use fabriccrdt_fabric::conflict::{BlockFeedback, ConflictTracker};
+use fabriccrdt_fabric::metrics::{ConflictPolicyMetrics, OrderingMetrics};
 use fabriccrdt_fabric::orderer::{Orderer, TimeoutRequest};
 use fabriccrdt_ledger::block::Block;
 use fabriccrdt_ledger::transaction::{Transaction, TxId};
@@ -52,6 +53,13 @@ pub struct LogEntry {
     pub sealed_at: SimTime,
     /// The block, or `None` for a barrier no-op.
     pub block: Option<Block>,
+    /// Transactions the cut policy early-aborted while sealing this
+    /// block. They ride in the entry and surface only when the entry
+    /// *commits*: a deposed leader's uncommitted cuts are truncated
+    /// away, and truncating the entry drops its aborts with it — the
+    /// transactions stay pending and get a fresh verdict from the next
+    /// leader, never a duplicate or lost one.
+    pub aborted: Vec<Transaction>,
 }
 
 /// A point-in-time view of one consenter, for tests and failover
@@ -192,7 +200,18 @@ impl Node {
 pub struct RaftCluster {
     raft: RaftConfig,
     block_cut: BlockCutConfig,
-    reorder: bool,
+    /// The cut policy every leader's orderer runs (resolved once from
+    /// the pipeline config, so re-elections cannot change it).
+    policy: OrderingPolicy,
+    /// Cluster-maintained conflict tracker. The live copy lives inside
+    /// the current leader's orderer; this master copy is synced from an
+    /// orderer whenever one is dropped (step-down, crash) and installed
+    /// into each new leader, so adaptive decisions survive failover
+    /// instead of restarting cold.
+    tracker: ConflictTracker,
+    /// Policy counters harvested from dropped orderers (the live
+    /// leader's counters are added on top when metrics are taken).
+    policy_stats: ConflictPolicyMetrics,
     /// Cluster-level PRNG: link latencies and fault coin flips.
     rng: SimRng,
     queue: EventQueue<RaftEvent>,
@@ -269,6 +288,13 @@ impl RaftCluster {
         }
         assert!(raft.faults.link.drop < 1.0, "links drop every message");
 
+        let policy = config.effective_ordering_policy();
+        let tracker = match policy {
+            OrderingPolicy::Adaptive(cfg) => ConflictTracker::new(cfg.decay),
+            _ => {
+                ConflictTracker::new(fabriccrdt_fabric::config::AdaptiveConfig::calibrated().decay)
+            }
+        };
         let mut root = SimRng::seed_from(config.seed);
         let mut rng = root.fork(0x7261_6674); // "raft"
         let mut nodes: Vec<Node> = (0..n)
@@ -313,7 +339,9 @@ impl RaftCluster {
             l.epoch += 1;
             l.next_index = vec![0; n];
             l.match_index = vec![0; n];
-            l.orderer = Some(make_orderer(config.block_cut, config.reorder, &l.log));
+            let mut orderer = make_orderer(config.block_cut, policy, &l.log);
+            orderer.install_tracker(tracker.clone());
+            l.orderer = Some(orderer);
             leadership.push(LeadershipEvent {
                 term: 1,
                 node: leader,
@@ -332,7 +360,9 @@ impl RaftCluster {
         let mut cluster = RaftCluster {
             raft,
             block_cut: config.block_cut,
-            reorder: config.reorder,
+            policy,
+            tracker,
+            policy_stats: ConflictPolicyMetrics::default(),
             rng,
             queue,
             nodes,
@@ -497,10 +527,46 @@ impl RaftCluster {
             .collect()
     }
 
-    /// Drains transactions early-aborted by batch reordering (empty
-    /// unless `reorder` is on).
+    /// Drains transactions early-aborted by the cut policy (always
+    /// empty under [`OrderingPolicy::Fifo`]). An abort only appears
+    /// here once its log entry committed — exactly once, regardless of
+    /// leader crashes in between.
     pub fn take_early_aborted(&mut self) -> Vec<Transaction> {
         std::mem::take(&mut self.early_aborted)
+    }
+
+    /// Feeds a committed block's validation outcome back into the
+    /// conflict tracker: the cluster master copy and, when a leader is
+    /// live, its orderer's working copy (kept identical so failover
+    /// hands over exactly the state the deposed leader was using).
+    /// No-op unless the policy is [`OrderingPolicy::Adaptive`].
+    pub fn observe_finalized(&mut self, feedback: &BlockFeedback) {
+        if !self.policy.is_adaptive() {
+            return;
+        }
+        self.tracker.observe(feedback);
+        if let Some(leader) = self.current_leader() {
+            if let Some(orderer) = self.nodes[leader].orderer.as_mut() {
+                orderer.observe_finalized(feedback);
+            }
+        }
+    }
+
+    /// The cut policy every leader runs.
+    pub fn policy(&self) -> OrderingPolicy {
+        self.policy
+    }
+
+    /// Takes the accumulated ordering-policy counters: everything
+    /// harvested from deposed leaders plus the live leader's counters.
+    pub fn take_policy_metrics(&mut self) -> ConflictPolicyMetrics {
+        let mut stats = std::mem::take(&mut self.policy_stats);
+        for node in &mut self.nodes {
+            if let Some(orderer) = node.orderer.as_mut() {
+                stats.absorb(orderer.take_policy_stats());
+            }
+        }
+        stats
     }
 
     /// Read access to the ordering metrics accumulated so far.
@@ -576,8 +642,12 @@ impl RaftCluster {
                 let n = &mut self.nodes[node];
                 if n.up && n.epoch == epoch && n.role == Role::Leader {
                     if let Some(block) = n.orderer.as_mut().and_then(|o| o.timeout_fired(request)) {
-                        self.collect_early_aborts(node);
-                        self.append_block(node, block, now);
+                        let aborted = n
+                            .orderer
+                            .as_mut()
+                            .map(|o| o.take_early_aborted())
+                            .unwrap_or_default();
+                        self.append_block(node, block, aborted, now);
                     }
                 }
             }
@@ -612,36 +682,34 @@ impl RaftCluster {
             );
         }
         if let Some(block) = block {
-            self.collect_early_aborts(leader);
-            self.append_block(leader, block, now);
+            let aborted = self.nodes[leader]
+                .orderer
+                .as_mut()
+                .map(|o| o.take_early_aborted())
+                .unwrap_or_default();
+            self.append_block(leader, block, aborted, now);
         }
     }
 
-    /// Pulls reorder early-aborts out of the leader's orderer and off
-    /// the client's pending queue.
-    fn collect_early_aborts(&mut self, leader: usize) {
-        let aborted = self.nodes[leader]
-            .orderer
-            .as_mut()
-            .map(|o| o.take_early_aborted())
-            .unwrap_or_default();
-        for tx in &aborted {
-            self.pending_ids.remove(&tx.id);
-        }
-        if !aborted.is_empty() {
-            self.pending.retain(|tx| self.pending_ids.contains(&tx.id));
-        }
-        self.early_aborted.extend(aborted);
-    }
-
-    /// Appends a cut block to the leader's log and fans out
-    /// replication.
-    fn append_block(&mut self, leader: usize, block: Block, now: SimTime) {
+    /// Appends a cut block — together with the transactions the cut
+    /// policy early-aborted while sealing it — to the leader's log and
+    /// fans out replication. The aborts stay *pending* (and in the
+    /// leader's `held` set, so the client sweep does not re-deliver
+    /// them) until the entry commits; see [`LogEntry::aborted`] for the
+    /// failover semantics.
+    fn append_block(
+        &mut self,
+        leader: usize,
+        block: Block,
+        aborted: Vec<Transaction>,
+        now: SimTime,
+    ) {
         let term = self.nodes[leader].term;
         self.nodes[leader].log.push(LogEntry {
             term,
             sealed_at: now,
             block: Some(block),
+            aborted,
         });
         for peer in 0..self.nodes.len() {
             if peer != leader {
@@ -743,13 +811,23 @@ impl RaftCluster {
         node.next_index = vec![node.log.len(); n];
         node.match_index = vec![0; n];
         node.match_index[i] = node.log.len();
+        // Everything in inherited log entries is spoken for: block
+        // transactions get their verdict when the entry commits, and so
+        // do the entry's early-aborts — re-accepting either into a
+        // fresh batch would hand it a second verdict.
         node.held = node
             .log
             .iter()
-            .filter_map(|e| e.block.as_ref())
-            .flat_map(|b| b.transactions.iter().map(|tx| tx.id))
+            .flat_map(|e| {
+                e.block
+                    .iter()
+                    .flat_map(|b| b.transactions.iter().map(|tx| tx.id))
+                    .chain(e.aborted.iter().map(|tx| tx.id))
+            })
             .collect();
-        node.orderer = Some(make_orderer(self.block_cut, self.reorder, &node.log));
+        let mut orderer = make_orderer(self.block_cut, self.policy, &node.log);
+        orderer.install_tracker(self.tracker.clone());
+        node.orderer = Some(orderer);
         let term = node.term;
         if (node.log.len() as u64) > node.commit_index {
             // Barrier no-op (§5.4.2): commit inherited entries by
@@ -758,6 +836,7 @@ impl RaftCluster {
                 term,
                 sealed_at: now,
                 block: None,
+                aborted: Vec::new(),
             });
             node.match_index[i] = node.log.len();
         }
@@ -779,12 +858,27 @@ impl RaftCluster {
     /// leader observed). The orderer batch dies with the leadership —
     /// its transactions are still pending and will be re-delivered.
     fn become_follower(&mut self, i: usize, now: SimTime) {
+        self.harvest_orderer(i);
         let node = &mut self.nodes[i];
         node.role = Role::Follower;
-        node.orderer = None;
         node.held.clear();
         node.votes.clear();
         self.arm_election(i, now);
+    }
+
+    /// Salvages tracker state and policy counters from a node's orderer
+    /// before dropping it (step-down or crash), so the next leader
+    /// inherits both. The tracker copy is deterministic cluster
+    /// metadata, *not* replicated state: it only ever influences cut
+    /// decisions on the current leader, never the committed log's
+    /// interpretation.
+    fn harvest_orderer(&mut self, i: usize) {
+        if let Some(mut orderer) = self.nodes[i].orderer.take() {
+            if self.policy.is_adaptive() {
+                self.tracker = orderer.tracker().clone();
+            }
+            self.policy_stats.absorb(orderer.take_policy_stats());
+        }
     }
 
     /// Adopts a higher term seen on any message (Raft: all servers).
@@ -1036,7 +1130,20 @@ impl RaftCluster {
             let entry = &self.nodes[source].log[idx];
             let sealed_at = entry.sealed_at;
             let block = entry.block.clone();
+            let aborted = entry.aborted.clone();
             self.emitted_entries += 1;
+            // The entry's early-aborts surface exactly here — once per
+            // entry, and only for entries that actually committed. A
+            // leader crashing between cut and commit truncates the
+            // entry, so its aborts never reach this point and the
+            // transactions get re-delivered instead.
+            if !aborted.is_empty() {
+                for tx in &aborted {
+                    self.pending_ids.remove(&tx.id);
+                }
+                self.pending.retain(|tx| self.pending_ids.contains(&tx.id));
+                self.early_aborted.extend(aborted);
+            }
             if let Some(block) = block {
                 self.metrics
                     .commit_latency
@@ -1057,11 +1164,11 @@ impl RaftCluster {
     /// Crash: volatile state (role, batch, vote tally) is lost; durable
     /// Raft state (term, ballot, log) and the committed ledger persist.
     fn crash(&mut self, node: usize) {
+        self.harvest_orderer(node);
         let n = &mut self.nodes[node];
         n.up = false;
         n.epoch += 1;
         n.role = Role::Follower;
-        n.orderer = None;
         n.held.clear();
         n.votes.clear();
     }
@@ -1081,7 +1188,7 @@ impl RaftCluster {
 /// numbering and hash chaining resume from the last block in `log`, so
 /// Algorithm 1's deterministic re-sealing keeps replica ledgers
 /// byte-identical across leadership changes.
-fn make_orderer(block_cut: BlockCutConfig, reorder: bool, log: &[LogEntry]) -> Orderer {
+fn make_orderer(block_cut: BlockCutConfig, policy: OrderingPolicy, log: &[LogEntry]) -> Orderer {
     let mut number = 1;
     let mut previous_hash = Block::genesis().hash();
     for entry in log {
@@ -1090,5 +1197,5 @@ fn make_orderer(block_cut: BlockCutConfig, reorder: bool, log: &[LogEntry]) -> O
             previous_hash = block.hash();
         }
     }
-    Orderer::resuming(block_cut, reorder, number, previous_hash)
+    Orderer::resuming_with_policy(block_cut, policy, number, previous_hash)
 }

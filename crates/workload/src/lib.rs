@@ -11,6 +11,8 @@
 //!   spaces, for `fabriccrdt-channel` deployments.
 //! - [`offline`]: offline-first client edit sequences and rejoin-burst
 //!   schedules, for the merge-storm probes of `fabriccrdt-adversary`.
+//! - [`zipf`]: Zipf-skewed read-modify-write schedules for the
+//!   conflict-strategy comparison bench (`bench --bin zipf`).
 //! - [`experiment`]: one-call experiment execution — topology, block
 //!   size, rate, read/write key counts, JSON shape, conflict percentage —
 //!   against either system, returning the three metrics every figure
@@ -42,6 +44,7 @@ pub mod iot;
 pub mod offline;
 pub mod report;
 pub mod smallbank;
+pub mod zipf;
 
 pub use caliper::{Benchmark, BenchmarkReport};
 pub use channels::{ChannelSchedule, ChannelWorkload};
@@ -49,3 +52,4 @@ pub use experiment::{ExperimentConfig, ExperimentResult, SystemKind};
 pub use generator::JsonShape;
 pub use iot::IotChaincode;
 pub use smallbank::SmallBankChaincode;
+pub use zipf::ZipfWorkload;
